@@ -1,0 +1,219 @@
+(* Benchmark harness.
+
+   Running [dune exec bench/main.exe] does two things:
+
+   1. regenerates every experiment table of the reproduction (E1-E9 of
+      DESIGN.md, recorded in EXPERIMENTS.md) -- the "tables and
+      figures" of the paper;
+   2. times the computational kernel behind each experiment with
+      Bechamel (one [Test.make] per experiment), plus substrate
+      micro-benchmarks.
+
+   Flags: --quick (smaller experiment instances), --tables-only,
+   --bench-only. *)
+
+open Bechamel
+open Toolkit
+
+module Q = Proba.Rational
+module LR = Lehmann_rabin
+module IR = Itai_rodeh
+module SC = Shared_coin
+module BO = Ben_or
+
+(* ----------------------------------------------------------------- *)
+(* Kernels shared by the benchmarks (prepared once). *)
+
+let lr3 = lazy (LR.Proof.build ~n:3 ())
+let ir4 = lazy (IR.Proof.build ~n:4 ())
+
+let bench_tests () =
+  let lr3 = Lazy.force lr3 in
+  let ir4 = Lazy.force ir4 in
+  let expl = lr3.LR.Proof.expl in
+  let lr3_target = Mdp.Explore.indicator expl LR.Regions.c in
+  let e1 =
+    Test.make ~name:"e1:arrow A.11 (G -5-> P, n=3)"
+      (Staged.stage (fun () ->
+           let target = Mdp.Explore.indicator expl LR.Regions.p in
+           Mdp.Finite_horizon.min_reach expl ~is_tick:LR.Automaton.is_tick
+             ~target ~ticks:5))
+  in
+  let e2 =
+    Test.make ~name:"e2:check+compose T -13->_1/8 C (n=3)"
+      (Staged.stage (fun () -> LR.Proof.composed lr3))
+  in
+  let e3 =
+    Test.make ~name:"e3:max expected time (VI, n=3)"
+      (Staged.stage (fun () ->
+           Mdp.Expected_time.max_expected_ticks expl
+             ~is_tick:LR.Automaton.is_tick ~target:lr3_target ()))
+  in
+  let e4 =
+    Test.make ~name:"e4:event schema evaluation (Example 4.1)"
+      (Staged.stage (fun () ->
+           let tree =
+             Core.Exec_automaton.unfold Experiments.Race.pa
+               Experiments.Race.dependency_adversary Experiments.Race.start
+               ~max_depth:4
+           in
+           let conj =
+             Core.Event.conj
+               (Core.Event.first Experiments.Race.Flip_p
+                  Experiments.Race.p_heads)
+               (Core.Event.first Experiments.Race.Flip_q
+                  Experiments.Race.q_tails)
+           in
+           Core.Exec_automaton.prob_exact conj tree))
+  in
+  let e5 =
+    Test.make ~name:"e5:Lemma 6.1 sweep (n=3, 8092 states)"
+      (Staged.stage (fun () -> LR.Invariant.check expl))
+  in
+  let e6 =
+    Test.make ~name:"e6:qualitative liveness (n=3)"
+      (Staged.stage (fun () ->
+           Mdp.Qualitative.always_reaches expl ~target:lr3_target))
+  in
+  let e7 =
+    Test.make ~name:"e7:explore LR n=3"
+      (Staged.stage (fun () -> LR.Proof.build ~n:3 ()))
+  in
+  let e8 =
+    Test.make ~name:"e8:direct bound (13 units, n=3)"
+      (Staged.stage (fun () -> LR.Proof.direct_bound lr3))
+  in
+  let e9 =
+    Test.make ~name:"e9:election ladder (n=4)"
+      (Staged.stage (fun () -> IR.Proof.arrows ir4))
+  in
+  let e10 =
+    let star = LR.Proof.build_topo ~topo:(LR.Topology.star 3) () in
+    Test.make ~name:"e10:star topology arrows"
+      (Staged.stage (fun () -> LR.Proof.arrows_topo star))
+  in
+  let e11 =
+    let coin = SC.Proof.build ~n:2 ~bound:4 () in
+    Test.make ~name:"e11:shared coin pipeline (n=2, B=4)"
+      (Staged.stage (fun () ->
+           (SC.Proof.arrows coin, SC.Proof.expected_exact coin)))
+  in
+  let e12 =
+    let consensus =
+      BO.Proof.build ~n:3 ~f:1 ~cap:2 ~initial:[| false; false; true |] ()
+    in
+    Test.make ~name:"e12:Ben-Or safety + 2-round bound (n=3)"
+      (Staged.stage (fun () ->
+           ( BO.Proof.agreement_violation consensus,
+             BO.Proof.decision_curve consensus ~rounds:[ 2 ] )))
+  in
+  let float_engine =
+    Test.make ~name:"engine:min_reach_float (13 units, n=3)"
+      (Staged.stage (fun () ->
+           Mdp.Finite_horizon.min_reach_float expl
+             ~is_tick:LR.Automaton.is_tick ~target:lr3_target ~ticks:13))
+  in
+  let bisim =
+    let labels =
+      Array.init (Mdp.Explore.num_states expl) (fun i ->
+          if Core.Pred.mem LR.Regions.c (Mdp.Explore.state expl i) then 1
+          else 0)
+    in
+    Test.make ~name:"engine:bisim refine (n=3)"
+      (Staged.stage (fun () -> Mdp.Bisim.refine expl ~labels ()))
+  in
+  let sim =
+    let params = { LR.Automaton.n = 8; g = 1; k = 1 } in
+    let pa = LR.Automaton.make params in
+    let start = LR.State.all_trying ~n:8 ~g:1 ~k:1 in
+    let sched = LR.Schedulers.uniform pa in
+    let rng = Proba.Rng.create ~seed:9 in
+    Test.make ~name:"sim:one LR trajectory to C (n=8)"
+      (Staged.stage (fun () ->
+           Sim.Engine.run pa sched ~rng:(Proba.Rng.split rng)
+             ~stop:(Core.Pred.mem LR.Regions.c)
+             ~duration:LR.Automaton.duration start))
+  in
+  let rational_engine =
+    Test.make ~name:"engine:A.11 with pure rationals (n=3)"
+      (Staged.stage (fun () ->
+           let target = Mdp.Explore.indicator expl LR.Regions.p in
+           Mdp.Finite_horizon.min_reach_rational expl
+             ~is_tick:LR.Automaton.is_tick ~target ~ticks:5))
+  in
+  let substrate =
+    let a = Proba.Bigint.of_string "123456789123456789123456789" in
+    let b = Proba.Bigint.of_string "987654321987654321" in
+    let q1 = Q.of_ints 355 113 in
+    let q2 = Q.of_ints 22 7 in
+    [ Test.make ~name:"substrate:bigint mul (96x60 bits)"
+        (Staged.stage (fun () -> Proba.Bigint.mul a b));
+      Test.make ~name:"substrate:bigint divmod"
+        (Staged.stage (fun () -> Proba.Bigint.divmod a b));
+      Test.make ~name:"substrate:rational add"
+        (Staged.stage (fun () -> Q.add q1 q2));
+      Test.make ~name:"substrate:dyadic add"
+        (let a = Proba.Dyadic.of_rational (Q.of_ints 3 8) in
+         let b = Proba.Dyadic.of_rational (Q.of_ints 5 64) in
+         Staged.stage (fun () -> Proba.Dyadic.add a b));
+      Test.make ~name:"substrate:rng bits64"
+        (let rng = Proba.Rng.create ~seed:1 in
+         Staged.stage (fun () -> Proba.Rng.bits64 rng));
+      Test.make ~name:"substrate:dist bind (coin, 4 outcomes)"
+        (Staged.stage (fun () ->
+             Proba.Dist.bind (Proba.Dist.coin 0 1) (fun x ->
+                 Proba.Dist.coin x (x + 2)))) ]
+  in
+  Test.make_grouped ~name:"prtb"
+    ([ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; float_engine;
+       rational_engine; bisim;
+       sim ]
+     @ substrate)
+
+(* ----------------------------------------------------------------- *)
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (bench_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "\n=== kernel timings (monotonic clock, per run) ===\n\n";
+  List.iter
+    (fun (name, ols) ->
+       let estimate =
+         match Analyze.OLS.estimates ols with
+         | Some (t :: _) -> t
+         | Some [] | None -> nan
+       in
+       let pretty =
+         if estimate >= 1e9 then Printf.sprintf "%8.3f s " (estimate /. 1e9)
+         else if estimate >= 1e6 then
+           Printf.sprintf "%8.3f ms" (estimate /. 1e6)
+         else if estimate >= 1e3 then
+           Printf.sprintf "%8.3f us" (estimate /. 1e3)
+         else Printf.sprintf "%8.1f ns" estimate
+       in
+       Printf.printf "  %-45s %s\n%!" name pretty)
+    rows
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let tables_only = List.mem "--tables-only" argv in
+  let bench_only = List.mem "--bench-only" argv in
+  if not bench_only then begin
+    let config =
+      if quick then Experiments.Harness.quick else Experiments.Harness.default
+    in
+    Experiments.Harness.run_all (Experiments.Harness.make_ctx config)
+  end;
+  if not tables_only then run_benchmarks ()

@@ -1,0 +1,425 @@
+(* prtb: Probabilistic Real-Time Bounds -- command-line front end.
+
+   Subcommands:
+     prtb experiments   regenerate the experiment tables (E1-E9)
+     prtb check         run the exhaustive checker on a case study
+     prtb simulate      Monte Carlo runs under a chosen scheduler *)
+
+module Q = Proba.Rational
+module LR = Lehmann_rabin
+module IR = Itai_rodeh
+module SC = Shared_coin
+module BO = Ben_or
+
+open Cmdliner
+
+(* ----------------------------------------------------------------- *)
+(* experiments *)
+
+let experiments_cmd =
+  let profile =
+    let quick =
+      Arg.(value & flag
+           & info [ "quick" ] ~doc:"Smaller instances (smoke test).")
+    in
+    let full =
+      Arg.(value & flag
+           & info [ "full" ]
+               ~doc:"Add n=4 exhaustive checking and larger simulations \
+                     (takes minutes).")
+    in
+    Term.(const (fun q f ->
+        if f then Experiments.Harness.full
+        else if q then Experiments.Harness.quick
+        else Experiments.Harness.default)
+          $ quick $ full)
+  in
+  let only =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"ID"
+             ~doc:"Experiment ids to run (e1..e12); all when omitted.")
+  in
+  let run config ids =
+    let ctx = Experiments.Harness.make_ctx config in
+    let table =
+      [ ("e1", Experiments.Harness.e1_arrows); ("e2", Experiments.Harness.e2_composed);
+        ("e3", Experiments.Harness.e3_expected); ("e4", Experiments.Harness.e4_independence);
+        ("e5", Experiments.Harness.e5_invariant); ("e6", Experiments.Harness.e6_baseline);
+        ("e7", Experiments.Harness.e7_scaling); ("e8", Experiments.Harness.e8_lower_bound);
+        ("e9", Experiments.Harness.e9_election);
+        ("e10", Experiments.Harness.e10_topologies);
+        ("e11", Experiments.Harness.e11_shared_coin);
+        ("e12", Experiments.Harness.e12_consensus) ]
+    in
+    match ids with
+    | [] -> Ok (Experiments.Harness.run_all ctx)
+    | ids ->
+      let rec go = function
+        | [] -> Ok ()
+        | id :: rest ->
+          (match List.assoc_opt (String.lowercase_ascii id) table with
+           | Some f -> f ctx; go rest
+           | None -> Error (`Msg (Printf.sprintf "unknown experiment %S" id)))
+      in
+      go ids
+  in
+  let term = Term.(term_result (const run $ profile $ only)) in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's result tables (see EXPERIMENTS.md).")
+    term
+
+(* ----------------------------------------------------------------- *)
+(* check *)
+
+let n_arg ~default =
+  Arg.(value & opt int default
+       & info [ "n" ] ~docv:"N" ~doc:"Ring size (number of processes).")
+
+let g_arg =
+  Arg.(value & opt int 1
+       & info [ "g" ] ~docv:"G"
+           ~doc:"Digital-clock granularity (slots per time unit).")
+
+let k_arg =
+  Arg.(value & opt int 1
+       & info [ "k" ] ~docv:"K"
+           ~doc:"Adversary step budget per process per slot.")
+
+let check_lr_topo topo g k =
+  Printf.printf "Lehmann-Rabin on %s, g=%d k=%d\n%!"
+    (LR.Topology.name topo) g k;
+  let inst = LR.Proof.build_topo ~topo ~g ~k () in
+  Printf.printf "reachable states: %d\n%!"
+    (Mdp.Explore.num_states inst.LR.Proof.texpl);
+  (match LR.Proof.invariant_topo inst with
+   | None ->
+     Printf.printf "Lemma 6.1 (generalized): holds on every reachable state\n%!"
+   | Some s -> Format.printf "Lemma 6.1 VIOLATED at %a@." LR.State.pp s);
+  List.iter
+    (fun a ->
+       Format.printf "%-5s attained %s (%s)@." a.LR.Proof.label
+         (Q.to_string a.LR.Proof.attained)
+         (match a.LR.Proof.claim with Some _ -> "holds" | None -> "FAILS"))
+    (LR.Proof.arrows_topo inst);
+  (match LR.Proof.composed_topo inst with
+   | Ok claim -> Format.printf "composed: %a@." Core.Claim.pp claim
+   | Error e -> Printf.printf "composition failed: %s\n" e);
+  Printf.printf "direct 13-unit minimum: %s; worst expected time: %.3f\n"
+    (Q.to_string (LR.Proof.direct_bound_topo inst))
+    (LR.Proof.max_expected_time_topo inst)
+
+let check_lr n g k =
+  Printf.printf "Lehmann-Rabin, n=%d g=%d k=%d\n%!" n g k;
+  let inst = LR.Proof.build ~n ~g ~k () in
+  Printf.printf "reachable states: %d\n%!"
+    (Mdp.Explore.num_states inst.LR.Proof.expl);
+  (match LR.Invariant.check inst.LR.Proof.expl with
+   | None -> Printf.printf "Lemma 6.1: holds on every reachable state\n%!"
+   | Some s ->
+     Format.printf "Lemma 6.1 VIOLATED at %a@." LR.State.pp s);
+  List.iter
+    (fun a ->
+       Format.printf "%-5s %s -%s->_%s %s : attained %s (%s)@."
+         a.LR.Proof.label
+         (Core.Pred.name a.LR.Proof.pre)
+         (Q.to_string a.LR.Proof.time) (Q.to_string a.LR.Proof.prob)
+         (Core.Pred.name a.LR.Proof.post)
+         (Q.to_string a.LR.Proof.attained)
+         (match a.LR.Proof.claim with Some _ -> "holds" | None -> "FAILS"))
+    (LR.Proof.arrows inst);
+  (match LR.Proof.composed inst with
+   | Ok claim ->
+     Format.printf "@.composed: %a@.@.%a@." Core.Claim.pp claim
+       Core.Claim.pp_derivation claim
+   | Error e -> Printf.printf "composition failed: %s\n" e);
+  Format.printf "@.expected-time derivation:@.%a@." Core.Expected.pp
+    (LR.Proof.expected_bound ());
+  Printf.printf "measured worst-case expected time: %.3f\n"
+    (LR.Proof.max_expected_time inst)
+
+let check_election n g k =
+  ignore g; ignore k;
+  Printf.printf "Leader election, n=%d\n%!" n;
+  let inst = IR.Proof.build ~n () in
+  Printf.printf "reachable states: %d\n%!"
+    (Mdp.Explore.num_states inst.IR.Proof.expl);
+  List.iter
+    (fun a ->
+       Format.printf "%-4s attained %s (%s)@." a.IR.Proof.label
+         (Q.to_string a.IR.Proof.attained)
+         (match a.IR.Proof.claim with Some _ -> "holds" | None -> "FAILS"))
+    (IR.Proof.arrows inst);
+  (match IR.Proof.composed inst with
+   | Ok claim -> Format.printf "composed: %a@." Core.Claim.pp claim
+   | Error e -> Printf.printf "composition failed: %s\n" e);
+  Printf.printf "expected bound: %s; measured worst case: %.3f\n"
+    (Q.to_string (Core.Expected.value (IR.Proof.expected_bound ~n)))
+    (IR.Proof.max_expected_time inst)
+
+let check_coin n bound =
+  Printf.printf "Shared coin, n=%d barrier=±%d\n%!" n bound;
+  let inst = SC.Proof.build ~n ~bound () in
+  Printf.printf "reachable states: %d\n%!"
+    (Mdp.Explore.num_states inst.SC.Proof.expl);
+  List.iter
+    (fun a ->
+       Format.printf "%-4s attained %s (%s)@." a.SC.Proof.label
+         (Q.to_string a.SC.Proof.attained)
+         (match a.SC.Proof.claim with Some _ -> "holds" | None -> "FAILS"))
+    (SC.Proof.arrows inst);
+  (match SC.Proof.composed inst with
+   | Ok claim -> Format.printf "composed: %a@." Core.Claim.pp claim
+   | Error e -> Printf.printf "composition failed: %s\n" e);
+  Printf.printf
+    "direct minimum within %d: %s\nexpected time: exact %.3f vs B^2/n = \
+     %.3f\n"
+    bound
+    (Q.to_string (SC.Proof.direct_bound inst))
+    (SC.Proof.expected_exact inst)
+    (SC.Proof.expected_theory inst)
+
+let check_consensus n cap =
+  let f = (n - 1) / 2 in
+  let initial = Array.init n (fun i -> i = n - 1) in
+  Printf.printf "Ben-Or consensus, n=%d f=%d cap=%d rounds, mixed start\n%!"
+    n f cap;
+  let inst = BO.Proof.build ~n ~f ~cap ~initial () in
+  Printf.printf "reachable states: %d\n%!"
+    (Mdp.Explore.num_states inst.BO.Proof.expl);
+  Printf.printf "agreement: %s\n"
+    (match BO.Proof.agreement_violation inst with
+     | None -> "holds" | Some _ -> "VIOLATED");
+  List.iteri
+    (fun idx q ->
+       Printf.printf "min P[decided within %d round(s)] = %s\n" (idx + 1)
+         (Q.to_string q))
+    (BO.Proof.decision_curve inst
+       ~rounds:(List.init cap (fun r -> r + 1)))
+
+let system_arg =
+  let parse = function
+    | "lr" | "lehmann-rabin" | "dining" -> Ok `Lr
+    | "election" | "itai-rodeh" -> Ok `Election
+    | "coin" | "shared-coin" -> Ok `Coin
+    | "consensus" | "ben-or" -> Ok `Consensus
+    | s -> Error (`Msg (Printf.sprintf "unknown system %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+       | `Lr -> "lr" | `Election -> "election" | `Coin -> "coin"
+       | `Consensus -> "consensus")
+  in
+  Arg.(required
+       & pos 0 (some (conv (parse, print))) None
+       & info [] ~docv:"SYSTEM"
+           ~doc:"lr (dining philosophers), election, coin, or consensus.")
+
+let topology_arg =
+  Arg.(value & opt (some string) None
+       & info [ "topology" ] ~docv:"SHAPE"
+           ~doc:"For lr: ring (default), line, or star.")
+
+let bound_arg =
+  Arg.(value & opt int 4
+       & info [ "bound" ] ~docv:"B" ~doc:"For coin: the decision barrier.")
+
+let cap_arg =
+  Arg.(value & opt int 2
+       & info [ "cap" ] ~docv:"R"
+           ~doc:"For consensus: number of rounds modelled.")
+
+let check_cmd =
+  let run system n g k topology bound cap =
+    match system with
+    | `Lr ->
+      (match topology with
+       | None | Some "ring" -> check_lr n g k
+       | Some "line" -> check_lr_topo (LR.Topology.line n) g k
+       | Some "star" -> check_lr_topo (LR.Topology.star n) g k
+       | Some other -> failwith (Printf.sprintf "unknown topology %S" other))
+    | `Election -> check_election n g k
+    | `Coin -> check_coin n bound
+    | `Consensus -> check_consensus n cap
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustively verify the phase statements of a case study.")
+    Term.(const run $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg
+          $ topology_arg $ bound_arg $ cap_arg)
+
+(* ----------------------------------------------------------------- *)
+(* simulate *)
+
+let simulate system n scheduler trials seed within =
+  match system with
+  | `Lr ->
+    let params = { LR.Automaton.n; g = 1; k = 1 } in
+    let pa = LR.Automaton.make params in
+    let sched =
+      match List.assoc_opt scheduler (LR.Schedulers.all pa) with
+      | Some s -> s
+      | None -> failwith (Printf.sprintf "unknown scheduler %S" scheduler)
+    in
+    let setup =
+      { Sim.Monte_carlo.pa; scheduler = sched;
+        duration = LR.Automaton.duration;
+        start = LR.State.all_trying ~n ~g:1 ~k:1 }
+    in
+    let target = Core.Pred.mem LR.Regions.c in
+    (match within with
+     | Some t ->
+       let prop =
+         Sim.Monte_carlo.estimate_reach setup ~target ~within:t ~trials ~seed
+       in
+       let lo, hi = Proba.Stat.Proportion.wilson_ci prop in
+       Printf.printf
+         "P[some process critical within %d] ~ %.4f  (95%% CI [%.4f, %.4f], \
+          %d trials, scheduler %s)\n"
+         t
+         (Proba.Stat.Proportion.estimate prop)
+         lo hi trials scheduler
+     | None ->
+       let summary, missed =
+         Sim.Monte_carlo.estimate_time setup ~target ~trials ~seed ()
+       in
+       let lo, hi = Proba.Stat.Summary.mean_ci summary in
+       Printf.printf
+         "E[time to critical] ~ %.3f  (95%% CI [%.3f, %.3f], %d trials, %d \
+          missed, scheduler %s; paper bound 63)\n"
+         (Proba.Stat.Summary.mean summary)
+         lo hi trials missed scheduler)
+  | `Consensus ->
+    let f = (n - 1) / 2 in
+    let params = { BO.Automaton.n; f; cap = 50; g = 1; k = 1 } in
+    let initial = Array.init n (fun i -> i = n - 1) in
+    let pa = BO.Automaton.make ~initial params in
+    let setup =
+      { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+        duration = BO.Automaton.duration;
+        start = BO.Automaton.start params initial }
+    in
+    ignore within;
+    let summary, missed =
+      Sim.Monte_carlo.estimate_time setup ~target:BO.Automaton.some_decided
+        ~trials ~seed ()
+    in
+    Printf.printf
+      "E[decision time] ~ %.3f  (%d trials, %d missed; mixed start, \
+       uniform scheduler)\n"
+      (Proba.Stat.Summary.mean summary) trials missed
+  | `Coin ->
+    let params = { SC.Automaton.n; bound = 4; g = 1; k = 1 } in
+    let pa = SC.Automaton.make params in
+    let setup =
+      { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+        duration = SC.Automaton.duration; start = SC.Automaton.start params }
+    in
+    let summary, missed =
+      Sim.Monte_carlo.estimate_time setup
+        ~target:(SC.Automaton.decided params) ~trials ~seed ()
+    in
+    ignore within;
+    Printf.printf
+      "E[decision time] ~ %.3f  (%d trials, %d missed; B^2/n = %.3f)\n"
+      (Proba.Stat.Summary.mean summary)
+      trials missed
+      (SC.Proof.expected_theory
+         { SC.Proof.params; expl = Mdp.Explore.run pa })
+  | `Election ->
+    let params = { IR.Automaton.n; g = 1; k = 1 } in
+    let pa = IR.Automaton.make params in
+    let setup =
+      { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+        duration = IR.Automaton.duration; start = IR.Automaton.start params }
+    in
+    let summary, missed =
+      Sim.Monte_carlo.estimate_time setup ~target:IR.Automaton.leader_elected
+        ~trials ~seed ()
+    in
+    Printf.printf
+      "E[election time] ~ %.3f  (%d trials, %d missed; derived bound %d)\n"
+      (Proba.Stat.Summary.mean summary)
+      trials missed
+      (2 * (n - 1))
+
+let simulate_cmd =
+  let scheduler =
+    Arg.(value & opt string "uniform"
+         & info [ "scheduler" ] ~docv:"NAME"
+             ~doc:"uniform, eager, delayer or starver (lr only).")
+  in
+  let trials =
+    Arg.(value & opt int 2000
+         & info [ "trials" ] ~docv:"T" ~doc:"Number of Monte Carlo trials.")
+  in
+  let seed =
+    Arg.(value & opt int 1994 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let within =
+    Arg.(value & opt (some int) None
+         & info [ "within" ] ~docv:"TIME"
+             ~doc:"Estimate P[reach within TIME] instead of expected time.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte Carlo estimation on large rings.")
+    Term.(const simulate $ system_arg $ n_arg ~default:8 $ scheduler $ trials
+          $ seed $ within)
+
+(* ----------------------------------------------------------------- *)
+(* export-dot *)
+
+let export_dot system n bound output =
+  let write expl highlight =
+    let dot = Mdp.Dot.to_string expl ~max_states:2000 ~highlight () in
+    match output with
+    | None -> print_string dot
+    | Some path ->
+      let oc = open_out path in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s (%d states)\n" path
+        (Mdp.Explore.num_states expl)
+  in
+  match system with
+  | `Lr ->
+    let inst = LR.Proof.build ~n () in
+    write inst.LR.Proof.expl (Core.Pred.mem LR.Regions.c)
+  | `Election ->
+    let inst = IR.Proof.build ~n () in
+    write inst.IR.Proof.expl IR.Automaton.leader_elected
+  | `Coin ->
+    let inst = SC.Proof.build ~n ~bound () in
+    write inst.SC.Proof.expl (SC.Automaton.decided inst.SC.Proof.params)
+  | `Consensus ->
+    let f = (n - 1) / 2 in
+    let inst =
+      BO.Proof.build ~n ~f ~cap:1 ~initial:(Array.make n false) ()
+    in
+    write inst.BO.Proof.expl BO.Automaton.some_decided
+
+let export_dot_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "export-dot"
+       ~doc:"Export a small instance's MDP as a Graphviz graph \
+             (target states highlighted).")
+    Term.(const export_dot $ system_arg $ n_arg ~default:2 $ bound_arg
+          $ output)
+
+(* ----------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "proving time bounds for randomized distributed algorithms \
+     (Lynch-Saias-Segala, PODC'94): exhaustive checking, proof \
+     composition and simulation"
+  in
+  let info = Cmd.info "prtb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ experiments_cmd; check_cmd; simulate_cmd; export_dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/coin_walk.ml: Array Core Format List Mdp Option Printf Proba Shared_coin Sys

@@ -1,0 +1,1 @@
+examples/consensus.ml: Ben_or Core Format List Mdp Printf Proba

@@ -1,0 +1,1 @@
+examples/dining.ml: Array Core Format Lehmann_rabin List Mdp Printf Proba Sim Sys

@@ -1,0 +1,1 @@
+examples/election.ml: Array Core Format Itai_rodeh List Mdp Printf Proba Sim Sys

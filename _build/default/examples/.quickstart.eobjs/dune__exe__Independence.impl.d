@@ -1,0 +1,1 @@
+examples/independence.ml: Core Experiments Printf Proba

@@ -1,0 +1,1 @@
+examples/independence.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format Mdp Printf Proba Sim

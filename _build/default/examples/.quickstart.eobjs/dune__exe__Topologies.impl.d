@@ -1,0 +1,1 @@
+examples/topologies.ml: Core Format Lehmann_rabin List Mdp Printf Proba

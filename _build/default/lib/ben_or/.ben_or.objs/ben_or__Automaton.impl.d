@@ -1,0 +1,1 @@
+lib/ben_or/automaton.ml: Array Bool Core Format List Option Proba String

@@ -1,0 +1,1 @@
+lib/ben_or/proof.ml: Array Automaton Bool Core List Mdp Printf Proba

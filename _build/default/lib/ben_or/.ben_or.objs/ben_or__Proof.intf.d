@@ -1,0 +1,1 @@
+lib/ben_or/proof.mli: Automaton Core Mdp Proba

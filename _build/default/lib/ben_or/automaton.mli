@@ -1,0 +1,95 @@
+(** Ben-Or's randomized binary consensus (1983): fourth case study, and
+    the first with a genuine message-passing substrate.
+
+    [n] processes, up to [f < n/2] crash faults, asynchronous
+    communication.  Each round has two phases:
+
+    - {e report}: broadcast [(r, v_i)]; collect [n - f] round-[r]
+      reports (own included); if more than [n/2] of {e all} processes
+      reported the same [w], propose [w], else propose [?];
+    - {e propose}: broadcast the proposal; collect [n - f] round-[r]
+      proposals; if at least [f + 1] of them are the same non-[?] [w],
+      {e decide} [w]; else if any non-[?] [w] appears, adopt [v := w];
+      else flip a fair coin into [v].  Proceed to round [r + 1].
+
+    Modelling (substitutions recorded in DESIGN.md):
+    - {e broadcast pool}: messages are never lost and never consumed --
+      the state records, per (round, phase, sender), what was sent; a
+      collecting process reads an {e adversary-chosen} subset of exactly
+      [n - f] available messages (its own included), which is exactly
+      asynchronous "act on the first [n - f] received";
+    - {e crashes}: an adversary action [Crash i] (available while fewer
+      than [f] processes are down) halts a process between its atomic
+      broadcast steps;
+    - {e round cap}: rounds beyond [cap] park in an absorbing [Capped]
+      state, keeping the reachable space finite.  Cutting executions
+      short can only {e lower} reachability probabilities, so
+      time-bound claims checked on the capped system are sound for the
+      real one; the agreement invariant is verified over all capped
+      executions (i.e. all behaviors of the first [cap] rounds);
+    - {e timing}: the usual digital-clock discipline -- each process
+      with an enabled protocol step must be scheduled within one time
+      unit, so a round completes within 3 units (report, collect,
+      collect).  [Crash] carries no deadline. *)
+
+type bit = bool
+
+type proposal = Value of bit | Null
+
+type stage =
+  | To_report  (** must broadcast this round's report *)
+  | Sent_report  (** waiting to collect [n - f] reports *)
+  | Sent_proposal  (** waiting to collect [n - f] proposals *)
+  | Decided of bit
+  | Capped  (** ran past the round cap (absorbing) *)
+  | Crashed
+
+type proc = {
+  v : bit;  (** current estimate (dead storage while collecting) *)
+  round : int;  (** 1-based *)
+  stage : stage;
+  c : int;
+  b : int;
+}
+
+type state = {
+  procs : proc array;
+  (* reports.(r-1).(i) / proposals.(r-1).(i): what process i broadcast
+     in round r, if anything. *)
+  reports : bit option array array;
+  proposals : proposal option array array;
+}
+
+type action =
+  | Tick
+  | Crash of int
+  | Report of int
+  | Collect_reports of int * int list  (** the senders read *)
+  | Collect_proposals of int * int list
+
+type params = { n : int; f : int; cap : int; g : int; k : int }
+
+val is_tick : action -> bool
+val duration : action -> int
+
+(** Some process has decided (on any value). *)
+val some_decided : state -> bool
+
+(** Both decided values agree (vacuously true without two deciders). *)
+val agreement : state -> bool
+
+(** No process has decided [value] (for validity checks). *)
+val never_decides : bit -> state -> bool
+
+(** All processes are [Decided], [Capped] or [Crashed]. *)
+val quiescent : state -> bool
+
+(** [start params values] with the given initial estimates.
+    Raises [Invalid_argument] if [values] has length other than [n]. *)
+val start : params -> bit array -> state
+
+(** [make ?initial params] builds the automaton starting from the
+    given estimates (all-[false] by default).
+    Raises [Invalid_argument] unless [0 <= f], [n > 2 f], [cap >= 1],
+    [g >= 1], [k >= 1]. *)
+val make : ?initial:bit array -> params -> (state, action) Core.Pa.t

@@ -1,0 +1,71 @@
+module Q = Proba.Rational
+
+type instance = {
+  params : Automaton.params;
+  initial : Automaton.bit array;
+  expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+}
+
+let build ?max_states ?(g = 1) ?(k = 1) ~n ~f ~cap ~initial () =
+  let params = { Automaton.n; f; cap; g; k } in
+  let pa = Automaton.make ~initial params in
+  { params; initial; expl = Mdp.Explore.run ?max_states pa }
+
+let agreement_violation inst =
+  Mdp.Explore.check_invariant inst.expl Automaton.agreement
+
+let validity_violation inst =
+  let unanimous v = Array.for_all (Bool.equal v) inst.initial in
+  if unanimous true then
+    Mdp.Explore.check_invariant inst.expl (Automaton.never_decides false)
+  else if unanimous false then
+    Mdp.Explore.check_invariant inst.expl (Automaton.never_decides true)
+  else None
+
+type arrow = {
+  label : string;
+  time : Q.t;
+  prob : Q.t;
+  attained : Q.t;
+  claim : Automaton.state Core.Claim.t option;
+}
+
+let init_pred inst =
+  let start = Automaton.start inst.params inst.initial in
+  Core.Pred.make "Init" (fun s -> s = start)
+
+let decided_pred =
+  Core.Pred.make "Decided" Automaton.some_decided
+
+let decision_arrow inst ~rounds ~prob =
+  let time = Q.of_int (3 * rounds) in
+  let result =
+    Mdp.Checker.check_arrow inst.expl ~is_tick:Automaton.is_tick
+      ~granularity:inst.params.Automaton.g ~schema:Core.Schema.unit_time
+      ~pre:(init_pred inst) ~post:decided_pred ~time ~prob
+  in
+  { label = Printf.sprintf "decide within %d round(s)" rounds;
+    time; prob;
+    attained = result.Mdp.Checker.attained;
+    claim = result.Mdp.Checker.claim }
+
+let decision_curve inst ~rounds =
+  let target = Mdp.Explore.indicator inst.expl decided_pred in
+  let i = List.hd (Mdp.Explore.start_indices inst.expl) in
+  List.map
+    (fun r ->
+       let ticks =
+         Core.Timed.within ~granularity:inst.params.Automaton.g
+           ~time:(Q.of_int (3 * r))
+       in
+       let v =
+         Mdp.Finite_horizon.min_reach inst.expl ~is_tick:Automaton.is_tick
+           ~target ~ticks
+       in
+       v.(i))
+    rounds
+
+let capped_liveness inst =
+  let target = Mdp.Explore.indicator inst.expl decided_pred in
+  let always = Mdp.Qualitative.always_reaches inst.expl ~target in
+  always.(List.hd (Mdp.Explore.start_indices inst.expl))

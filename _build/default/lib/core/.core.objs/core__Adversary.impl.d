@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Exec List Pa Proba

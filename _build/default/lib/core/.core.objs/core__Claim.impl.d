@@ -1,0 +1,1 @@
+lib/core/claim.ml: Format Inclusion List Pred Printf Proba Schema

@@ -1,0 +1,1 @@
+lib/core/claim.mli: Format Inclusion Pred Proba Schema

@@ -1,0 +1,1 @@
+lib/core/event.ml: Exec List Pa Pred Printf Proba String

@@ -1,0 +1,1 @@
+lib/core/exec_automaton.ml: Event Exec List Pa Printf Proba

@@ -1,0 +1,1 @@
+lib/core/exec_automaton.mli: Adversary Event Exec Pa Proba

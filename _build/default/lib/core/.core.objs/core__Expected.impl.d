@@ -1,0 +1,1 @@
+lib/core/expected.ml: Claim Format List Pred Printf Proba

@@ -1,0 +1,1 @@
+lib/core/inclusion.ml: Format List Pred Printf

@@ -1,0 +1,1 @@
+lib/core/pa.ml: Format Hashtbl List Proba

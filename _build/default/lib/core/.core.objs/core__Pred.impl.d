@@ -1,0 +1,1 @@
+lib/core/pred.ml: Format List Printf String

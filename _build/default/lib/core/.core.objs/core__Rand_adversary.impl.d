@@ -1,0 +1,1 @@
+lib/core/rand_adversary.ml: Exec Exec_automaton List Option Pa Proba

@@ -1,0 +1,1 @@
+lib/core/rand_adversary.mli: Adversary Exec Exec_automaton Pa Proba

@@ -1,0 +1,1 @@
+lib/core/timed.ml: Exec Format List Pa Printf Proba

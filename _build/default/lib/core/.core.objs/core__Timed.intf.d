@@ -1,0 +1,1 @@
+lib/core/timed.mli: Exec Format Pa Proba

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Event Exec Exec_automaton List Proba

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Exec Exec_automaton Proba

@@ -1,0 +1,39 @@
+type ('s, 'a) t = ('s, 'a) Exec.t -> ('s, 'a) Pa.step option
+
+let memoryless f frag = f (Exec.lstate frag)
+
+let first_enabled m =
+  memoryless (fun s ->
+      match Pa.enabled m s with [] -> None | step :: _ -> Some step)
+
+let halt _ = None
+
+let by_priority m rank =
+  memoryless (fun s ->
+      match Pa.enabled m s with
+      | [] -> None
+      | first :: _ as steps ->
+        let better best step =
+          if rank s step.Pa.action < rank s best.Pa.action then step else best
+        in
+        Some (List.fold_left better first steps))
+
+let cutoff n adv frag = if Exec.length frag >= n then None else adv frag
+
+let shift ?equal prefix adv frag = adv (Exec.concat ?equal prefix frag)
+
+let well_formed m adv frag =
+  match adv frag with
+  | None -> true
+  | Some step ->
+    let s = Exec.lstate frag in
+    let matches enabled_step =
+      Pa.equal_action m enabled_step.Pa.action step.Pa.action
+      && List.for_all
+           (fun (target, w) ->
+              Proba.Rational.equal w
+                (Proba.Dist.prob enabled_step.Pa.dist
+                   (Pa.equal_state m target)))
+           (Proba.Dist.support step.Pa.dist)
+    in
+    List.exists matches (Pa.enabled m s)

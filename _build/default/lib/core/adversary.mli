@@ -1,0 +1,50 @@
+(** Adversaries (Definition 2.2) and adversary schemas (Definition 2.6).
+
+    An adversary for [M] is a function taking a finite execution fragment
+    and returning either nothing or one of the steps of [M] enabled at
+    its last state.  Adversaries here are deterministic, as in the paper
+    (which ignores randomized adversaries).
+
+    An adversary {e schema} is a set of adversaries.  Two representations
+    coexist in this library:
+    - for {e exhaustive} verification, a schema is encoded structurally
+      in the automaton (e.g. the digital-clock construction makes every
+      scheduler of the clocked automaton a Unit-Time adversary), and the
+      MDP engine quantifies over all of them;
+    - for {e simulation}, a schema is sampled through concrete adversary
+      values built with the combinators below.
+
+    Execution closure (Definition 3.3) is a property of schemas used by
+    the composability theorem; {!Claim.compose} records it as a premise
+    of the derivation. *)
+
+type ('s, 'a) t = ('s, 'a) Exec.t -> ('s, 'a) Pa.step option
+
+(** [memoryless f] ignores history and chooses from the last state. *)
+val memoryless : ('s -> ('s, 'a) Pa.step option) -> ('s, 'a) t
+
+(** [first_enabled m] always picks the first enabled step (a simple
+    deterministic scheduler). *)
+val first_enabled : ('s, 'a) Pa.t -> ('s, 'a) t
+
+(** [halt] always stops. *)
+val halt : ('s, 'a) t
+
+(** [by_priority m rank] picks, among enabled steps, one minimizing
+    [rank state action]; stops when nothing is enabled. *)
+val by_priority : ('s, 'a) Pa.t -> ('s -> 'a -> int) -> ('s, 'a) t
+
+(** [cutoff n adv] behaves like [adv] for the first [n] steps of history
+    and then halts.  Useful to make unfoldings finite. *)
+val cutoff : int -> ('s, 'a) t -> ('s, 'a) t
+
+(** [shift prefix adv] is the adversary [A'] whose existence execution
+    closure demands: [A' alpha' = adv (prefix ^ alpha')].  Together with
+    {!Exec.concat} this is the paper's [A'(alpha') = A(alpha alpha')]. *)
+val shift :
+  ?equal:('s -> 's -> bool) -> ('s, 'a) Exec.t -> ('s, 'a) t -> ('s, 'a) t
+
+(** [well_formed m adv frag] checks the adversary obligation: the
+    returned step must be enabled at [lstate frag] (compared up to action
+    equality and distribution support inclusion). *)
+val well_formed : ('s, 'a) Pa.t -> ('s, 'a) t -> ('s, 'a) Exec.t -> bool

@@ -1,0 +1,145 @@
+module Q = Proba.Rational
+
+type 's t = {
+  pre : 's Pred.t;
+  post : 's Pred.t;
+  time : Q.t;
+  prob : Q.t;
+  schema : Schema.t;
+  derivation : 's derivation;
+}
+
+and 's derivation =
+  | Checked of string
+  | Axiom of string
+  | Trivial of 's Inclusion.t
+  | Compose of 's t * 's t
+  | Union of 's t * 's Pred.t
+  | Weaken_prob of 's t
+  | Relax_time of 's t
+  | Strengthen_pre of 's t * 's Inclusion.t
+  | Weaken_post of 's t * 's Inclusion.t
+
+exception Rule_violation of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Rule_violation s)) fmt
+
+let pre c = c.pre
+let post c = c.post
+let time c = c.time
+let prob c = c.prob
+let schema c = c.schema
+
+let rec fully_verified c =
+  match c.derivation with
+  | Checked _ -> true
+  | Axiom _ -> false
+  | Trivial incl -> not (Inclusion.is_axiom incl)
+  | Compose (a, b) -> fully_verified a && fully_verified b
+  | Union (a, _) | Weaken_prob a | Relax_time a -> fully_verified a
+  | Strengthen_pre (a, incl) | Weaken_post (a, incl) ->
+    fully_verified a && not (Inclusion.is_axiom incl)
+
+let validate_bounds ~time ~prob =
+  if not (Q.is_probability prob) then
+    fail "probability bound %s outside [0, 1]" (Q.to_string prob);
+  if Q.sign time < 0 then fail "negative time bound %s" (Q.to_string time)
+
+let checked ~evidence ~schema ~pre ~post ~time ~prob () =
+  validate_bounds ~time ~prob;
+  { pre; post; time; prob; schema; derivation = Checked evidence }
+
+let axiom ~reason ~schema ~pre ~post ~time ~prob () =
+  validate_bounds ~time ~prob;
+  { pre; post; time; prob; schema; derivation = Axiom reason }
+
+let compose c1 c2 =
+  if not (Schema.same c1.schema c2.schema) then
+    fail "compose: schemas differ (%s vs %s)" (Schema.name c1.schema)
+      (Schema.name c2.schema);
+  if not (Schema.execution_closed c1.schema) then
+    fail "compose: schema %s is not execution closed (Theorem 3.4 premise)"
+      (Schema.name c1.schema);
+  if not (Pred.same c1.post c2.pre) then
+    fail "compose: post-set %s of the first claim is not the pre-set %s of \
+          the second" (Pred.name c1.post) (Pred.name c2.pre);
+  { pre = c1.pre; post = c2.post;
+    time = Q.add c1.time c2.time;
+    prob = Q.mul c1.prob c2.prob;
+    schema = c1.schema;
+    derivation = Compose (c1, c2) }
+
+let compose_all = function
+  | [] -> fail "compose_all: empty list"
+  | c :: cs -> List.fold_left compose c cs
+
+let union c u'' =
+  { c with
+    pre = Pred.union c.pre u'';
+    post = Pred.union c.post u'';
+    derivation = Union (c, u'') }
+
+let weaken_prob c p =
+  if not (Q.is_probability p) then
+    fail "weaken_prob: %s outside [0, 1]" (Q.to_string p);
+  if Q.gt p c.prob then
+    fail "weaken_prob: %s exceeds the established bound %s" (Q.to_string p)
+      (Q.to_string c.prob);
+  { c with prob = p; derivation = Weaken_prob c }
+
+let relax_time c t =
+  if Q.lt t c.time then
+    fail "relax_time: %s is below the established bound %s" (Q.to_string t)
+      (Q.to_string c.time);
+  { c with time = t; derivation = Relax_time c }
+
+let strengthen_pre c incl =
+  if not (Pred.same (Inclusion.sup incl) c.pre) then
+    fail "strengthen_pre: inclusion targets %s, claim pre-set is %s"
+      (Pred.name (Inclusion.sup incl)) (Pred.name c.pre);
+  { c with pre = Inclusion.sub incl;
+           derivation = Strengthen_pre (c, incl) }
+
+let weaken_post c incl =
+  if not (Pred.same (Inclusion.sub incl) c.post) then
+    fail "weaken_post: inclusion starts at %s, claim post-set is %s"
+      (Pred.name (Inclusion.sub incl)) (Pred.name c.post);
+  { c with post = Inclusion.sup incl;
+           derivation = Weaken_post (c, incl) }
+
+let trivial ~schema incl =
+  { pre = Inclusion.sub incl; post = Inclusion.sup incl;
+    time = Q.zero; prob = Q.one; schema;
+    derivation = Trivial incl }
+
+let pp fmt c =
+  Format.fprintf fmt "@[%s --%s-->_%s %s  [%s]@]" (Pred.name c.pre)
+    (Q.to_string c.time) (Q.to_string c.prob) (Pred.name c.post)
+    (Schema.name c.schema)
+
+let rec pp_derivation fmt c =
+  let rule name children pp_extra =
+    Format.fprintf fmt "@[<v 2>%a@,<= %s%t" pp c name pp_extra;
+    List.iter (fun child -> Format.fprintf fmt "@,%a" pp_derivation child)
+      children;
+    Format.fprintf fmt "@]"
+  in
+  let nothing _ = () in
+  match c.derivation with
+  | Checked evidence ->
+    Format.fprintf fmt "@[%a@ [checked: %s]@]" pp c evidence
+  | Axiom reason -> Format.fprintf fmt "@[%a@ [AXIOM: %s]@]" pp c reason
+  | Trivial incl ->
+    Format.fprintf fmt "@[%a@ [trivial: %a]@]" pp c Inclusion.pp incl
+  | Compose (a, b) -> rule "Theorem 3.4 (compose)" [ a; b ] nothing
+  | Union (a, u) ->
+    rule "Proposition 3.2 (union)" [ a ] (fun fmt ->
+        Format.fprintf fmt " with %s" (Pred.name u))
+  | Weaken_prob a -> rule "weaken probability" [ a ] nothing
+  | Relax_time a -> rule "relax time" [ a ] nothing
+  | Strengthen_pre (a, incl) ->
+    rule "strengthen pre" [ a ] (fun fmt ->
+        Format.fprintf fmt " via %a" Inclusion.pp incl)
+  | Weaken_post (a, incl) ->
+    rule "weaken post" [ a ] (fun fmt ->
+        Format.fprintf fmt " via %a" Inclusion.pp incl)

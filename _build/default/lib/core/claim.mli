@@ -1,0 +1,95 @@
+(** Time-bound statements [U -t->_p U'] and the paper's proof rules
+    (Section 3).
+
+    A claim asserts: starting from any state of [pre], under every
+    adversary of [schema], with probability at least [prob] a state of
+    [post] is reached within time [time] (Definition 3.1).
+
+    Values of this type are abstract; they can only be produced by
+    - {!checked}: a leaf discharged by an external decision procedure
+      (the MDP engine in [lib/mdp]) which records its evidence,
+    - {!axiom}: an explicitly flagged assumption,
+    - the proof rules below, each the formal counterpart of a result in
+      the paper.
+
+    Consequently every claim value carries a complete derivation, and
+    {!pp_derivation} renders it as a proof tree.  Soundness rests on the
+    leaf evidence plus the paper's theorems; the rule implementations
+    only combine numbers the way the theorems allow. *)
+
+type 's t
+
+exception Rule_violation of string
+
+(** {1 Accessors} *)
+
+val pre : 's t -> 's Pred.t
+val post : 's t -> 's Pred.t
+
+(** Time bound [t] (in the time units of the underlying automaton). *)
+val time : 's t -> Proba.Rational.t
+
+(** Probability lower bound [p]. *)
+val prob : 's t -> Proba.Rational.t
+
+val schema : 's t -> Schema.t
+
+(** [true] when the derivation contains no {!axiom} leaf and no assumed
+    inclusion. *)
+val fully_verified : 's t -> bool
+
+(** {1 Leaves} *)
+
+(** [checked ~evidence ~schema ~pre ~post ~time ~prob ()] records a
+    statement established by an external checker.  Raises
+    [Rule_violation] unless [0 <= prob <= 1] and [time >= 0]. *)
+val checked :
+  evidence:string -> schema:Schema.t -> pre:'s Pred.t -> post:'s Pred.t ->
+  time:Proba.Rational.t -> prob:Proba.Rational.t -> unit -> 's t
+
+(** [axiom ~reason ...] records an assumed statement (same checks). *)
+val axiom :
+  reason:string -> schema:Schema.t -> pre:'s Pred.t -> post:'s Pred.t ->
+  time:Proba.Rational.t -> prob:Proba.Rational.t -> unit -> 's t
+
+(** {1 Proof rules} *)
+
+(** Theorem 3.4 (composability): from [U -t1->_p1 U'] and
+    [U' -t2->_p2 U''] derive [U -(t1+t2)->_(p1*p2) U''].
+    Raises [Rule_violation] unless the schemas agree and are execution
+    closed, and [post c1] is the same named predicate as [pre c2]. *)
+val compose : 's t -> 's t -> 's t
+
+(** [compose_all [c1; ...; cn]] folds {!compose} left to right. *)
+val compose_all : 's t list -> 's t
+
+(** Proposition 3.2: from [U -t->_p U'] derive
+    [U ∪ U'' -t->_p U' ∪ U'']. *)
+val union : 's t -> 's Pred.t -> 's t
+
+(** Weaken the probability bound: [p' <= p]. *)
+val weaken_prob : 's t -> Proba.Rational.t -> 's t
+
+(** Relax the time bound: [t' >= t].
+
+    Note: this is sound for the reachability events of Definition 3.1,
+    which are monotone in [t]. *)
+val relax_time : 's t -> Proba.Rational.t -> 's t
+
+(** Restrict the pre-set along a certified inclusion [U0 ⊆ pre c]. *)
+val strengthen_pre : 's t -> 's Inclusion.t -> 's t
+
+(** Enlarge the post-set along a certified inclusion [post c ⊆ U1]. *)
+val weaken_post : 's t -> 's Inclusion.t -> 's t
+
+(** [trivial ~schema incl] is [U -0->_1 U'] for a certified [U ⊆ U']
+    (starting inside the target counts as immediate arrival). *)
+val trivial : schema:Schema.t -> 's Inclusion.t -> 's t
+
+(** {1 Printing} *)
+
+(** One-line rendering ["U --t-->_p U'  [schema]"]. *)
+val pp : Format.formatter -> 's t -> unit
+
+(** Full proof tree with leaf evidence. *)
+val pp_derivation : Format.formatter -> 's t -> unit

@@ -1,0 +1,81 @@
+let product ~sync m1 m2 =
+  let enabled (s1, s2) =
+    let steps1 = Pa.enabled m1 s1 in
+    let steps2 = Pa.enabled m2 s2 in
+    let solo1 =
+      List.filter_map
+        (fun step ->
+           if sync step.Pa.action then None
+           else
+             Some
+               { Pa.action = step.Pa.action;
+                 dist = Proba.Dist.map (fun t1 -> (t1, s2)) step.Pa.dist })
+        steps1
+    in
+    let solo2 =
+      List.filter_map
+        (fun step ->
+           if sync step.Pa.action then None
+           else
+             Some
+               { Pa.action = step.Pa.action;
+                 dist = Proba.Dist.map (fun t2 -> (s1, t2)) step.Pa.dist })
+        steps2
+    in
+    let joint =
+      List.concat_map
+        (fun step1 ->
+           if not (sync step1.Pa.action) then []
+           else
+             List.filter_map
+               (fun step2 ->
+                  if Pa.equal_action m1 step1.Pa.action step2.Pa.action then
+                    Some
+                      { Pa.action = step1.Pa.action;
+                        dist = Proba.Dist.product step1.Pa.dist step2.Pa.dist }
+                  else None)
+               steps2)
+        steps1
+    in
+    joint @ solo1 @ solo2
+  in
+  let start =
+    List.concat_map
+      (fun s1 -> List.map (fun s2 -> (s1, s2)) (Pa.start m2))
+      (Pa.start m1)
+  in
+  Pa.make
+    ~equal_state:(fun (a1, a2) (b1, b2) ->
+        Pa.equal_state m1 a1 b1 && Pa.equal_state m2 a2 b2)
+    ~hash_state:(fun (a1, a2) ->
+        (Pa.hash_state m1 a1 * 65599) lxor Pa.hash_state m2 a2)
+    ~equal_action:(Pa.equal_action m1)
+    ~is_external:(Pa.is_external m1)
+    ~pp_state:(fun fmt (a1, a2) ->
+        Format.fprintf fmt "(%a, %a)" (Pa.pp_state m1) a1 (Pa.pp_state m2) a2)
+    ~pp_action:(Pa.pp_action m1)
+    ~start ~enabled ()
+
+let product_list ~sync ?pp_state ms =
+  match ms with
+  | [] -> invalid_arg "Compose.product_list: empty list"
+  | first :: rest ->
+    let lift m = Pa.map_state ~to_:(fun s -> [ s ]) ~of_:(function
+        | [ s ] -> s
+        | _ -> assert false) m
+    in
+    let join acc m =
+      let pair = product ~sync acc m in
+      Pa.map_state
+        ~to_:(fun (ss, s) -> ss @ [ s ])
+        ~of_:(fun ss ->
+            match List.rev ss with
+            | last :: rev_init -> (List.rev rev_init, last)
+            | [] -> invalid_arg "Compose.product_list: empty state")
+        pair
+    in
+    let result = List.fold_left join (lift first) rest in
+    match pp_state with
+    | None -> result
+    | Some pp ->
+      Pa.map_state ~to_:(fun s -> s) ~of_:(fun s -> s) ~pp_state:pp result

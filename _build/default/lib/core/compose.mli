@@ -1,0 +1,30 @@
+(** Parallel composition of probabilistic automata.
+
+    The underlying framework (Segala-Lynch probabilistic automata, on
+    which this paper's model is based) composes automata CSP-style:
+    designated shared actions synchronize -- both components move, and
+    their probability spaces multiply (the joint step targets the
+    product distribution) -- while all other actions interleave.
+
+    For the timed automata of this library, synchronizing on the time
+    action ([Tick]) composes two clocked components into one system in
+    which time advances jointly: this is how multi-process timed models
+    are assembled from per-process ones. *)
+
+(** [product ~sync m1 m2] composes two automata over the same action
+    type.  An action [a] with [sync a = true] is enabled in the product
+    only when both components enable it (every pairing of their
+    [a]-steps is offered to the adversary); other actions interleave.
+    State equality, hashing and printing lift componentwise. *)
+val product :
+  sync:('a -> bool) ->
+  ('s1, 'a) Pa.t -> ('s2, 'a) Pa.t -> ('s1 * 's2, 'a) Pa.t
+
+(** [product_list ~sync ~pp_state ms] folds {!product} over a non-empty
+    list of same-state-type automata, yielding states as lists (the
+    i-th component's state at index i).
+    Raises [Invalid_argument] on the empty list. *)
+val product_list :
+  sync:('a -> bool) ->
+  ?pp_state:(Format.formatter -> 's list -> unit) ->
+  ('s, 'a) Pa.t list -> ('s list, 'a) Pa.t

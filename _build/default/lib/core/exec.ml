@@ -1,0 +1,85 @@
+(* Fragments are built by repeated [snoc] during unfolding/simulation, so
+   steps are stored in reverse; [steps] materializes the forward order. *)
+
+type ('s, 'a) t = {
+  first : 's;
+  rev_steps : ('a * 's) list;
+  length : int;
+}
+
+let initial s = { first = s; rev_steps = []; length = 0 }
+
+let snoc frag a s =
+  { frag with rev_steps = (a, s) :: frag.rev_steps;
+              length = frag.length + 1 }
+
+let fstate frag = frag.first
+
+let lstate frag =
+  match frag.rev_steps with
+  | [] -> frag.first
+  | (_, s) :: _ -> s
+
+let length frag = frag.length
+let steps frag = List.rev frag.rev_steps
+let states frag = frag.first :: List.rev_map snd frag.rev_steps
+let actions frag = List.rev_map fst frag.rev_steps
+
+let concat ?(equal = ( = )) a1 a2 =
+  if not (equal (lstate a1) (fstate a2)) then
+    invalid_arg "Exec.concat: fragments do not meet";
+  { first = a1.first;
+    rev_steps = a2.rev_steps @ a1.rev_steps;
+    length = a1.length + a2.length }
+
+let is_prefix ?(equal_state = ( = )) ?(equal_action = ( = )) a1 a2 =
+  equal_state a1.first a2.first
+  && a1.length <= a2.length
+  && begin
+    let rec go s1 s2 =
+      match s1, s2 with
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | (x1, t1) :: r1, (x2, t2) :: r2 ->
+        equal_action x1 x2 && equal_state t1 t2 && go r1 r2
+    in
+    go (steps a1) (steps a2)
+  end
+
+let drop_prefix ?(equal_state = ( = )) ?(equal_action = ( = )) p a =
+  if not (is_prefix ~equal_state ~equal_action p a) then None
+  else begin
+    let rest =
+      let rec drop n l = if n = 0 then l else
+          match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+      in
+      drop p.length (steps a)
+    in
+    let suffix =
+      List.fold_left (fun acc (x, s) -> snoc acc x s) (initial (lstate p)) rest
+    in
+    Some suffix
+  end
+
+let total_time ~duration frag =
+  List.fold_left (fun acc (a, _) -> acc + duration a) 0 frag.rev_steps
+
+let find_first frag pred =
+  let rec go i = function
+    | [] -> None
+    | (a, s) :: rest -> if pred a s then Some i else go (i + 1) rest
+  in
+  go 0 (steps frag)
+
+let fold f init frag =
+  List.fold_left (fun acc (a, s) -> f acc a s) init (steps frag)
+
+let exists frag pred = List.exists (fun (a, s) -> pred a s) frag.rev_steps
+
+let pp ~pp_state ~pp_action fmt frag =
+  Format.fprintf fmt "@[<hov 2>%a" pp_state frag.first;
+  List.iter
+    (fun (a, s) ->
+       Format.fprintf fmt "@ --%a-->@ %a" pp_action a pp_state s)
+    (steps frag);
+  Format.fprintf fmt "@]"

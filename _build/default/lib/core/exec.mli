@@ -1,0 +1,72 @@
+(** Finite execution fragments (Section 2 of the paper).
+
+    An execution fragment [alpha = s0 a1 s1 a2 s2 ... an sn] is an
+    alternating sequence of states and actions, beginning and ending with
+    a state.  This module represents only the finite fragments
+    ([frag*(M)]); infinite executions appear implicitly as paths of
+    {!Exec_automaton} trees and as streams produced by the simulator. *)
+
+type ('s, 'a) t
+
+(** [initial s] is the fragment consisting of the single state [s]. *)
+val initial : 's -> ('s, 'a) t
+
+(** [snoc frag a s] extends the fragment with one step (amortized O(1)). *)
+val snoc : ('s, 'a) t -> 'a -> 's -> ('s, 'a) t
+
+(** First state [fstate]. *)
+val fstate : ('s, 'a) t -> 's
+
+(** Last state [lstate]. *)
+val lstate : ('s, 'a) t -> 's
+
+(** Number of steps (actions); [0] for a single-state fragment. *)
+val length : ('s, 'a) t -> int
+
+(** The steps in order: [(a1, s1); ...; (an, sn)]. *)
+val steps : ('s, 'a) t -> ('a * 's) list
+
+(** All states [s0; s1; ...; sn] in order. *)
+val states : ('s, 'a) t -> 's list
+
+(** All actions [a1; ...; an] in order. *)
+val actions : ('s, 'a) t -> 'a list
+
+(** [concat a1 a2] is the concatenation [a1 ^ a2]; requires
+    [lstate a1 = fstate a2] (checked with [equal], default structural).
+    Raises [Invalid_argument] otherwise. *)
+val concat : ?equal:('s -> 's -> bool) -> ('s, 'a) t -> ('s, 'a) t -> ('s, 'a) t
+
+(** [is_prefix ~equal_state ~equal_action a1 a2]: [a1 <= a2] in the
+    paper's prefix order. *)
+val is_prefix :
+  ?equal_state:('s -> 's -> bool) ->
+  ?equal_action:('a -> 'a -> bool) ->
+  ('s, 'a) t -> ('s, 'a) t -> bool
+
+(** [drop_prefix ~equal_state ~equal_action p a] returns the fragment
+    [a'] such that [a = p ^ a'], if [p] is a prefix of [a]. *)
+val drop_prefix :
+  ?equal_state:('s -> 's -> bool) ->
+  ?equal_action:('a -> 'a -> bool) ->
+  ('s, 'a) t -> ('s, 'a) t -> ('s, 'a) t option
+
+(** [total_time ~duration frag] sums [duration a] over the actions; this
+    is the elapsed time of the fragment for timed automata whose time
+    passage is carried by actions (see {!Timed}). *)
+val total_time : duration:('a -> int) -> ('s, 'a) t -> int
+
+(** [find_first frag pred] returns the index of the first step whose
+    (action, post-state) satisfies [pred]. *)
+val find_first : ('s, 'a) t -> ('a -> 's -> bool) -> int option
+
+(** [fold f init frag] folds over steps in order; [f acc a s]. *)
+val fold : ('b -> 'a -> 's -> 'b) -> 'b -> ('s, 'a) t -> 'b
+
+(** [exists frag pred] tests [pred a s] over the steps. *)
+val exists : ('s, 'a) t -> ('a -> 's -> bool) -> bool
+
+val pp :
+  pp_state:(Format.formatter -> 's -> unit) ->
+  pp_action:(Format.formatter -> 'a -> unit) ->
+  Format.formatter -> ('s, 'a) t -> unit

@@ -1,0 +1,73 @@
+module Q = Proba.Rational
+
+exception Ill_formed of string
+
+type branch = { prob : Q.t; time : Q.t; loops : bool }
+
+type t = { value : Q.t; label : string; children : t list; detail : string }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let branch ~prob ~time ~loops = { prob; time; loops }
+
+let solve_loop ~label branches =
+  if branches = [] then fail "solve_loop: no branches";
+  List.iter
+    (fun b ->
+       if not (Q.is_probability b.prob) then
+         fail "solve_loop: branch probability %s outside [0, 1]"
+           (Q.to_string b.prob);
+       if Q.sign b.time < 0 then
+         fail "solve_loop: negative branch time %s" (Q.to_string b.time))
+    branches;
+  let total = Q.sum (List.map (fun b -> b.prob) branches) in
+  if not (Q.equal total Q.one) then
+    fail "solve_loop: branch probabilities sum to %s, not 1"
+      (Q.to_string total);
+  let direct_cost =
+    Q.sum (List.map (fun b -> Q.mul b.prob b.time) branches)
+  in
+  let loop_prob =
+    Q.sum
+      (List.filter_map (fun b -> if b.loops then Some b.prob else None)
+         branches)
+  in
+  if Q.geq loop_prob Q.one then
+    fail "solve_loop: looping probability %s is not < 1"
+      (Q.to_string loop_prob);
+  let value = Q.div direct_cost (Q.sub Q.one loop_prob) in
+  let detail =
+    Printf.sprintf "E = %s / (1 - %s) over %d branches"
+      (Q.to_string direct_cost) (Q.to_string loop_prob)
+      (List.length branches)
+  in
+  { value; label; children = []; detail }
+
+let constant ~label v =
+  if Q.sign v < 0 then fail "constant: negative bound %s" (Q.to_string v);
+  { value = v; label; children = []; detail = "constant" }
+
+let of_claim c =
+  let p = Claim.prob c in
+  if Q.is_zero p then fail "of_claim: probability bound is zero";
+  let value = Q.div (Claim.time c) p in
+  let detail =
+    Format.asprintf
+      "geometric trials over %a (side condition: failures re-enter %s)"
+      Claim.pp c
+      (Pred.name (Claim.pre c))
+  in
+  { value; label = "E[time] <= t/p"; children = []; detail }
+
+let sum ~label bounds =
+  if bounds = [] then fail "sum: no bounds";
+  { value = Q.sum (List.map (fun b -> b.value) bounds);
+    label; children = bounds; detail = "sum of phases" }
+
+let value b = b.value
+
+let rec pp fmt b =
+  Format.fprintf fmt "@[<v 2>%s = %s  (%s)" b.label (Q.to_string b.value)
+    b.detail;
+  List.iter (fun child -> Format.fprintf fmt "@,%a" pp child) b.children;
+  Format.fprintf fmt "@]"

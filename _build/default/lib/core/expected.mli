@@ -1,0 +1,52 @@
+(** Expected-time bounds derived from phase decompositions
+    (Section 6.2 of the paper).
+
+    The paper turns the phase statements into an expected-time bound by
+    writing a one-unknown recurrence
+
+    {v V = 1/8 * 10 + 1/2 * (5 + V1) + 3/8 * (10 + V2) v}
+
+    where the looping branches restart an identically distributed
+    experiment.  {!solve_loop} solves the general form
+
+    {v E = sum_i p_i * (t_i + [loops_i] * E) v}
+
+    exactly: [E = (sum_i p_i t_i) / (1 - sum_{loops} p_i)].
+
+    A {!t} value carries its derivation so the final number (the paper's
+    60, then 63) is auditable. *)
+
+type t
+
+exception Ill_formed of string
+
+(** A branch of the recurrence: taken with probability [prob], costing
+    time [time], and, if [loops], restarting the experiment. *)
+type branch = { prob : Proba.Rational.t; time : Proba.Rational.t; loops : bool }
+
+(** [branch ~prob ~time ~loops] constructs a branch. *)
+val branch :
+  prob:Proba.Rational.t -> time:Proba.Rational.t -> loops:bool -> branch
+
+(** [solve_loop ~label branches] solves the recurrence.  Raises
+    [Ill_formed] unless the probabilities are in [0,1] and sum to 1,
+    times are non-negative, and the looping probability is < 1. *)
+val solve_loop : label:string -> branch list -> t
+
+(** [constant ~label v] is a fixed bound (e.g. from a deterministic
+    phase). *)
+val constant : label:string -> Proba.Rational.t -> t
+
+(** [of_claim c] is the geometric-trials bound [time c / prob c],
+    recording the side condition that failed attempts re-enter [pre c].
+    Raises [Ill_formed] if [prob c] is zero. *)
+val of_claim : 's Claim.t -> t
+
+(** [sum ~label bounds] adds expected-time bounds for consecutive
+    phases (linearity of expectation). *)
+val sum : label:string -> t list -> t
+
+val value : t -> Proba.Rational.t
+
+(** Renders the derivation. *)
+val pp : Format.formatter -> t -> unit

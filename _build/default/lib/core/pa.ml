@@ -1,0 +1,60 @@
+type ('s, 'a) step = { action : 'a; dist : 's Proba.Dist.t }
+
+type ('s, 'a) t = {
+  start : 's list;
+  enabled : 's -> ('s, 'a) step list;
+  equal_state : 's -> 's -> bool;
+  hash_state : 's -> int;
+  equal_action : 'a -> 'a -> bool;
+  is_external : 'a -> bool;
+  pp_state : Format.formatter -> 's -> unit;
+  pp_action : Format.formatter -> 'a -> unit;
+}
+
+let default_pp fmt _ = Format.pp_print_string fmt "<abstr>"
+
+let make ?(equal_state = ( = )) ?(hash_state = Hashtbl.hash)
+    ?(equal_action = ( = )) ?(is_external = fun _ -> true)
+    ?(pp_state = default_pp) ?(pp_action = default_pp) ~start ~enabled () =
+  if start = [] then invalid_arg "Pa.make: no start states";
+  { start; enabled; equal_state; hash_state; equal_action; is_external;
+    pp_state; pp_action }
+
+let start m = m.start
+let enabled m s = m.enabled s
+let equal_state m = m.equal_state
+let hash_state m = m.hash_state
+let equal_action m = m.equal_action
+let is_external m = m.is_external
+let pp_state m = m.pp_state
+let pp_action m = m.pp_action
+
+let is_terminal m s = m.enabled s = []
+let is_deterministic_at m s = List.length (m.enabled s) <= 1
+
+let steps_with_action m s a =
+  List.filter (fun step -> m.equal_action step.action a) (m.enabled s)
+
+let map_state ~to_ ~of_ ?pp_state m =
+  let pp_state =
+    match pp_state with
+    | Some pp -> pp
+    | None -> fun fmt t -> m.pp_state fmt (of_ t)
+  in
+  { start = List.map to_ m.start;
+    enabled =
+      (fun t ->
+         List.map
+           (fun step -> { step with dist = Proba.Dist.map to_ step.dist })
+           (m.enabled (of_ t)));
+    equal_state = (fun a b -> m.equal_state (of_ a) (of_ b));
+    hash_state = (fun t -> m.hash_state (of_ t));
+    equal_action = m.equal_action;
+    is_external = m.is_external;
+    pp_state;
+    pp_action = m.pp_action }
+
+let restrict m keep =
+  { m with
+    enabled =
+      (fun s -> List.filter (fun step -> keep s step.action) (m.enabled s)) }

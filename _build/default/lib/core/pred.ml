@@ -1,0 +1,24 @@
+type 's t = { name : string; mem : 's -> bool }
+
+let make name mem = { name; mem }
+let name p = p.name
+let mem p s = p.mem s
+
+let union p q =
+  { name = Printf.sprintf "%s ∪ %s" p.name q.name;
+    mem = (fun s -> p.mem s || q.mem s) }
+
+let inter p q =
+  { name = Printf.sprintf "%s ∩ %s" p.name q.name;
+    mem = (fun s -> p.mem s && q.mem s) }
+
+let complement p =
+  { name = Printf.sprintf "¬%s" p.name; mem = (fun s -> not (p.mem s)) }
+
+let union_all = function
+  | [] -> invalid_arg "Pred.union_all: empty list"
+  | p :: ps -> List.fold_left union p ps
+
+let same p q = String.equal p.name q.name
+
+let pp fmt p = Format.pp_print_string fmt p.name

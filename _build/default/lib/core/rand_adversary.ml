@@ -1,0 +1,58 @@
+module Q = Proba.Rational
+module D = Proba.Dist
+
+type ('s, 'a) t = ('s, 'a) Exec.t -> ('s, 'a) Pa.step D.t option
+
+let of_deterministic adv frag =
+  Option.map D.point (adv frag)
+
+let mix p a1 a2 frag =
+  if not (Q.is_probability p) then
+    raise (D.Not_a_distribution (Q.to_string p));
+  match a1 frag, a2 frag with
+  | None, None -> None
+  | Some d, None | None, Some d -> Some d
+  | Some d1, Some d2 ->
+    if Q.is_zero p then Some d2
+    else if Q.equal p Q.one then Some d1
+    else begin
+      let weight w d = List.map (fun (x, q) -> (x, Q.mul w q)) (D.support d) in
+      Some
+        (D.make ~equal:(fun a b -> a == b)
+           (weight p d1 @ weight (Q.sub Q.one p) d2))
+    end
+
+let uniform_enabled m frag =
+  match Pa.enabled m (Exec.lstate frag) with
+  | [] -> None
+  | steps -> Some (D.uniform steps)
+
+let unfold _m adv s ~max_depth =
+  let rec build frag depth : ('s, 'a) Exec_automaton.node =
+    if depth >= max_depth then
+      { Exec_automaton.frag; kind = Exec_automaton.Truncated }
+    else begin
+      match adv frag with
+      | None -> { Exec_automaton.frag; kind = Exec_automaton.Terminal }
+      | Some choice ->
+        let children =
+          List.concat_map
+            (fun (step, q) ->
+               List.map
+                 (fun (target, w) ->
+                    ( Q.mul q w,
+                      build (Exec.snoc frag step.Pa.action target) (depth + 1)
+                    ))
+                 (D.support step.Pa.dist))
+            (D.support choice)
+        in
+        let label =
+          match D.support choice with
+          | (step, _) :: _ -> step.Pa.action
+          | [] -> assert false
+        in
+        { Exec_automaton.frag;
+          kind = Exec_automaton.Step (label, children) }
+    end
+  in
+  build (Exec.initial s) 0

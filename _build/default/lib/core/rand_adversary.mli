@@ -1,0 +1,46 @@
+(** Randomized adversaries.
+
+    The paper restricts attention to deterministic adversaries
+    (footnote 1: "we ignore the possibility that the adversary itself
+    uses randomness"); the full framework it builds on allows the
+    adversary to pick a {e distribution} over enabled steps.  This
+    module provides that generalization: a randomized adversary maps a
+    finite execution fragment to a distribution over enabled steps (or
+    halts).
+
+    For the reachability-style properties this library checks, allowing
+    adversary randomness changes nothing: the extremal values are
+    attained by deterministic adversaries (the minimum of an affine
+    function over a simplex sits at a vertex).  {!Exec_automaton_r}
+    makes that testable by unfolding a randomized adversary into the
+    same kind of tree, where the adversary's coin is just another
+    probabilistic branch. *)
+
+type ('s, 'a) t = ('s, 'a) Exec.t -> ('s, 'a) Pa.step Proba.Dist.t option
+
+(** Every deterministic adversary is a randomized one. *)
+val of_deterministic : ('s, 'a) Adversary.t -> ('s, 'a) t
+
+(** [mix p a1 a2] plays [a1] with probability [p] and [a2] otherwise,
+    independently at every decision point.  When exactly one of the two
+    halts, the mixture follows the other; it halts only when both do.
+    Raises [Proba.Dist.Not_a_distribution] unless [0 <= p <= 1]. *)
+val mix :
+  Proba.Rational.t -> ('s, 'a) t -> ('s, 'a) t -> ('s, 'a) t
+
+(** [uniform_enabled m] randomizes uniformly over all enabled steps. *)
+val uniform_enabled : ('s, 'a) Pa.t -> ('s, 'a) t
+
+(** [unfold m adv s ~max_depth] is the execution-automaton analogue for
+    randomized adversaries: the adversary's choice distribution and the
+    chosen step's target distribution are combined into a single
+    probabilistic branching, so the resulting tree supports the same
+    event-probability evaluation.
+
+    Each child's {e fragment} records the action of the step that led
+    to it, which is what event schemas inspect; the node's own action
+    label (one label per node in the tree type) is only cosmetic and
+    carries the first chosen step's action. *)
+val unfold :
+  ('s, 'a) Pa.t -> ('s, 'a) t -> 's -> max_depth:int ->
+  ('s, 'a) Exec_automaton.node

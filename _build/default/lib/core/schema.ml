@@ -1,0 +1,12 @@
+type t = { name : string; execution_closed : bool }
+
+let make ~execution_closed name = { name; execution_closed }
+
+let name s = s.name
+let execution_closed s = s.execution_closed
+let same a b = String.equal a.name b.name
+
+let all = make ~execution_closed:true "Advs"
+let unit_time = make ~execution_closed:true "Unit-Time"
+
+let pp fmt s = Format.pp_print_string fmt s.name

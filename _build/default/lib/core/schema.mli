@@ -1,0 +1,35 @@
+(** Adversary-schema metadata for the proof rules.
+
+    A schema value names a set of adversaries (Definition 2.6) and
+    records whether it is {e execution closed} (Definition 3.3): for
+    every adversary [A] in the schema and fragment [alpha], some [A'] in
+    the schema satisfies [A'(alpha') = A(alpha ^ alpha')].  Execution
+    closure is the premise of the composability theorem (Theorem 3.4);
+    {!Claim.compose} refuses to fire without it.
+
+    Whether a given schema really is execution closed is a meta-level
+    fact (the paper argues it informally for [Unit-Time]); here it is an
+    attribute set by whoever defines the schema, and recorded in proof
+    trees. *)
+
+type t
+
+(** [make ~execution_closed name] declares a schema. *)
+val make : execution_closed:bool -> string -> t
+
+val name : t -> string
+val execution_closed : t -> bool
+
+(** Schemas are identified by name. *)
+val same : t -> t -> bool
+
+(** The schema of all adversaries (execution closed: the shifted
+    adversary is again an adversary). *)
+val all : t
+
+(** The [Unit-Time] schema of Section 6.2: time grows without bound and
+    every process with an enabled non-user action takes a step within
+    time 1.  Execution closed, as argued in the paper. *)
+val unit_time : t
+
+val pp : Format.formatter -> t -> unit

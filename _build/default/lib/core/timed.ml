@@ -1,0 +1,47 @@
+module Q = Proba.Rational
+
+type 'a action = Tick | Act of 'a
+
+let equal_action eq a b =
+  match a, b with
+  | Tick, Tick -> true
+  | Act x, Act y -> eq x y
+  | Tick, Act _ | Act _, Tick -> false
+
+let duration = function Tick -> 1 | Act _ -> 0
+
+let pp_action pp fmt = function
+  | Tick -> Format.pp_print_string fmt "tick"
+  | Act a -> pp fmt a
+
+let patient m =
+  let tick_step s = { Pa.action = Tick; dist = Proba.Dist.point s } in
+  let enabled s =
+    tick_step s
+    :: List.map
+      (fun step -> { Pa.action = Act step.Pa.action; dist = step.Pa.dist })
+      (Pa.enabled m s)
+  in
+  Pa.make
+    ~equal_state:(Pa.equal_state m)
+    ~hash_state:(Pa.hash_state m)
+    ~equal_action:(equal_action (Pa.equal_action m))
+    ~is_external:(function Tick -> false | Act a -> Pa.is_external m a)
+    ~pp_state:(Pa.pp_state m)
+    ~pp_action:(pp_action (Pa.pp_action m))
+    ~start:(Pa.start m) ~enabled ()
+
+let elapsed_slots frag = Exec.total_time ~duration frag
+
+let within ~granularity ~time =
+  if granularity <= 0 then invalid_arg "Timed.within: granularity <= 0";
+  let slots = Q.mul_int time granularity in
+  if not (Proba.Bigint.equal (Q.den slots) Proba.Bigint.one) then
+    invalid_arg
+      (Printf.sprintf "Timed.within: %s time units is not a whole number \
+                       of slots at granularity %d"
+         (Q.to_string time) granularity);
+  match Proba.Bigint.to_int (Q.num slots) with
+  | Some n when n >= 0 -> n
+  | Some _ -> invalid_arg "Timed.within: negative time"
+  | None -> invalid_arg "Timed.within: time bound too large"

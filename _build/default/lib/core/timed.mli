@@ -1,0 +1,45 @@
+(** Timed probabilistic automata: the patient construction and the
+    digital-clock discipline.
+
+    The paper handles time by the {e patient construction}: add a time
+    component to states, a non-visible action [nu] for time passage, and
+    arbitrary time-passage steps everywhere.  Discretely, we carry time
+    on actions instead of states: a distinguished {!action} constructor
+    [Tick] advances time by one {e slot}, where a slot is [1/granularity]
+    of a paper time unit.  The elapsed time of a fragment is then the
+    number of [Tick]s it contains (divided by the granularity).
+
+    Adversary schemas with timing constraints (such as [Unit-Time]) are
+    encoded {e structurally}: the case-study automata carry per-process
+    countdowns and refuse to [Tick] when a ready process's countdown has
+    expired, so that {e every} scheduler of the clocked automaton is a
+    legal schema member.  This module provides the action wrapper, the
+    generic patient construction (no constraint), and duration
+    helpers. *)
+
+type 'a action = Tick | Act of 'a
+
+val equal_action : ('a -> 'a -> bool) -> 'a action -> 'a action -> bool
+
+(** Duration in slots: 1 for [Tick], 0 otherwise. *)
+val duration : 'a action -> int
+
+val pp_action :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a action -> unit
+
+(** [patient m] is the paper's patient construction, discretized: every
+    state additionally enables a [Tick] step that leaves it unchanged,
+    and the original steps are wrapped in [Act].  No timing constraint
+    is imposed, so time-bounded reachability claims against all
+    adversaries of the patient automaton are typically vacuous -- the
+    construction exists to model {e timing-unconstrained} systems and
+    for testing. *)
+val patient : ('s, 'a) Pa.t -> ('s, 'a action) Pa.t
+
+(** [elapsed_slots frag] counts [Tick]s. *)
+val elapsed_slots : ('s, 'a action) Exec.t -> int
+
+(** [within ~granularity ~time] converts a paper-time bound to slots.
+    Raises [Invalid_argument] if the product is not an integer (e.g.
+    time 1/2 at granularity 1). *)
+val within : granularity:int -> time:Proba.Rational.t -> int

@@ -1,0 +1,42 @@
+module Q = Proba.Rational
+
+let of_exec ~is_external frag =
+  List.filter is_external (Exec.actions frag)
+
+let distribution ~is_external ?(equal_action = ( = )) tree =
+  let leaves = Exec_automaton.maximal_executions tree in
+  let pairs =
+    List.map
+      (fun (frag, mass, genuine) ->
+         if not genuine then
+           failwith "Trace.distribution: tree contains truncated leaves";
+         (of_exec ~is_external frag, mass))
+      leaves
+  in
+  Proba.Dist.make
+    ~equal:(fun t1 t2 ->
+        List.length t1 = List.length t2
+        && List.for_all2 equal_action t1 t2)
+    pairs
+
+let prob_of_prefix ~is_external ?(equal_action = ( = )) tree prefix =
+  let rec starts_with prefix trace =
+    match prefix, trace with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | p :: ps, t :: ts -> equal_action p t && starts_with ps ts
+  in
+  (* A trace having [prefix] as a prefix is monotone along extension
+     only in one direction: once the external actions seen deviate from
+     [prefix], the answer is No forever; once [prefix] has been fully
+     emitted, Yes forever.  Implemented as an event schema. *)
+  let decide ~maximal frag =
+    let trace = of_exec ~is_external frag in
+    if starts_with prefix trace then Event.Accept
+    else if starts_with trace prefix then
+      (* The trace so far is still a proper prefix of [prefix]. *)
+      if maximal then Event.Reject else Event.Undecided
+    else Event.Reject
+  in
+  let event = Event.make ~name:"trace prefix" decide in
+  Exec_automaton.prob_interval event tree

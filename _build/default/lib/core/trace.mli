@@ -1,0 +1,29 @@
+(** Traces: the external behavior of executions.
+
+    In the underlying framework, the visible behavior of an execution
+    is its {e trace} -- the subsequence of external actions -- and an
+    execution automaton induces a {e trace distribution}.  The paper
+    marks [try], [crit], [exit], [rem] as the external actions of the
+    dining-philosophers automaton; everything else (flips, waits,
+    ticks) is internal and invisible to the user. *)
+
+(** [of_exec ~is_external frag] is the trace of a fragment. *)
+val of_exec : is_external:('a -> bool) -> ('s, 'a) Exec.t -> 'a list
+
+(** [distribution ~is_external ?equal_action tree] is the trace
+    distribution of a fully materialized execution automaton: each
+    maximal execution contributes its rectangle probability to its
+    trace.  Raises [Failure] if the tree contains truncated leaves
+    (their trace is not yet determined). *)
+val distribution :
+  is_external:('a -> bool) -> ?equal_action:('a -> 'a -> bool) ->
+  ('s, 'a) Exec_automaton.node -> 'a list Proba.Dist.t
+
+(** [prob_of_prefix ~is_external ?equal_action tree prefix] is the
+    probability that the trace {e starts with} [prefix]; unlike
+    {!distribution} this is well defined on truncated trees as an
+    interval (lower, upper). *)
+val prob_of_prefix :
+  is_external:('a -> bool) -> ?equal_action:('a -> 'a -> bool) ->
+  ('s, 'a) Exec_automaton.node -> 'a list ->
+  Proba.Rational.t * Proba.Rational.t

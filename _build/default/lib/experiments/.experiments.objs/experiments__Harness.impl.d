@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Ben_or Core Format Hashtbl Itai_rodeh Lehmann_rabin List Mdp Printf Proba Race Shared_coin Sim Stdlib Table Unix

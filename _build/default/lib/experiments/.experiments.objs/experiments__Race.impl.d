@@ -1,0 +1,1 @@
+lib/experiments/race.ml: Core Format List Proba

@@ -1,0 +1,49 @@
+(** The experiment harness: one entry point per row of the experiment
+    index in DESIGN.md (E1-E9).  Each function prints the table it
+    regenerates; {!run_all} prints the full report recorded in
+    EXPERIMENTS.md.
+
+    The same code backs [bin/prtb experiments] and [bench/main.exe]. *)
+
+type config = {
+  lr_ns : int list;  (** ring sizes checked exhaustively (LR) *)
+  lr_g : int;  (** clock granularity *)
+  lr_k : int;  (** per-slot step budget *)
+  sweep_gk : bool;  (** also sweep (g, k) in E1 *)
+  ir_ns : int list;  (** ring sizes for the election *)
+  coin_cases : (int * int) list;  (** (processes, barrier) pairs for E11 *)
+  sim_ns : int list;  (** ring sizes reached by simulation only *)
+  sim_trials : int;
+  seed : int;
+}
+
+(** Laptop-scale defaults: exhaustive at n = 3 (plus the (g,k) sweep),
+    simulation out to n = 12. *)
+val default : config
+
+(** Smaller still, for smoke tests. *)
+val quick : config
+
+(** Adds n = 4 exhaustive checking and larger simulations (minutes). *)
+val full : config
+
+(** Shared instance cache so experiments do not re-explore. *)
+type ctx
+
+val make_ctx : config -> ctx
+
+val e1_arrows : ctx -> unit
+val e2_composed : ctx -> unit
+val e3_expected : ctx -> unit
+val e4_independence : ctx -> unit
+val e5_invariant : ctx -> unit
+val e6_baseline : ctx -> unit
+val e7_scaling : ctx -> unit
+val e8_lower_bound : ctx -> unit
+val e9_election : ctx -> unit
+val e10_topologies : ctx -> unit
+val e11_shared_coin : ctx -> unit
+val e12_consensus : ctx -> unit
+
+(** Run E1-E12 in order. *)
+val run_all : ctx -> unit

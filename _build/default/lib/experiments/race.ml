@@ -1,0 +1,48 @@
+module D = Proba.Dist
+
+type coin = Unflipped | Heads | Tails
+type state = { p : coin; q : coin }
+type action = Flip_p | Flip_q
+
+let start = { p = Unflipped; q = Unflipped }
+
+let flip_p_step s =
+  { Core.Pa.action = Flip_p;
+    dist = D.coin { s with p = Heads } { s with p = Tails } }
+
+let flip_q_step s =
+  { Core.Pa.action = Flip_q;
+    dist = D.coin { s with q = Heads } { s with q = Tails } }
+
+let enabled s =
+  (if s.p = Unflipped then [ flip_p_step s ] else [])
+  @ (if s.q = Unflipped then [ flip_q_step s ] else [])
+
+let pp_state fmt s =
+  let c = function Unflipped -> "?" | Heads -> "H" | Tails -> "T" in
+  Format.fprintf fmt "(%s,%s)" (c s.p) (c s.q)
+
+let pp_action fmt = function
+  | Flip_p -> Format.pp_print_string fmt "flip_P"
+  | Flip_q -> Format.pp_print_string fmt "flip_Q"
+
+let pa = Core.Pa.make ~pp_state ~pp_action ~start:[ start ] ~enabled ()
+
+let p_heads = Core.Pred.make "P=heads" (fun s -> s.p = Heads)
+let q_tails = Core.Pred.make "Q=tails" (fun s -> s.q = Tails)
+
+let dependency_adversary frag =
+  let s = Core.Exec.lstate frag in
+  if s.p = Unflipped then Some (flip_p_step s)
+  else if s.p = Heads && s.q = Unflipped then Some (flip_q_step s)
+  else None
+
+let fair_adversary frag =
+  let s = Core.Exec.lstate frag in
+  if s.p = Unflipped then Some (flip_p_step s)
+  else if s.q = Unflipped then Some (flip_q_step s)
+  else None
+
+let all_states =
+  let coins = [ Unflipped; Heads; Tails ] in
+  List.concat_map (fun p -> List.map (fun q -> { p; q }) coins) coins

@@ -1,0 +1,23 @@
+(** The two-coin automaton of Example 4.1: processes P and Q each flip
+    one fair coin; the adversary schedules the flips and may condition
+    one on the outcome of the other. *)
+
+type coin = Unflipped | Heads | Tails
+type state = { p : coin; q : coin }
+type action = Flip_p | Flip_q
+
+val start : state
+val pa : (state, action) Core.Pa.t
+
+val p_heads : state Core.Pred.t
+val q_tails : state Core.Pred.t
+
+(** Flips P; flips Q only if P came up heads (the dependence-creating
+    adversary of Example 4.1). *)
+val dependency_adversary : (state, action) Core.Adversary.t
+
+(** Flips P then Q unconditionally. *)
+val fair_adversary : (state, action) Core.Adversary.t
+
+(** All nine states, for Proposition 4.2's premise check. *)
+val all_states : state list

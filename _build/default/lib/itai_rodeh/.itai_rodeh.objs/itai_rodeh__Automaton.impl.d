@@ -1,0 +1,1 @@
+lib/itai_rodeh/automaton.ml: Array Core Format List Printf Proba

@@ -1,0 +1,1 @@
+lib/itai_rodeh/automaton.mli: Core

@@ -1,0 +1,1 @@
+lib/itai_rodeh/proof.ml: Array Automaton Core Float List Mdp Printf Proba Result

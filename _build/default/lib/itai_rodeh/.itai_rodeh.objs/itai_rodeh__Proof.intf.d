@@ -1,0 +1,1 @@
+lib/itai_rodeh/proof.mli: Automaton Core Mdp Proba

@@ -1,0 +1,112 @@
+module D = Proba.Dist
+
+type phase =
+  | Inactive
+  | Need_flip of { c : int; b : int }
+  | Flipped of bool
+
+type state = phase array
+
+type action = Tick | Flip of int
+
+type params = { n : int; g : int; k : int }
+
+let is_tick = function Tick -> true | Flip _ -> false
+let duration a = if is_tick a then 1 else 0
+
+let actives s =
+  Array.fold_left
+    (fun acc p -> if p = Inactive then acc else acc + 1)
+    0 s
+
+let leader_elected s = actives s = 1
+
+let at_most k =
+  Core.Pred.make (Printf.sprintf "at most %d active" k) (fun s ->
+      actives s <= k)
+
+let start params =
+  Array.make params.n (Need_flip { c = params.g; b = params.k })
+
+(* Round resolution, performed by the step that completes the round:
+   survivors are the 1-flippers unless there is none.  Survivors start
+   the next round with a fresh one-unit deadline but an exhausted slot
+   budget (they flipped in the current slot), so at most one round can
+   resolve per slot -- this keeps the zero-time layers acyclic. *)
+let resolve params s =
+  let ones = Array.exists (fun p -> p = Flipped true) s in
+  Array.map
+    (fun p ->
+       match p with
+       | Inactive -> Inactive
+       | Flipped bit ->
+         if (not ones) || bit then Need_flip { c = params.g; b = 0 }
+         else Inactive
+       | Need_flip _ -> assert false)
+    s
+
+let tick_step params s =
+  let ok =
+    Array.for_all (function Need_flip { c; _ } -> c > 0 | _ -> true) s
+  in
+  if not ok then []
+  else begin
+    let procs =
+      Array.map
+        (function
+          | Need_flip { c; _ } -> Need_flip { c = c - 1; b = params.k }
+          | (Inactive | Flipped _) as p -> p)
+        s
+    in
+    [ { Core.Pa.action = Tick; dist = D.point procs } ]
+  end
+
+let flip_steps params s =
+  let pending =
+    Array.fold_left (fun acc p -> match p with
+        | Need_flip _ -> acc + 1
+        | Inactive | Flipped _ -> acc)
+      0 s
+  in
+  let step_for i p =
+    match p with
+    | Need_flip { b; _ } when b > 0 ->
+      let with_bit bit =
+        let s' = Array.copy s in
+        s'.(i) <- Flipped bit;
+        (* The last flip of the round resolves it atomically. *)
+        if pending = 1 then resolve params s' else s'
+      in
+      [ { Core.Pa.action = Flip i;
+          dist = D.coin (with_bit true) (with_bit false) } ]
+    | Need_flip _ | Inactive | Flipped _ -> []
+  in
+  List.concat (List.mapi step_for (Array.to_list s))
+
+let enabled params s =
+  if leader_elected s then
+    (* Election over: only time passes (the leader is absorbing). *)
+    [ { Core.Pa.action = Tick; dist = D.point s } ]
+  else tick_step params s @ flip_steps params s
+
+let make params =
+  if params.n < 2 then invalid_arg "Itai_rodeh: need at least 2 processes";
+  if params.g < 1 || params.k < 1 then
+    invalid_arg "Itai_rodeh: granularity and budget must be >= 1";
+  let pp_state fmt s =
+    Array.iter
+      (fun p ->
+         Format.pp_print_string fmt
+           (match p with
+            | Inactive -> "."
+            | Need_flip _ -> "?"
+            | Flipped true -> "1"
+            | Flipped false -> "0"))
+      s
+  in
+  let pp_action fmt = function
+    | Tick -> Format.pp_print_string fmt "tick"
+    | Flip i -> Format.fprintf fmt "flip_%d" i
+  in
+  Core.Pa.make ~pp_state ~pp_action ~start:[ start params ]
+    ~enabled:(enabled params) ()

@@ -1,0 +1,53 @@
+(** Randomized leader election on an anonymous ring, in the style of
+    Itai-Rodeh: a second case study for the paper's proof method
+    (the paper's concluding remarks ask for exactly this kind of
+    reuse).
+
+    We model the synchronous round-based variant with one-bit
+    identities (the form analyzed in the probabilistic
+    model-checking literature): in every round each {e active} process
+    flips a fair coin; once all active processes have flipped, the
+    round resolves -- the processes that flipped 1 survive to the next
+    round, unless nobody did, in which case everyone stays active.  A
+    unique survivor is the leader.
+
+    Two modelling notes (recorded as substitutions in DESIGN.md):
+    - the ring circulation by which a real Itai-Rodeh process compares
+      its identity with everyone else's is abstracted into an atomic
+      round resolution performed by the last flip of the round; the
+      probabilistic structure of which processes survive is untouched,
+      and that is what the time-bound analysis exercises;
+    - timing follows the same digital-clock discipline as the
+      Lehmann-Rabin automaton: an active process that still owes its
+      round's flip must be scheduled within one time unit, so each
+      round completes within time 1 under every adversary. *)
+
+type phase =
+  | Inactive  (** lost a previous round *)
+  | Need_flip of { c : int; b : int }  (** owes this round's coin *)
+  | Flipped of bool  (** this round's coin, waiting for the round *)
+
+type state = phase array
+
+type action = Tick | Flip of int
+
+type params = { n : int; g : int; k : int }
+
+val is_tick : action -> bool
+val duration : action -> int
+
+(** Number of active (non-[Inactive]) processes. *)
+val actives : state -> int
+
+(** Exactly one process still active. *)
+val leader_elected : state -> bool
+
+(** [at_most k]: at most [k] processes are still active.  These are the
+    rungs of the composition ladder: [at_most 1] is "a leader exists"
+    (some process is always active, see {!actives}). *)
+val at_most : int -> state Core.Pred.t
+
+val make : params -> (state, action) Core.Pa.t
+
+(** The start state: everybody active, nobody has flipped. *)
+val start : params -> state

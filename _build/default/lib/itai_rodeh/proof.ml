@@ -1,0 +1,104 @@
+module Q = Proba.Rational
+
+type instance = {
+  params : Automaton.params;
+  expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+}
+
+let build ?max_states ?(g = 1) ?(k = 1) ~n () =
+  let params = { Automaton.n; g; k } in
+  { params; expl = Mdp.Explore.run ?max_states (Automaton.make params) }
+
+type arrow = {
+  label : string;
+  time : Q.t;
+  prob : Q.t;
+  attained : Q.t;
+  pre_states : int;
+  claim : Automaton.state Core.Claim.t option;
+}
+
+let schema = Core.Schema.unit_time
+
+let rung inst k =
+  let result =
+    Mdp.Checker.check_arrow inst.expl ~is_tick:Automaton.is_tick
+      ~granularity:inst.params.Automaton.g ~schema
+      ~pre:(Automaton.at_most k)
+      ~post:(Automaton.at_most (k - 1))
+      ~time:Q.one ~prob:Q.half
+  in
+  { label = Printf.sprintf "L%d" k;
+    time = Q.one; prob = Q.half;
+    attained = result.Mdp.Checker.attained;
+    pre_states = result.Mdp.Checker.pre_states;
+    claim = result.Mdp.Checker.claim }
+
+let rec downfrom k = if k < 2 then [] else k :: downfrom (k - 1)
+
+let arrows inst = List.map (rung inst) (downfrom inst.params.Automaton.n)
+
+let composed inst =
+  let claims =
+    List.map
+      (fun k ->
+         let a = rung inst k in
+         match a.claim with
+         | Some c -> Ok c
+         | None ->
+           Error
+             (Printf.sprintf "rung %s attained only %s" a.label
+                (Q.to_string a.attained)))
+      (downfrom inst.params.Automaton.n)
+  in
+  let rec sequence = function
+    | [] -> Ok []
+    | Ok x :: rest -> Result.map (fun xs -> x :: xs) (sequence rest)
+    | Error e :: _ -> Error e
+  in
+  match sequence claims with
+  | Error e -> Error e
+  | Ok [] -> Error "ring too small: no rungs"
+  | Ok claims ->
+    (try Ok (Core.Claim.compose_all claims)
+     with Core.Claim.Rule_violation msg -> Error msg)
+
+let leader_pred = Automaton.at_most 1
+
+let direct_bound inst =
+  let target = Mdp.Explore.indicator inst.expl leader_pred in
+  let ticks =
+    Core.Timed.within ~granularity:inst.params.Automaton.g
+      ~time:(Q.of_int (inst.params.Automaton.n - 1))
+  in
+  let values =
+    Mdp.Finite_horizon.min_reach inst.expl ~is_tick:Automaton.is_tick ~target
+      ~ticks
+  in
+  let best, _, _ =
+    Mdp.Checker.min_prob_over inst.expl values
+      (Automaton.at_most inst.params.Automaton.n)
+  in
+  best
+
+let expected_bound ~n =
+  let per_rung k =
+    Core.Expected.constant
+      ~label:(Printf.sprintf "E[at_most %d -> at_most %d] <= t/p = 2" k (k - 1))
+      Q.two
+  in
+  Core.Expected.sum ~label:"E[election]" (List.map per_rung (downfrom n))
+
+let max_expected_time inst =
+  let target = Mdp.Explore.indicator inst.expl leader_pred in
+  let values =
+    Mdp.Expected_time.max_expected_ticks inst.expl ~is_tick:Automaton.is_tick
+      ~target ()
+  in
+  let worst = Array.fold_left Float.max 0.0 values in
+  worst /. float_of_int inst.params.Automaton.g
+
+let liveness_holds inst =
+  let target = Mdp.Explore.indicator inst.expl leader_pred in
+  let always = Mdp.Qualitative.always_reaches inst.expl ~target in
+  Array.for_all (fun b -> b) always

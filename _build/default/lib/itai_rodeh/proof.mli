@@ -1,0 +1,50 @@
+(** Time-bound analysis of the leader election, by the paper's method.
+
+    The phase statements form a ladder on the number of active
+    processes:
+
+    {v at_most(k)  -1->_{1/2}  at_most(k-1)        for k = n, ..., 2 v}
+
+    each discharged by exact model checking over all (clock-encoded)
+    adversaries; Theorem 3.4 then composes them into
+
+    {v at_most(n) -(n-1)->_{2^-(n-1)} leader v}
+
+    and geometric-trials reasoning gives an expected election time of at
+    most [2 (n-1)] units. *)
+
+type instance = {
+  params : Automaton.params;
+  expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+}
+
+val build : ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit -> instance
+
+type arrow = {
+  label : string;
+  time : Proba.Rational.t;
+  prob : Proba.Rational.t;
+  attained : Proba.Rational.t;
+  pre_states : int;
+  claim : Automaton.state Core.Claim.t option;
+}
+
+(** The ladder [k = n, ..., 2]. *)
+val arrows : instance -> arrow list
+
+(** [at_most(n) -(n-1)->_{2^-(n-1)} at_most(1)] via Theorem 3.4. *)
+val composed : instance -> (Automaton.state Core.Claim.t, string) result
+
+(** Exact min probability of electing within [n-1] time units (the
+    direct counterpart of {!composed}). *)
+val direct_bound : instance -> Proba.Rational.t
+
+(** The derived bound [sum_k time_k / prob_k = 2 (n-1)] on the expected
+    election time. *)
+val expected_bound : n:int -> Core.Expected.t
+
+(** Worst-case expected election time measured on the MDP (units). *)
+val max_expected_time : instance -> float
+
+(** Every adversary elects a leader almost surely. *)
+val liveness_holds : instance -> bool

@@ -1,0 +1,1 @@
+lib/lehmann_rabin/automaton.ml: Array Core Format List Proba State Topology

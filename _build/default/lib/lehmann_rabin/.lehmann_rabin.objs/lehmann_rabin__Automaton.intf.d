@@ -1,0 +1,1 @@
+lib/lehmann_rabin/automaton.mli: Core Format State Topology

@@ -1,0 +1,1 @@
+lib/lehmann_rabin/invariant.ml: Array List Mdp State Topology

@@ -1,0 +1,1 @@
+lib/lehmann_rabin/invariant.mli: Automaton Mdp State Topology

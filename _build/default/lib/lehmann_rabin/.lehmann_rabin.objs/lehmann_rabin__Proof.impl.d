@@ -1,0 +1,1 @@
+lib/lehmann_rabin/proof.ml: Array Automaton Core Invariant List Mdp Printf Proba Regions Result Sim State Topology

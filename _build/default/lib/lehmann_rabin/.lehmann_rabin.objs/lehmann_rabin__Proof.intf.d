@@ -1,0 +1,1 @@
+lib/lehmann_rabin/proof.mli: Automaton Core Mdp Proba Sim State Topology

@@ -1,0 +1,1 @@
+lib/lehmann_rabin/regions.ml: Array Core List State Topology

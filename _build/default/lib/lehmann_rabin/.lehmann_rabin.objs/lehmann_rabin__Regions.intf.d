@@ -1,0 +1,1 @@
+lib/lehmann_rabin/regions.mli: Core State Topology

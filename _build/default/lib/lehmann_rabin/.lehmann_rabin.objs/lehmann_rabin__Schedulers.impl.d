@@ -1,0 +1,1 @@
+lib/lehmann_rabin/schedulers.ml: Array Automaton Core List Sim State

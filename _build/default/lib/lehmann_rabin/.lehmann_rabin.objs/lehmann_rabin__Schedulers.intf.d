@@ -1,0 +1,1 @@
+lib/lehmann_rabin/schedulers.mli: Automaton Core Sim State

@@ -1,0 +1,1 @@
+lib/lehmann_rabin/state.ml: Array Format Hashtbl

@@ -1,0 +1,1 @@
+lib/lehmann_rabin/topology.ml: Array List Printf State

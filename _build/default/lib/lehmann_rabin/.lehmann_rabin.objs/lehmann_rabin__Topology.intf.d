@@ -1,0 +1,1 @@
+lib/lehmann_rabin/topology.mli: State

@@ -1,0 +1,111 @@
+type t = (State.t, Automaton.action) Sim.Scheduler.t
+
+let uniform pa = Sim.Scheduler.uniform pa
+
+let eager pa =
+  let rank _s = function
+    | Automaton.Tick -> 2
+    | Automaton.Try _ | Automaton.Exit _ -> 1
+    | Automaton.Flip _ | Automaton.Wait _ | Automaton.Second _
+    | Automaton.Drop _ | Automaton.Crit _ | Automaton.Drop_first _
+    | Automaton.Drop_second _ | Automaton.Rem _ -> 0
+  in
+  Sim.Scheduler.priority pa rank
+
+let delayer pa =
+  let rank _s = function
+    | Automaton.Tick -> 0
+    | Automaton.Try _ | Automaton.Exit _ -> 9
+    | Automaton.Flip _ | Automaton.Wait _ | Automaton.Second _
+    | Automaton.Drop _ | Automaton.Crit _ | Automaton.Drop_first _
+    | Automaton.Drop_second _ | Automaton.Rem _ -> 1
+  in
+  Sim.Scheduler.priority pa rank
+
+let starver pa =
+  (* Heuristic worst case: maximize contention, dodge success steps
+     while the clocks allow it. *)
+  let second_would_succeed s i =
+    let n = State.num_procs s in
+    match s.State.procs.(i).State.region with
+    | State.Second u ->
+      not s.State.res.(State.resource_index ~n i (State.opp u))
+    | State.Rem | State.Flip | State.Wait _ | State.Drop _ | State.Pre
+    | State.Crit | State.Exit_f | State.Exit_s _ | State.Exit_r -> false
+  in
+  let rank s = function
+    | Automaton.Try _ -> 0
+    | Automaton.Exit _ -> 5
+    | Automaton.Tick -> 2
+    | Automaton.Second i -> if second_would_succeed s i then 8 else 3
+    | Automaton.Crit _ -> 8
+    | Automaton.Flip _ | Automaton.Wait _ | Automaton.Drop _
+    | Automaton.Drop_first _ | Automaton.Drop_second _ | Automaton.Rem _ ->
+      3
+  in
+  Sim.Scheduler.priority pa rank
+
+let round_robin pa _rng frag =
+  (* The turn is derived from the history length, so the scheduler stays
+     a deterministic function of the fragment (an adversary in the
+     paper's sense). *)
+  let s = Core.Exec.lstate frag in
+  let steps = Core.Pa.enabled pa s in
+  match steps with
+  | [] -> None
+  | _ ->
+    let n = State.num_procs s in
+    let turn = Core.Exec.length frag mod (n + 1) in
+    let proc_of = function
+      | Automaton.Tick -> None
+      | Automaton.Try i | Automaton.Exit i | Automaton.Flip i
+      | Automaton.Wait i | Automaton.Second i | Automaton.Drop i
+      | Automaton.Crit i | Automaton.Drop_first (i, _)
+      | Automaton.Drop_second i | Automaton.Rem i -> Some i
+    in
+    let mine step = proc_of step.Core.Pa.action = Some turn in
+    (match List.find_opt mine steps with
+     | Some step -> Some step
+     | None ->
+       (* The turn-holder has nothing enabled (or it is the clock's
+          turn): tick if possible, else first enabled. *)
+       (match
+          List.find_opt (fun st -> st.Core.Pa.action = Automaton.Tick) steps
+        with
+        | Some tick -> Some tick
+        | None -> List.nth_opt steps 0))
+
+let all pa =
+  [ ("uniform", uniform pa); ("eager", eager pa); ("delayer", delayer pa);
+    ("starver", starver pa); ("round-robin", round_robin pa) ]
+
+let num_classes = 12
+
+let action_class s = function
+  | Automaton.Tick -> 0
+  | Automaton.Try _ -> 1
+  | Automaton.Exit _ -> 2
+  | Automaton.Flip _ -> 3
+  | Automaton.Wait _ -> 4
+  | Automaton.Second i ->
+    (* Distinguishing imminent successes gives the search the handle
+       the hand-written starver uses. *)
+    let n = State.num_procs s in
+    let succeeds =
+      match s.State.procs.(i).State.region with
+      | State.Second u ->
+        not s.State.res.(State.resource_index ~n i (State.opp u))
+      | State.Rem | State.Flip | State.Wait _ | State.Drop _ | State.Pre
+      | State.Crit | State.Exit_f | State.Exit_s _ | State.Exit_r -> false
+    in
+    if succeeds then 5 else 6
+  | Automaton.Drop _ -> 7
+  | Automaton.Crit _ -> 8
+  | Automaton.Drop_first _ -> 9
+  | Automaton.Drop_second _ -> 10
+  | Automaton.Rem _ -> 11
+
+let of_ranks pa ranks =
+  if Array.length ranks <> num_classes then
+    invalid_arg "Schedulers.of_ranks: wrong table size";
+  Sim.Scheduler.priority pa (fun s a -> ranks.(action_class s a))

@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  assignments : (int * int) array;  (* per process: (left, right) *)
+  num_resources : int;
+  contenders : (int * State.side) list array;  (* per resource *)
+}
+
+let make ~name ~num_resources assignments =
+  let n = Array.length assignments in
+  if n < 2 then invalid_arg "Topology.make: need at least 2 processes";
+  Array.iteri
+    (fun i (l, r) ->
+       if l = r then
+         invalid_arg
+           (Printf.sprintf "Topology.make: process %d has identical \
+                            resources" i);
+       if l < 0 || l >= num_resources || r < 0 || r >= num_resources then
+         invalid_arg
+           (Printf.sprintf "Topology.make: process %d has an out-of-range \
+                            resource" i))
+    assignments;
+  let contenders = Array.make num_resources [] in
+  Array.iteri
+    (fun i (l, r) ->
+       contenders.(l) <- (i, State.L) :: contenders.(l);
+       contenders.(r) <- (i, State.R) :: contenders.(r))
+    assignments;
+  Array.iteri (fun r c -> contenders.(r) <- List.rev c) contenders;
+  { name; assignments; num_resources; contenders }
+
+let name t = t.name
+let num_procs t = Array.length t.assignments
+let num_resources t = t.num_resources
+
+let res t i side =
+  let l, r = t.assignments.(i) in
+  match side with State.L -> l | State.R -> r
+
+let contenders t r = t.contenders.(r)
+
+let ring n =
+  make ~name:(Printf.sprintf "ring(%d)" n) ~num_resources:n
+    (Array.init n (fun i -> ((i + n - 1) mod n, i)))
+
+let line n =
+  make ~name:(Printf.sprintf "line(%d)" n) ~num_resources:(n + 1)
+    (Array.init n (fun i -> (i, i + 1)))
+
+let star n =
+  make ~name:(Printf.sprintf "star(%d)" n) ~num_resources:(n + 1)
+    (Array.init n (fun i -> (i + 1, 0)))

@@ -1,0 +1,1 @@
+lib/mdp/bisim.ml: Array Core Explore Format Hashtbl List Marshal Proba

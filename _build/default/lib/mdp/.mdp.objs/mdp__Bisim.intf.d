@@ -1,0 +1,1 @@
+lib/mdp/bisim.mli: Core Explore

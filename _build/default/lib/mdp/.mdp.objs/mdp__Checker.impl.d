@@ -1,0 +1,1 @@
+lib/mdp/checker.ml: Array Core Explore Finite_horizon Printf Proba

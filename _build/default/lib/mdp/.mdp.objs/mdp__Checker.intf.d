@@ -1,0 +1,1 @@
+lib/mdp/checker.mli: Core Explore Proba

@@ -1,0 +1,1 @@
+lib/mdp/dot.ml: Array Buffer Core Explore Format Printf Proba String

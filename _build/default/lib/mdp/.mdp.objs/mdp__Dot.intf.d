@@ -1,0 +1,1 @@
+lib/mdp/dot.mli: Explore

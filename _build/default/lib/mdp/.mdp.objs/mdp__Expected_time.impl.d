@@ -1,0 +1,1 @@
+lib/mdp/expected_time.ml: Array Explore Float Option Proba Qualitative

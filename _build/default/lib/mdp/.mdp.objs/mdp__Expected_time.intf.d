@@ -1,0 +1,1 @@
+lib/mdp/expected_time.mli: Explore

@@ -1,0 +1,1 @@
+lib/mdp/explore.ml: Array Core Funtbl List Proba Queue

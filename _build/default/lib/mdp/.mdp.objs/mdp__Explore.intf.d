@@ -1,0 +1,1 @@
+lib/mdp/explore.mli: Core Proba

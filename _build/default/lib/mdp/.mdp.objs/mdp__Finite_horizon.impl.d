@@ -1,0 +1,1 @@
+lib/mdp/finite_horizon.ml: Array Explore Float Option Printf Proba

@@ -1,0 +1,1 @@
+lib/mdp/funtbl.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/mdp/qualitative.ml: Array Explore

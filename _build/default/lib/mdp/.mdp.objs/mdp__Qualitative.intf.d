@@ -1,0 +1,1 @@
+lib/mdp/qualitative.mli: Explore

@@ -1,0 +1,1 @@
+lib/mdp/zeno.ml: Array Explore List Stack Stdlib

@@ -1,0 +1,1 @@
+lib/mdp/zeno.mli: Explore

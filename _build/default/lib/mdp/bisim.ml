@@ -1,0 +1,92 @@
+module Q = Proba.Rational
+
+(* A step signature: its (collapsed) action key together with the
+   probability it assigns to each block, in canonical order. *)
+type signature = (string * (int * Q.t) list) list
+
+let step_signature ~action_key blocks (step : 'a Explore.step) =
+  let tally = Hashtbl.create 8 in
+  Array.iter
+    (fun (j, w) ->
+       let b = blocks.(j) in
+       let cur = try Hashtbl.find tally b with Not_found -> Q.zero in
+       Hashtbl.replace tally b (Q.add cur w))
+    step.Explore.outcomes;
+  let entries = Hashtbl.fold (fun b w acc -> (b, w) :: acc) tally [] in
+  ( action_key step.Explore.action,
+    List.sort (fun (a, _) (b, _) -> compare a b) entries )
+
+let state_signature ~action_key blocks expl i : signature =
+  let sigs =
+    Array.to_list
+      (Array.map (step_signature ~action_key blocks) (Explore.steps expl i))
+  in
+  List.sort_uniq compare sigs
+
+let refine expl ~labels ?(action_key = fun a -> Marshal.to_string a [])
+    () =
+  let n = Explore.num_states expl in
+  if Array.length labels <> n then
+    invalid_arg "Bisim.refine: labels array has wrong length";
+  (* Current partition as block ids; refine until stable. *)
+  let blocks = Array.copy labels in
+  let stable = ref false in
+  while not !stable do
+    let keys = Hashtbl.create (2 * n) in
+    let fresh = ref 0 in
+    let next = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let key = (blocks.(i), state_signature ~action_key blocks expl i) in
+      let b =
+        match Hashtbl.find_opt keys key with
+        | Some b -> b
+        | None ->
+          let b = !fresh in
+          incr fresh;
+          Hashtbl.add keys key b;
+          b
+      in
+      next.(i) <- b
+    done;
+    stable := Array.for_all2 ( = ) blocks next;
+    Array.blit next 0 blocks 0 n
+  done;
+  blocks
+
+let num_blocks partition =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun b -> Hashtbl.replace seen b ()) partition;
+  Hashtbl.length seen
+
+let quotient expl partition ?(action_key = fun a -> Marshal.to_string a [])
+    () =
+  let n = Explore.num_states expl in
+  if Array.length partition <> n then
+    invalid_arg "Bisim.quotient: partition array has wrong length";
+  (* One representative per block. *)
+  let rep = Hashtbl.create 64 in
+  for i = n - 1 downto 0 do
+    Hashtbl.replace rep partition.(i) i
+  done;
+  let enabled b =
+    match Hashtbl.find_opt rep b with
+    | None -> []
+    | Some i ->
+      let sigs =
+        state_signature ~action_key partition expl i
+      in
+      List.map
+        (fun (key, entries) ->
+           { Core.Pa.action = key;
+             dist = Proba.Dist.make entries })
+        sigs
+  in
+  let start =
+    match Explore.start_indices expl with
+    | i :: _ -> partition.(i)
+    | [] -> invalid_arg "Bisim.quotient: no start states"
+  in
+  Core.Pa.make
+    ~pp_state:(fun fmt b -> Format.fprintf fmt "B%d" b)
+    ~pp_action:Format.pp_print_string
+    ~start:[ start ] ~enabled ()

@@ -1,0 +1,73 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write expl ?(name = "mdp") ?(max_states = 500)
+    ?(highlight = fun _ -> false) buf =
+  let n = Explore.num_states expl in
+  if n > max_states then
+    invalid_arg
+      (Printf.sprintf "Dot: %d states exceed the %d-state limit" n
+         max_states);
+  let pa = Explore.automaton expl in
+  let state_label i =
+    escape (Format.asprintf "%a" (Core.Pa.pp_state pa) (Explore.state expl i))
+  in
+  let action_label a =
+    escape (Format.asprintf "%a" (Core.Pa.pp_action pa) a)
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=10];\n";
+  for i = 0 to n - 1 do
+    let extra =
+      if highlight (Explore.state expl i) then
+        ", style=filled, fillcolor=lightgray"
+      else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  s%d [label=\"%s\", shape=box%s];\n" i
+         (state_label i) extra)
+  done;
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun k step ->
+         match step.Explore.outcomes with
+         | [| (j, _) |] ->
+           (* Dirac steps go straight to the target. *)
+           Buffer.add_string buf
+             (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" i j
+                (action_label step.Explore.action))
+         | outcomes ->
+           let choice = Printf.sprintf "c%d_%d" i k in
+           Buffer.add_string buf
+             (Printf.sprintf
+                "  %s [label=\"%s\", shape=point];\n  s%d -> %s \
+                 [arrowhead=none];\n"
+                choice
+                (action_label step.Explore.action)
+                i choice);
+           Array.iter
+             (fun (j, w) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "  %s -> s%d [label=\"%s\"];\n" choice j
+                     (escape (Proba.Rational.to_string w))))
+             outcomes)
+      (Explore.steps expl i)
+  done;
+  Buffer.add_string buf "}\n"
+
+let to_string expl ?name ?max_states ?highlight () =
+  let buf = Buffer.create 4096 in
+  write expl ?name ?max_states ?highlight buf;
+  Buffer.contents buf
+
+let to_channel expl ?name ?max_states ?highlight out =
+  output_string out (to_string expl ?name ?max_states ?highlight ())

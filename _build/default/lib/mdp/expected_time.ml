@@ -1,0 +1,91 @@
+let expectation v outcomes =
+  Array.fold_left
+    (fun acc (j, w) -> acc +. (Proba.Rational.to_float w *. v.(j)))
+    0.0 outcomes
+
+let value_iterate expl ~is_tick ~finite ~target ~best ~epsilon ~max_sweeps =
+  let n = Explore.num_states expl in
+  let v =
+    Array.init n (fun i ->
+        if target.(i) then 0.0
+        else if finite.(i) then 0.0
+        else infinity)
+  in
+  let sweep () =
+    let delta = ref 0.0 in
+    for i = 0 to n - 1 do
+      if (not target.(i)) && finite.(i) then begin
+        let steps = Explore.steps expl i in
+        if Array.length steps > 0 then begin
+          let fresh =
+            Array.fold_left
+              (fun acc step ->
+                 let cost = if is_tick step.Explore.action then 1.0 else 0.0 in
+                 let e = cost +. expectation v step.Explore.outcomes in
+                 match acc with
+                 | None -> Some e
+                 | Some cur -> Some (best cur e))
+              None steps
+            |> Option.get
+          in
+          let d = Float.abs (fresh -. v.(i)) in
+          if d > !delta then delta := d;
+          v.(i) <- fresh
+        end
+        else v.(i) <- infinity
+      end
+    done;
+    !delta
+  in
+  let rec go k =
+    if k > max_sweeps then
+      failwith "Expected_time: value iteration did not converge"
+    else if sweep () > epsilon then go (k + 1)
+  in
+  go 0;
+  v
+
+let max_expected_ticks expl ~is_tick ~target ?(epsilon = 1e-12)
+    ?(max_sweeps = 1_000_000) () =
+  let finite = Qualitative.always_reaches expl ~target in
+  value_iterate expl ~is_tick ~finite ~target ~best:Float.max ~epsilon
+    ~max_sweeps
+
+let min_expected_ticks expl ~is_tick ~target ?(epsilon = 1e-12)
+    ?(max_sweeps = 1_000_000) () =
+  let finite = Qualitative.some_reaches_certainly expl ~target in
+  value_iterate expl ~is_tick ~finite ~target ~best:Float.min ~epsilon
+    ~max_sweeps
+
+let max_expected_ticks_with_policy expl ~is_tick ~target
+    ?(epsilon = 1e-12) ?(max_sweeps = 1_000_000) () =
+  let finite = Qualitative.always_reaches expl ~target in
+  let v =
+    value_iterate expl ~is_tick ~finite ~target ~best:Float.max ~epsilon
+      ~max_sweeps
+  in
+  let n = Explore.num_states expl in
+  let policy =
+    Array.init n (fun i ->
+        if target.(i) || not finite.(i) then -1
+        else begin
+          let steps = Explore.steps expl i in
+          if Array.length steps = 0 then -1
+          else begin
+            let best_k = ref 0 and best_v = ref neg_infinity in
+            Array.iteri
+              (fun k step ->
+                 let cost =
+                   if is_tick step.Explore.action then 1.0 else 0.0
+                 in
+                 let e = cost +. expectation v step.Explore.outcomes in
+                 if e > !best_v then begin
+                   best_v := e;
+                   best_k := k
+                 end)
+              steps;
+            !best_k
+          end
+        end)
+  in
+  (v, policy)

@@ -1,0 +1,98 @@
+exception Too_many_states of int
+
+type 'a step = { action : 'a; outcomes : (int * Proba.Rational.t) array }
+
+type ('s, 'a) t = {
+  pa : ('s, 'a) Core.Pa.t;
+  states : 's array;
+  table : ('s, int) Funtbl.t;
+  steps : 'a step array array;
+  start_indices : int list;
+}
+
+let run ?(max_states = 5_000_000) m =
+  let table =
+    Funtbl.create ~equal:(Core.Pa.equal_state m) ~hash:(Core.Pa.hash_state m)
+      1024
+  in
+  let states = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern s =
+    match Funtbl.find table s with
+    | Some i -> i
+    | None ->
+      if !count >= max_states then raise (Too_many_states max_states);
+      let i = !count in
+      incr count;
+      Funtbl.add table s i;
+      states := s :: !states;
+      Queue.add (i, s) queue;
+      i
+  in
+  let start_indices = List.map intern (Core.Pa.start m) in
+  let steps_acc = ref [] in
+  (* Visitation is FIFO, so step lists are produced in index order. *)
+  while not (Queue.is_empty queue) do
+    let i, s = Queue.take queue in
+    let steps =
+      List.map
+        (fun step ->
+           let outcomes =
+             List.map
+               (fun (target, w) -> (intern target, w))
+               (Proba.Dist.support step.Core.Pa.dist)
+           in
+           { action = step.Core.Pa.action; outcomes = Array.of_list outcomes })
+        (Core.Pa.enabled m s)
+    in
+    steps_acc := (i, Array.of_list steps) :: !steps_acc
+  done;
+  let n = !count in
+  let states_arr =
+    match !states with
+    | [] -> [||]
+    | witness :: _ ->
+      let arr = Array.make n witness in
+      List.iteri (fun k s -> arr.(n - 1 - k) <- s) !states;
+      arr
+  in
+  let steps_arr = Array.make n [||] in
+  List.iter (fun (i, st) -> steps_arr.(i) <- st) !steps_acc;
+  { pa = m; states = states_arr; table; steps = steps_arr; start_indices }
+
+let automaton e = e.pa
+let num_states e = Array.length e.states
+
+let num_choices e =
+  Array.fold_left (fun acc st -> acc + Array.length st) 0 e.steps
+
+let num_branches e =
+  Array.fold_left
+    (fun acc st ->
+       Array.fold_left (fun acc s -> acc + Array.length s.outcomes) acc st)
+    0 e.steps
+
+let state e i = e.states.(i)
+let index e s = Funtbl.find e.table s
+let start_indices e = e.start_indices
+let steps e i = e.steps.(i)
+
+let states_where e pred =
+  let acc = ref [] in
+  for i = Array.length e.states - 1 downto 0 do
+    if pred e.states.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let indicator e pred =
+  Array.map (fun s -> Core.Pred.mem pred s) e.states
+
+let check_invariant e pred =
+  let n = Array.length e.states in
+  let rec go i =
+    if i >= n then None
+    else if not (pred e.states.(i)) then Some e.states.(i)
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,54 @@
+(** Explicit-state exploration of a probabilistic automaton.
+
+    Breadth-first enumeration of the reachable states, producing a
+    compact indexed representation of the underlying MDP: the
+    nondeterministic choices at each state become the MDP's actions and
+    the probabilistic branches its transition distributions.  All
+    downstream analyses (finite-horizon backward induction, expected
+    time, qualitative reachability) work on this representation. *)
+
+exception Too_many_states of int
+
+(** One explored step: the original action, and the outcome distribution
+    as pairs of (state index, probability). *)
+type 'a step = { action : 'a; outcomes : (int * Proba.Rational.t) array }
+
+type ('s, 'a) t
+
+(** [run ?max_states m] explores [m] from its start states.
+    Raises {!Too_many_states} when the bound (default [5_000_000]) is
+    exceeded. *)
+val run : ?max_states:int -> ('s, 'a) Core.Pa.t -> ('s, 'a) t
+
+(** The automaton that was explored. *)
+val automaton : ('s, 'a) t -> ('s, 'a) Core.Pa.t
+
+val num_states : ('s, 'a) t -> int
+
+(** Total number of (state, step) pairs. *)
+val num_choices : ('s, 'a) t -> int
+
+(** Total number of probabilistic branches. *)
+val num_branches : ('s, 'a) t -> int
+
+(** [state expl i] is the state with index [i]. *)
+val state : ('s, 'a) t -> int -> 's
+
+(** [index expl s] is the index of an explored state. *)
+val index : ('s, 'a) t -> 's -> int option
+
+(** Indices of the start states. *)
+val start_indices : ('s, 'a) t -> int list
+
+(** [steps expl i] are the enabled steps of state [i]. *)
+val steps : ('s, 'a) t -> int -> 'a step array
+
+(** [states_where expl pred] lists the indices satisfying a predicate. *)
+val states_where : ('s, 'a) t -> ('s -> bool) -> int list
+
+(** [indicator expl pred] is the predicate as a boolean array. *)
+val indicator : ('s, 'a) t -> 's Core.Pred.t -> bool array
+
+(** [check_invariant expl pred] returns the first violating state, if
+    any.  Used for exhaustive invariant checking (Lemma 6.1). *)
+val check_invariant : ('s, 'a) t -> ('s -> bool) -> 's option

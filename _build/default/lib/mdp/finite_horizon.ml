@@ -1,0 +1,284 @@
+module Q = Proba.Rational
+
+exception No_convergence of string
+
+(* The backward induction is shared between exact rationals (used for
+   certified claims) and floats (used for fast exploration at sizes the
+   exact engine cannot reach): the layer algorithm is a functor over
+   the value semiring. *)
+module type NUM = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_rational : Q.t -> t
+  val add : t -> t -> t
+  val scale : t -> t -> t  (* weight * value *)
+  val equal : t -> t -> bool
+  val min : t -> t -> t
+  val max : t -> t -> t
+end
+
+module Num_rational : NUM with type t = Q.t = struct
+  type t = Q.t
+
+  let zero = Q.zero
+  let one = Q.one
+  let of_rational q = q
+  let add = Q.add
+  let scale = Q.mul
+  let equal = Q.equal
+  let min = Q.min
+  let max = Q.max
+end
+
+module Num_dyadic : NUM with type t = Proba.Dyadic.t = struct
+  type t = Proba.Dyadic.t
+
+  let zero = Proba.Dyadic.zero
+  let one = Proba.Dyadic.one
+  let of_rational = Proba.Dyadic.of_rational
+  let add = Proba.Dyadic.add
+  let scale = Proba.Dyadic.mul
+  let equal = Proba.Dyadic.equal
+  let min = Proba.Dyadic.min
+  let max = Proba.Dyadic.max
+end
+
+module Num_float : NUM with type t = float = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let of_rational = Q.to_float
+  let add = ( +. )
+  let scale = ( *. )
+  let equal a b = Float.equal a b
+  let min = Float.min
+  let max = Float.max
+end
+
+module Engine (N : NUM) = struct
+  type compact = {
+    n : int;
+    target : bool array;
+    (* per state: per step: (is_tick, outcomes with converted weights) *)
+    steps : (bool * (int * N.t) array) array array;
+  }
+
+  let compact expl ~is_tick ~target =
+    let n = Explore.num_states expl in
+    if Array.length target <> n then
+      invalid_arg "Finite_horizon: target array has wrong length";
+    let steps =
+      Array.init n (fun i ->
+          Array.map
+            (fun s ->
+               ( is_tick s.Explore.action,
+                 Array.map
+                   (fun (j, w) -> (j, N.of_rational w))
+                   s.Explore.outcomes ))
+            (Explore.steps expl i))
+    in
+    { n; target; steps }
+
+  let expectation v outcomes =
+    Array.fold_left
+      (fun acc (j, w) -> N.add acc (N.scale w v.(j)))
+      N.zero outcomes
+
+  (* One tick layer: given the value vector [v_next] for one tick less
+     of budget, compute the fixpoint of
+       v(s) = 1                          if target(s)
+            | 0                          if no step enabled
+            | best over steps:  tick s     -> E_{v_next}
+                                non-tick s -> E_v
+     iterating Bellman sweeps in place from [init] until unchanged. *)
+  let layer c ~best ~init v_next =
+    let tick_exp =
+      Array.map
+        (Array.map (fun (tick, outcomes) ->
+             if tick then Some (expectation v_next outcomes) else None))
+        c.steps
+    in
+    let v = Array.init c.n init in
+    let sweep () =
+      let changed = ref false in
+      for s = 0 to c.n - 1 do
+        if not c.target.(s) then begin
+          let stps = c.steps.(s) in
+          if Array.length stps > 0 then begin
+            let value = ref None in
+            Array.iteri
+              (fun k (_tick, outcomes) ->
+                 let candidate =
+                   match tick_exp.(s).(k) with
+                   | Some e -> e
+                   | None -> expectation v outcomes
+                 in
+                 match !value with
+                 | None -> value := Some candidate
+                 | Some cur -> value := Some (best cur candidate))
+              stps;
+            match !value with
+            | None -> ()
+            | Some fresh ->
+              if not (N.equal fresh v.(s)) then begin
+                v.(s) <- fresh;
+                changed := true
+              end
+          end
+        end
+      done;
+      !changed
+    in
+    let max_sweeps = c.n + 2 in
+    let rec go k =
+      if k > max_sweeps then
+        raise
+          (No_convergence
+             (Printf.sprintf
+                "tick layer did not close after %d sweeps: the automaton \
+                 has probabilistic zero-time cycles" max_sweeps))
+      else if sweep () then go (k + 1)
+    in
+    go 0;
+    v
+
+  let min_init c s =
+    if c.target.(s) then N.one
+    else if Array.length c.steps.(s) = 0 then N.zero
+    else N.one
+
+  let max_init c s = if c.target.(s) then N.one else N.zero
+
+  let run expl ~is_tick ~target ~ticks ~best ~init =
+    if ticks < 0 then invalid_arg "Finite_horizon: negative tick horizon";
+    let c = compact expl ~is_tick ~target in
+    let v = ref (Array.make c.n N.zero) in
+    for _t = 0 to ticks do
+      v := layer c ~best ~init:(init c) !v
+    done;
+    !v
+
+  let min_reach expl ~is_tick ~target ~ticks =
+    run expl ~is_tick ~target ~ticks ~best:N.min ~init:min_init
+
+  let max_reach expl ~is_tick ~target ~ticks =
+    run expl ~is_tick ~target ~ticks ~best:N.max ~init:max_init
+
+  let argbest c ~best v_next v =
+    Array.init c.n (fun s ->
+        if c.target.(s) || Array.length c.steps.(s) = 0 then -1
+        else begin
+          let best_k = ref 0 in
+          let best_v = ref None in
+          Array.iteri
+            (fun k (tick, outcomes) ->
+               let candidate =
+                 expectation (if tick then v_next else v) outcomes
+               in
+               match !best_v with
+               | None -> best_v := Some candidate; best_k := k
+               | Some cur ->
+                 if not (N.equal (best cur candidate) cur) then begin
+                   best_v := Some candidate;
+                   best_k := k
+                 end)
+            c.steps.(s);
+          !best_k
+        end)
+
+  let min_reach_with_policy expl ~is_tick ~target ~ticks =
+    if ticks < 0 then invalid_arg "Finite_horizon: negative tick horizon";
+    let c = compact expl ~is_tick ~target in
+    let policy = Array.make (ticks + 1) [||] in
+    let v = ref (Array.make c.n N.zero) in
+    for t = 0 to ticks do
+      let fresh = layer c ~best:N.min ~init:(min_init c) !v in
+      policy.(t) <- argbest c ~best:N.min !v fresh;
+      v := fresh
+    done;
+    (!v, policy)
+
+  (* Step-bounded: every step consumes one unit of horizon, so plain
+     backward induction suffices. *)
+  let run_steps expl ~target ~steps ~best =
+    if steps < 0 then invalid_arg "Finite_horizon: negative step horizon";
+    let n = Explore.num_states expl in
+    if Array.length target <> n then
+      invalid_arg "Finite_horizon: target array has wrong length";
+    let c = compact expl ~is_tick:(fun _ -> false) ~target in
+    let v =
+      ref (Array.init n (fun s -> if target.(s) then N.one else N.zero))
+    in
+    for _k = 1 to steps do
+      let prev = !v in
+      v :=
+        Array.init n (fun s ->
+            if target.(s) then N.one
+            else begin
+              let stps = c.steps.(s) in
+              if Array.length stps = 0 then N.zero
+              else
+                Array.fold_left
+                  (fun acc (_, outcomes) ->
+                     let e = expectation prev outcomes in
+                     match acc with
+                     | None -> Some e
+                     | Some cur -> Some (best cur e))
+                  None stps
+                |> Option.get
+            end)
+    done;
+    !v
+
+  let min_reach_steps expl ~target ~steps =
+    run_steps expl ~target ~steps ~best:N.min
+
+  let max_reach_steps expl ~target ~steps =
+    run_steps expl ~target ~steps ~best:N.max
+end
+
+module Exact = Engine (Num_rational)
+module Exact_dyadic = Engine (Num_dyadic)
+module Approx = Engine (Num_float)
+
+(* All shipped case studies only flip fair coins, so their transition
+   probabilities are dyadic and the shift-based arithmetic applies; the
+   rational engine remains the fallback for automata with arbitrary
+   probabilities.  Both are exact, so results are interchangeable. *)
+let exact_fast engine_dyadic engine_rational expl ~is_tick ~target ~ticks =
+  match
+    engine_dyadic expl ~is_tick ~target ~ticks
+  with
+  | values -> Array.map Proba.Dyadic.to_rational values
+  | exception Proba.Dyadic.Not_dyadic _ ->
+    engine_rational expl ~is_tick ~target ~ticks
+
+let min_reach expl ~is_tick ~target ~ticks =
+  exact_fast Exact_dyadic.min_reach Exact.min_reach expl ~is_tick ~target
+    ~ticks
+
+let max_reach expl ~is_tick ~target ~ticks =
+  exact_fast Exact_dyadic.max_reach Exact.max_reach expl ~is_tick ~target
+    ~ticks
+let min_reach_with_policy = Exact.min_reach_with_policy
+
+let min_reach_steps expl ~target ~steps =
+  match Exact_dyadic.min_reach_steps expl ~target ~steps with
+  | values -> Array.map Proba.Dyadic.to_rational values
+  | exception Proba.Dyadic.Not_dyadic _ ->
+    Exact.min_reach_steps expl ~target ~steps
+
+let max_reach_steps expl ~target ~steps =
+  match Exact_dyadic.max_reach_steps expl ~target ~steps with
+  | values -> Array.map Proba.Dyadic.to_rational values
+  | exception Proba.Dyadic.Not_dyadic _ ->
+    Exact.max_reach_steps expl ~target ~steps
+
+(** The rational-only engine, exposed for cross-checking. *)
+let min_reach_rational = Exact.min_reach
+let max_reach_rational = Exact.max_reach
+let min_reach_float = Approx.min_reach
+let max_reach_float = Approx.max_reach

@@ -1,0 +1,91 @@
+(** Exact time-bounded reachability under all adversaries.
+
+    Computes, by backward induction with exact rational arithmetic, the
+    minimum (or maximum) over all adversaries of the probability of
+    reaching a target set within a given number of time units -- the
+    quantity bounded by a statement [U -t->_p U'] (Definition 3.1).
+
+    Time is carried by distinguished {e tick} actions (see
+    {!Core.Timed}): the horizon counts ticks, and non-tick steps take
+    zero time.  Within one tick layer the Bellman operator is iterated
+    to its fixpoint; this terminates exactly when zero-time cycles
+    cannot carry probabilistic mass around a loop, which holds for
+    automata whose non-tick steps consume a per-slot budget (the
+    digital-clock construction used by the case studies).  If the layer
+    fixpoint fails to close after [num_states + 2] sweeps,
+    {!No_convergence} is raised rather than returning an unsound
+    answer.
+
+    Quantification is over all non-halting adversaries: the adversary
+    must pick some enabled step when one exists.  Halting at will would
+    make every minimum trivially zero; the timing schemas of the paper
+    (e.g. [Unit-Time]) likewise force time to keep flowing. *)
+
+exception No_convergence of string
+
+(** [min_reach expl ~is_tick ~target ~ticks] gives, per state index, the
+    minimum over all adversaries of the probability that a [target]
+    state is visited within [ticks] ticks (a state already in [target]
+    has value 1).  Raises [Invalid_argument] if [ticks < 0].
+
+    When every transition probability is dyadic (the case for all
+    fair-coin protocols) the computation runs on {!Proba.Dyadic}
+    arithmetic -- exactly the same results, several times faster than
+    general rationals; otherwise it falls back transparently. *)
+val min_reach :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> Proba.Rational.t array
+
+(** Maximum over all adversaries (best-case scheduling). *)
+val max_reach :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> Proba.Rational.t array
+
+(** [min_reach_with_policy] additionally returns an optimal memoryless
+    (per-layer) adversary: [policy.(t).(s)] is the index of the step the
+    minimizing adversary takes at state [s] with [t] ticks of budget
+    remaining ([-1] when the state is in the target, or terminal). *)
+val min_reach_with_policy :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> Proba.Rational.t array * int array array
+
+(** {1 Step-bounded variants (untimed automata)}
+
+    Here the horizon counts steps, so no inner fixpoint is needed. *)
+
+val min_reach_steps :
+  ('s, 'a) Explore.t -> target:bool array -> steps:int ->
+  Proba.Rational.t array
+
+val max_reach_steps :
+  ('s, 'a) Explore.t -> target:bool array -> steps:int ->
+  Proba.Rational.t array
+
+(** {1 Floating-point twins}
+
+    Identical layered algorithm with IEEE doubles instead of exact
+    rationals: roughly an order of magnitude faster and far lighter on
+    allocation, for exploratory sweeps at sizes the exact engine cannot
+    reach.  Values are not certificates; claims must still be
+    discharged by the exact functions above. *)
+
+val min_reach_float :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> float array
+
+val max_reach_float :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> float array
+
+(** {1 Cross-checking}
+
+    The pure-rational engines (no dyadic fast path), exposed so tests
+    and benches can compare the two exact implementations. *)
+
+val min_reach_rational :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> Proba.Rational.t array
+
+val max_reach_rational :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> Proba.Rational.t array

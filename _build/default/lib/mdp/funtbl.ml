@@ -1,0 +1,57 @@
+(* Separate-chaining hash table over caller-supplied hash/equal, with
+   doubling resize at load factor 2. *)
+
+type ('k, 'v) t = {
+  equal : 'k -> 'k -> bool;
+  hash : 'k -> int;
+  mutable buckets : ('k * 'v) list array;
+  mutable size : int;
+}
+
+let create ~equal ~hash n =
+  let n = Stdlib.max 16 n in
+  { equal; hash; buckets = Array.make n []; size = 0 }
+
+let length t = t.size
+
+let bucket_of t k = t.hash k land max_int mod Array.length t.buckets
+
+let find t k =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: rest -> if t.equal k k' then Some v else go rest
+  in
+  go t.buckets.(bucket_of t k)
+
+let mem t k = find t k <> None
+
+let resize t =
+  let old = t.buckets in
+  t.buckets <- Array.make (2 * Array.length old) [];
+  Array.iter
+    (List.iter (fun ((k, _) as binding) ->
+         let b = bucket_of t k in
+         t.buckets.(b) <- binding :: t.buckets.(b)))
+    old
+
+let add t k v =
+  let b = bucket_of t k in
+  let chain = t.buckets.(b) in
+  let existed = List.exists (fun (k', _) -> t.equal k k') chain in
+  let chain =
+    if existed then List.filter (fun (k', _) -> not (t.equal k k')) chain
+    else chain
+  in
+  t.buckets.(b) <- (k, v) :: chain;
+  if not existed then begin
+    t.size <- t.size + 1;
+    if t.size > 2 * Array.length t.buckets then resize t
+  end
+
+let iter f t = Array.iter (List.iter (fun (k, v) -> f k v)) t.buckets
+
+let fold f t init =
+  Array.fold_left
+    (fun acc chain ->
+       List.fold_left (fun acc (k, v) -> f k v acc) acc chain)
+    init t.buckets

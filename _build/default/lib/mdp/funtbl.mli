@@ -1,0 +1,20 @@
+(** Hash tables keyed by caller-supplied hash and equality functions.
+
+    [Stdlib.Hashtbl.Make] requires a module; the automata here carry
+    their state equality/hash as record fields, so exploration needs a
+    table parameterized by plain functions. *)
+
+type ('k, 'v) t
+
+(** [create ~equal ~hash n] makes a table with initial capacity [n]. *)
+val create : equal:('k -> 'k -> bool) -> hash:('k -> int) -> int -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+val find : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** [add t k v] binds [k] to [v], replacing any previous binding. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc

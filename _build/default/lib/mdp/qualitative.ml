@@ -1,0 +1,93 @@
+let safe_core expl ~avoid =
+  let n = Explore.num_states expl in
+  if Array.length avoid <> n then
+    invalid_arg "Qualitative: avoid array has wrong length";
+  let s = Array.copy avoid in
+  (* Greatest fixpoint: repeatedly drop states with no step staying
+     surely inside [s] (terminal states stay). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if s.(i) then begin
+        let steps = Explore.steps expl i in
+        let ok =
+          Array.length steps = 0
+          || Array.exists
+            (fun step ->
+               Array.for_all (fun (j, _) -> s.(j)) step.Explore.outcomes)
+            steps
+        in
+        if not ok then begin
+          s.(i) <- false;
+          changed := true
+        end
+      end
+    done
+  done;
+  s
+
+let can_avoid expl ~target =
+  let n = Explore.num_states expl in
+  if Array.length target <> n then
+    invalid_arg "Qualitative: target array has wrong length";
+  let avoid = Array.map not target in
+  let core = safe_core expl ~avoid in
+  (* Least fixpoint: states (outside the target) from which some step
+     has a positive-probability outcome already in the bad region. *)
+  let bad = Array.copy core in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if (not bad.(i)) && avoid.(i) then begin
+        let steps = Explore.steps expl i in
+        let reaches_bad =
+          Array.exists
+            (fun step ->
+               Array.exists (fun (j, _) -> bad.(j)) step.Explore.outcomes)
+            steps
+        in
+        if reaches_bad then begin
+          bad.(i) <- true;
+          changed := true
+        end
+      end
+    done
+  done;
+  bad
+
+let always_reaches expl ~target =
+  Array.map not (can_avoid expl ~target)
+
+let some_reaches_certainly expl ~target =
+  let n = Explore.num_states expl in
+  if Array.length target <> n then
+    invalid_arg "Qualitative: target array has wrong length";
+  (* Nested fixpoint (Prob1E): outer gfp on the candidate set [s_set],
+     inner lfp growing from the target through steps that stay inside
+     the candidate set and touch the already-grown region. *)
+  let s_set = Array.make n true in
+  let outer_changed = ref true in
+  while !outer_changed do
+    let r = Array.copy target in
+    let inner_changed = ref true in
+    while !inner_changed do
+      inner_changed := false;
+      for i = 0 to n - 1 do
+        if (not r.(i)) && s_set.(i) then begin
+          let good step =
+            Array.for_all (fun (j, _) -> s_set.(j)) step.Explore.outcomes
+            && Array.exists (fun (j, _) -> r.(j)) step.Explore.outcomes
+          in
+          if Array.exists good (Explore.steps expl i) then begin
+            r.(i) <- true;
+            inner_changed := true
+          end
+        end
+      done
+    done;
+    outer_changed := not (Array.for_all2 ( = ) s_set r);
+    Array.blit r 0 s_set 0 n
+  done;
+  s_set

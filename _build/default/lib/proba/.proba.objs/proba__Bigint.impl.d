@@ -1,0 +1,1 @@
+lib/proba/bigint.ml: Array Buffer Char Format List Printf String

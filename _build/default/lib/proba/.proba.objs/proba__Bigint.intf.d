@@ -1,0 +1,1 @@
+lib/proba/bigint.mli: Format

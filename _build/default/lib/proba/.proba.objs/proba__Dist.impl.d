@@ -1,0 +1,1 @@
+lib/proba/dist.ml: Format List Printf Rational

@@ -1,0 +1,1 @@
+lib/proba/dist.mli: Format Rational

@@ -1,0 +1,1 @@
+lib/proba/dyadic.ml: Bigint Float Rational Stdlib

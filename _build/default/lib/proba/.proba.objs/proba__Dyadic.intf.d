@@ -1,0 +1,1 @@
+lib/proba/dyadic.mli: Bigint Format Rational

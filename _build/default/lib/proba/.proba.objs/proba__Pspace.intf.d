@@ -1,0 +1,1 @@
+lib/proba/pspace.mli: Dist Rational

@@ -1,0 +1,1 @@
+lib/proba/rational.ml: Bigint Format List String

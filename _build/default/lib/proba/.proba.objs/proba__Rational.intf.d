@@ -1,0 +1,1 @@
+lib/proba/rational.mli: Bigint Format

@@ -1,0 +1,1 @@
+lib/proba/rng.ml: Array Int64 List

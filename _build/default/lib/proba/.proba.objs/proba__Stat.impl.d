@@ -1,0 +1,1 @@
+lib/proba/stat.ml: Array Float Format Stdlib String

@@ -1,0 +1,1 @@
+lib/proba/stat.mli: Format

@@ -1,0 +1,112 @@
+(* Finite distributions as association lists of (outcome, positive
+   rational weight) summing to exactly one.  Construction enforces the
+   invariant; everything else relies on it. *)
+
+type 'a t = ('a * Rational.t) list
+
+exception Not_a_distribution of string
+
+let default_equal a b = a = b
+
+(* Merge duplicate outcomes, drop zero weights, check positivity. *)
+let merge equal pairs =
+  let add acc (x, w) =
+    let c = Rational.compare w Rational.zero in
+    if c < 0 then
+      raise (Not_a_distribution
+               (Printf.sprintf "negative weight %s" (Rational.to_string w)))
+    else if c = 0 then acc
+    else begin
+      let rec insert = function
+        | [] -> [ (x, w) ]
+        | (y, wy) :: rest ->
+          if equal x y then (y, Rational.add wy w) :: rest
+          else (y, wy) :: insert rest
+      in
+      insert acc
+    end
+  in
+  List.fold_left add [] pairs
+
+let total pairs = Rational.sum (List.map snd pairs)
+
+let make ?(equal = default_equal) pairs =
+  let pairs = merge equal pairs in
+  let t = total pairs in
+  if not (Rational.equal t Rational.one) then
+    raise (Not_a_distribution
+             (Printf.sprintf "weights sum to %s, not 1" (Rational.to_string t)));
+  pairs
+
+let point x = [ (x, Rational.one) ]
+
+let uniform xs =
+  match xs with
+  | [] -> raise (Not_a_distribution "uniform over empty list")
+  | _ ->
+    let w = Rational.of_ints 1 (List.length xs) in
+    make (List.map (fun x -> (x, w)) xs)
+
+let bernoulli p x y =
+  if not (Rational.is_probability p) then
+    raise (Not_a_distribution
+             (Printf.sprintf "bernoulli parameter %s" (Rational.to_string p)));
+  make [ (x, p); (y, Rational.sub Rational.one p) ]
+
+let coin x y = bernoulli Rational.half x y
+
+let support d = d
+let size d = List.length d
+
+let prob d pred =
+  Rational.sum (List.filter_map (fun (x, w) -> if pred x then Some w else None) d)
+
+let prob_of ?(equal = default_equal) d x = prob d (equal x)
+
+let is_point = function
+  | [ (x, _) ] -> Some x
+  | _ -> None
+
+let map ?(equal = default_equal) f d =
+  let pairs = merge equal (List.map (fun (x, w) -> (f x, w)) d) in
+  pairs
+
+let bind ?(equal = default_equal) d f =
+  let pieces =
+    List.concat_map
+      (fun (x, w) ->
+         List.map (fun (y, wy) -> (y, Rational.mul w wy)) (f x))
+      d
+  in
+  merge equal pieces
+
+let product d1 d2 =
+  List.concat_map
+    (fun (x, wx) -> List.map (fun (y, wy) -> ((x, y), Rational.mul wx wy)) d2)
+    d1
+
+let filter_renormalize d pred =
+  let kept = List.filter (fun (x, _) -> pred x) d in
+  let t = total kept in
+  if Rational.is_zero t then None
+  else Some (List.map (fun (x, w) -> (x, Rational.div w t)) kept)
+
+let expect d f =
+  Rational.sum (List.map (fun (x, w) -> Rational.mul w (f x)) d)
+
+let sample d u =
+  let rec go acc = function
+    | [] -> invalid_arg "Dist.sample: empty distribution"
+    | [ (x, _) ] -> x
+    | (x, w) :: rest ->
+      let acc = acc +. Rational.to_float w in
+      if u < acc then x else go acc rest
+  in
+  go 0.0 d
+
+let pp pp_elt fmt d =
+  let pp_pair fmt (x, w) =
+    Format.fprintf fmt "%a: %a" pp_elt x Rational.pp w
+  in
+  Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun fmt () ->
+      Format.fprintf fmt ";@ ") pp_pair) d

@@ -1,0 +1,83 @@
+(** Finite discrete probability distributions with exact rational
+    weights.
+
+    This is the [Probs(states(M))] component of the probabilistic
+    automaton model: a probability space [(Omega, 2^Omega, P)] with finite
+    [Omega].  Weights are strictly positive and sum to exactly one; both
+    properties are enforced at construction time. *)
+
+type 'a t
+
+exception Not_a_distribution of string
+
+(** {1 Construction} *)
+
+(** [point x] is the Dirac distribution at [x]. *)
+val point : 'a -> 'a t
+
+(** [make pairs] builds a distribution from weighted outcomes.  Outcomes
+    with zero weight are dropped; duplicate outcomes (w.r.t. [equal],
+    default structural equality) are merged.  Raises
+    [Not_a_distribution] if a weight is negative or the total is not 1. *)
+val make : ?equal:('a -> 'a -> bool) -> ('a * Rational.t) list -> 'a t
+
+(** [uniform xs] is the uniform distribution over a non-empty list
+    (duplicates in [xs] receive proportionally larger weight).
+    Raises [Not_a_distribution] on the empty list. *)
+val uniform : 'a list -> 'a t
+
+(** [bernoulli p x y] yields [x] with probability [p] and [y] with
+    probability [1-p].  Raises [Not_a_distribution] unless [0 <= p <= 1]. *)
+val bernoulli : Rational.t -> 'a -> 'a -> 'a t
+
+(** Fair coin over two outcomes. *)
+val coin : 'a -> 'a -> 'a t
+
+(** {1 Observation} *)
+
+(** Weighted outcomes, weights positive and summing to 1.  The order is
+    unspecified but deterministic for a given construction. *)
+val support : 'a t -> ('a * Rational.t) list
+
+(** Number of outcomes. *)
+val size : 'a t -> int
+
+(** [prob dist pred] is the probability of the event [pred]. *)
+val prob : 'a t -> ('a -> bool) -> Rational.t
+
+(** [prob_of ?equal dist x] is the probability of the single outcome [x]. *)
+val prob_of : ?equal:('a -> 'a -> bool) -> 'a t -> 'a -> Rational.t
+
+(** [is_point dist] returns [Some x] when [dist] is Dirac at [x]. *)
+val is_point : 'a t -> 'a option
+
+(** {1 Transformation} *)
+
+(** [map ?equal f dist] is the pushforward along [f]; outcomes that
+    collide under [f] are merged. *)
+val map : ?equal:('b -> 'b -> bool) -> ('a -> 'b) -> 'a t -> 'b t
+
+(** [bind ?equal dist f] sequences two random choices (the Kleisli
+    extension of the distribution monad). *)
+val bind : ?equal:('b -> 'b -> bool) -> 'a t -> ('a -> 'b t) -> 'b t
+
+(** [product d1 d2] is the independent product distribution. *)
+val product : 'a t -> 'b t -> ('a * 'b) t
+
+(** [filter_renormalize dist pred] conditions on [pred]; [None] if the
+    event has probability zero. *)
+val filter_renormalize : 'a t -> ('a -> bool) -> 'a t option
+
+(** {1 Numeric} *)
+
+(** [expect dist f] is the expectation of a rational-valued function. *)
+val expect : 'a t -> ('a -> Rational.t) -> Rational.t
+
+(** [sample dist u] picks an outcome given [u] uniform in [0,1): outcomes
+    are laid out in [support] order and the one whose cumulative
+    probability interval contains [u] is returned. *)
+val sample : 'a t -> float -> 'a
+
+(** {1 Printing} *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

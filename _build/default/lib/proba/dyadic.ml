@@ -1,0 +1,67 @@
+(* Normalized m * 2^e with m odd (or m = 0, e = 0). *)
+
+type t = { m : Bigint.t; e : int }
+
+exception Not_dyadic of string
+
+let normalize m e =
+  if Bigint.is_zero m then { m = Bigint.zero; e = 0 }
+  else begin
+    let tz = Bigint.trailing_zeros m in
+    if tz = 0 then { m; e }
+    else { m = Bigint.shift_right m tz; e = e + tz }
+  end
+
+let make m e = normalize m e
+
+let zero = { m = Bigint.zero; e = 0 }
+let one = { m = Bigint.one; e = 0 }
+let half = { m = Bigint.one; e = -1 }
+
+let of_int n = normalize (Bigint.of_int n) 0
+
+let of_rational q =
+  let den = Rational.den q in
+  let tz = Bigint.trailing_zeros den in
+  let odd_part = Bigint.shift_right den tz in
+  if not (Bigint.equal odd_part Bigint.one) then
+    raise (Not_dyadic (Rational.to_string q));
+  normalize (Rational.num q) (-tz)
+
+let to_rational x =
+  if x.e >= 0 then Rational.of_bigint (Bigint.shift_left x.m x.e)
+  else Rational.make x.m (Bigint.shift_left Bigint.one (-x.e))
+
+let to_float x = Bigint.to_float x.m *. Float.pow 2.0 (float_of_int x.e)
+
+let mantissa x = x.m
+let exponent x = x.e
+
+let add a b =
+  if Bigint.is_zero a.m then b
+  else if Bigint.is_zero b.m then a
+  else if a.e <= b.e then
+    normalize (Bigint.add a.m (Bigint.shift_left b.m (b.e - a.e))) a.e
+  else normalize (Bigint.add (Bigint.shift_left a.m (a.e - b.e)) b.m) b.e
+
+let neg a = { a with m = Bigint.neg a.m }
+let sub a b = add a (neg b)
+
+let mul a b =
+  if Bigint.is_zero a.m || Bigint.is_zero b.m then zero
+  else { m = Bigint.mul a.m b.m; e = a.e + b.e }
+
+let compare a b =
+  let sa = Bigint.sign a.m and sb = Bigint.sign b.m in
+  if sa <> sb then Stdlib.compare sa sb
+  else if sa = 0 then 0
+  else if a.e <= b.e then
+    Bigint.compare a.m (Bigint.shift_left b.m (b.e - a.e))
+  else Bigint.compare (Bigint.shift_left a.m (a.e - b.e)) b.m
+
+let equal a b = Bigint.equal a.m b.m && (Bigint.is_zero a.m || a.e = b.e)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let pp fmt x = Rational.pp fmt (to_rational x)

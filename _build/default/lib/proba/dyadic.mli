@@ -1,0 +1,48 @@
+(** Exact dyadic rationals: [m * 2^e] with odd mantissa.
+
+    Every probability occurring in the shipped case studies is dyadic
+    (the only random sources are fair coins), and the backward-induction
+    engine spends most of its time in rational [add]/[mul], whose GCD
+    normalization dominates.  Dyadics normalize with shifts instead of
+    GCDs, giving the same exact answers faster.  {!Mdp.Finite_horizon}
+    exposes a dyadic engine built on this type.
+
+    Values are normalized: the mantissa is odd or zero (with exponent 0
+    for zero).  All operations are exact; {!of_rational} fails on
+    non-dyadic input. *)
+
+type t
+
+exception Not_dyadic of string
+
+val zero : t
+val one : t
+val half : t
+
+(** [make mantissa exponent] is [mantissa * 2^exponent] (normalized). *)
+val make : Bigint.t -> int -> t
+
+val of_int : int -> t
+
+(** Raises {!Not_dyadic} if the denominator is not a power of two. *)
+val of_rational : Rational.t -> t
+
+(** Exact conversion back (never fails). *)
+val to_rational : t -> Rational.t
+
+val to_float : t -> float
+
+val mantissa : t -> Bigint.t
+val exponent : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

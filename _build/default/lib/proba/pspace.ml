@@ -1,0 +1,24 @@
+type 'a event = 'a -> bool
+
+let probability d e = Dist.prob d e
+
+let inter e1 e2 x = e1 x && e2 x
+let union e1 e2 x = e1 x || e2 x
+let complement e x = not (e x)
+
+let conditional d e ~given =
+  let pg = probability d given in
+  if Rational.is_zero pg then None
+  else Some (Rational.div (probability d (inter e given)) pg)
+
+let independent d e1 e2 =
+  Rational.equal
+    (probability d (inter e1 e2))
+    (Rational.mul (probability d e1) (probability d e2))
+
+let expectation = Dist.expect
+
+let variance d f =
+  let mean = expectation d f in
+  let second = expectation d (fun x -> Rational.mul (f x) (f x)) in
+  Rational.sub second (Rational.mul mean mean)

@@ -1,0 +1,35 @@
+(** Probability-space view of a finite distribution.
+
+    The paper's model equips each step with a probability space
+    [(Omega, 2^Omega, P)] with finite [Omega]; {!Dist} is the carrier,
+    and this module provides the event-algebra operations one reasons
+    with on top of it: event probability, conditional probability, and
+    (exact) independence of events -- the notion whose failure under
+    non-oblivious adversaries motivates the paper's Section 4. *)
+
+type 'a event = 'a -> bool
+
+(** [probability d e] is [P(e)]. *)
+val probability : 'a Dist.t -> 'a event -> Rational.t
+
+(** [conditional d e ~given] is [P(e | given)]; [None] when the
+    condition has probability zero. *)
+val conditional :
+  'a Dist.t -> 'a event -> given:'a event -> Rational.t option
+
+(** [independent d e1 e2]: does [P(e1 ∩ e2) = P(e1) P(e2)] hold
+    exactly? *)
+val independent : 'a Dist.t -> 'a event -> 'a event -> bool
+
+(** Boolean algebra on events. *)
+val inter : 'a event -> 'a event -> 'a event
+
+val union : 'a event -> 'a event -> 'a event
+val complement : 'a event -> 'a event
+
+(** [expectation d f] of a rational random variable (alias of
+    {!Dist.expect}). *)
+val expectation : 'a Dist.t -> ('a -> Rational.t) -> Rational.t
+
+(** [variance d f] = [E[f^2] - (E[f])^2], exactly. *)
+val variance : 'a Dist.t -> ('a -> Rational.t) -> Rational.t

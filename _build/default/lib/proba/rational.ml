@@ -1,0 +1,105 @@
+(* Canonical rationals: positive denominator, coprime numerator. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    if Bigint.equal g Bigint.one then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+let of_int n = { num = Bigint.of_int n; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let half = of_ints 1 2
+
+let num x = x.num
+let den x = x.den
+
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let hash x = (Bigint.hash x.num * 65599) lxor Bigint.hash x.den
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let leq a b = compare a b <= 0
+let lt a b = compare a b < 0
+let geq a b = compare a b >= 0
+let gt a b = compare a b > 0
+
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  make x.den x.num
+
+let div a b = mul a (inv b)
+
+let pow x n =
+  if n >= 0 then { num = Bigint.pow x.num n; den = Bigint.pow x.den n }
+  else inv { num = Bigint.pow x.num (-n); den = Bigint.pow x.den (-n) }
+
+let mul_int x n = mul x (of_int n)
+
+let is_probability x = sign x >= 0 && leq x one
+
+let sum xs = List.fold_left add zero xs
+
+let to_string x =
+  if Bigint.equal x.den Bigint.one then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let a = Bigint.of_string (String.sub s 0 i) in
+    let b = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make a b
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let whole = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       if frac = "" then invalid_arg "Rational.of_string: empty fraction";
+       let negative = String.length whole > 0 && whole.[0] = '-' in
+       let whole_v =
+         if whole = "" || whole = "-" || whole = "+" then Bigint.zero
+         else Bigint.of_string whole
+       in
+       let scale = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+       let frac_v = Bigint.of_string frac in
+       if Bigint.sign frac_v < 0 then
+         invalid_arg "Rational.of_string: malformed decimal";
+       let mag =
+         Bigint.add (Bigint.mul (Bigint.abs whole_v) scale) frac_v
+       in
+       let signed = if negative then Bigint.neg mag else mag in
+       make signed scale)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,87 @@
+(** Exact rational arithmetic.
+
+    Rationals are kept in canonical form: the denominator is positive and
+    the numerator/denominator pair is coprime.  All probability
+    computations in this library use this type so that statements such as
+    [G -5->_{1/4} P] are checked exactly rather than up to floating-point
+    error. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val half : t
+val two : t
+
+(** {1 Construction} *)
+
+(** [make num den] is [num/den] in canonical form.
+    Raises [Division_by_zero] if [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+(** [of_ints num den] is [num/den]. Raises [Division_by_zero] on [den=0]. *)
+val of_ints : int -> int -> t
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+(** [of_string s] parses ["a/b"], ["a"], or a decimal like ["0.25"].
+    Raises [Invalid_argument] on malformed input. *)
+val of_string : string -> t
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val to_float : t -> float
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val leq : t -> t -> bool
+val lt : t -> t -> bool
+val geq : t -> t -> bool
+val gt : t -> t -> bool
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Division_by_zero] when dividing by zero. *)
+val div : t -> t -> t
+
+val inv : t -> t
+
+(** [pow x n] for any integer [n] (negative powers invert; raises
+    [Division_by_zero] on [pow zero n] with [n < 0]). *)
+val pow : t -> int -> t
+
+(** [mul_int x n] is [x * n]. *)
+val mul_int : t -> int -> t
+
+(** {1 Probability helpers} *)
+
+(** [is_probability x] is [0 <= x <= 1]. *)
+val is_probability : t -> bool
+
+(** [sum xs] adds a list of rationals. *)
+val sum : t list -> t
+
+(** {1 Printing} *)
+
+(** Renders ["num/den"] (or just ["num"] when the denominator is 1). *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then nan else t.mean
+
+  let variance t =
+    if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let mean_ci ?(z = 1.96) t =
+    if t.count < 2 then (nan, nan)
+    else begin
+      let half = z *. stddev t /. sqrt (float_of_int t.count) in
+      (t.mean -. half, t.mean +. half)
+    end
+end
+
+module Proportion = struct
+  type t = { mutable trials : int; mutable successes : int }
+
+  let create () = { trials = 0; successes = 0 }
+
+  let add t success =
+    t.trials <- t.trials + 1;
+    if success then t.successes <- t.successes + 1
+
+  let trials t = t.trials
+  let successes t = t.successes
+
+  let estimate t =
+    if t.trials = 0 then nan
+    else float_of_int t.successes /. float_of_int t.trials
+
+  let wilson_ci ?(z = 1.96) t =
+    if t.trials = 0 then (nan, nan)
+    else begin
+      let n = float_of_int t.trials in
+      let p = estimate t in
+      let z2 = z *. z in
+      let denom = 1.0 +. (z2 /. n) in
+      let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+      let half =
+        z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+      in
+      (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+    end
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable total : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+    { lo; hi; width = (hi -. lo) /. float_of_int bins;
+      counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+  let add t x =
+    t.total <- t.total + 1;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let i = int_of_float ((x -. t.lo) /. t.width) in
+      let i = if i >= Array.length t.counts then Array.length t.counts - 1 else i in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+
+  let count t = t.total
+  let bin_counts t = Array.copy t.counts
+  let underflow t = t.underflow
+  let overflow t = t.overflow
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+    if t.total = 0 then nan
+    else begin
+      let target = q *. float_of_int t.total in
+      let acc = ref (float_of_int t.underflow) in
+      let result = ref t.hi in
+      (try
+         for i = 0 to Array.length t.counts - 1 do
+           let c = float_of_int t.counts.(i) in
+           if !acc +. c >= target && c > 0.0 then begin
+             let frac = (target -. !acc) /. c in
+             result := t.lo +. ((float_of_int i +. frac) *. t.width);
+             raise Exit
+           end;
+           acc := !acc +. c
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let pp fmt t =
+    Format.fprintf fmt "@[<v>";
+    let peak = Array.fold_left Stdlib.max 1 t.counts in
+    Array.iteri
+      (fun i c ->
+         let lo = t.lo +. (float_of_int i *. t.width) in
+         let bar = String.make (c * 40 / peak) '#' in
+         Format.fprintf fmt "[%8.2f) %6d %s@," lo c bar)
+      t.counts;
+    if t.underflow > 0 then Format.fprintf fmt "underflow %d@," t.underflow;
+    if t.overflow > 0 then Format.fprintf fmt "overflow %d@," t.overflow;
+    Format.fprintf fmt "@]"
+end

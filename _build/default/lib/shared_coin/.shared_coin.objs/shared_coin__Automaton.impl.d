@@ -1,0 +1,1 @@
+lib/shared_coin/automaton.ml: Array Core Format List Printf Proba

@@ -1,0 +1,1 @@
+lib/shared_coin/automaton.mli: Core

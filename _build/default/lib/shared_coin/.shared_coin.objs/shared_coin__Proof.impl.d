@@ -1,0 +1,1 @@
+lib/shared_coin/proof.ml: Array Automaton Core List Mdp Printf Proba Result

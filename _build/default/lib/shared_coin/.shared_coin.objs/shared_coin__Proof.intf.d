@@ -1,0 +1,1 @@
+lib/shared_coin/proof.mli: Automaton Core Mdp Proba

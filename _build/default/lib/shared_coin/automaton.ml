@@ -1,0 +1,75 @@
+module D = Proba.Dist
+
+type state = {
+  counter : int;
+  clocks : (int * int) array;
+}
+
+type action = Tick | Flip of int
+
+type params = { n : int; bound : int; g : int; k : int }
+
+let is_tick = function Tick -> true | Flip _ -> false
+let duration a = if is_tick a then 1 else 0
+
+let decided params s = abs s.counter >= params.bound
+
+let at_least params d =
+  ignore params;
+  Core.Pred.make (Printf.sprintf "|counter| >= %d" d) (fun s ->
+      abs s.counter >= d)
+
+let start params = { counter = 0; clocks = Array.make params.n (params.g, params.k) }
+
+let tick_step params s =
+  if decided params s then
+    (* Decided states absorb: time flows, nothing else happens. *)
+    [ { Core.Pa.action = Tick; dist = D.point s } ]
+  else if Array.exists (fun (c, _) -> c = 0) s.clocks then []
+  else begin
+    let clocks = Array.map (fun (c, _) -> (c - 1, params.k)) s.clocks in
+    [ { Core.Pa.action = Tick; dist = D.point { s with clocks } } ]
+  end
+
+let flip_steps params s =
+  if decided params s then []
+  else
+    List.concat
+      (List.mapi
+         (fun i (_, b) ->
+            if b <= 0 then []
+            else begin
+              let moved delta =
+                let counter = s.counter + delta in
+                if abs counter >= params.bound then
+                  (* Decided: canonicalize the (now irrelevant) clocks
+                     so all deciding paths meet in one state per side. *)
+                  { counter;
+                    clocks = Array.make (Array.length s.clocks)
+                        (params.g, params.k) }
+                else begin
+                  let clocks = Array.copy s.clocks in
+                  clocks.(i) <- (params.g, b - 1);
+                  { counter; clocks }
+                end
+              in
+              [ { Core.Pa.action = Flip i;
+                  dist = D.coin (moved 1) (moved (-1)) } ]
+            end)
+         (Array.to_list s.clocks))
+
+let enabled params s = tick_step params s @ flip_steps params s
+
+let make params =
+  if params.n < 1 || params.bound < 1 || params.g < 1 || params.k < 1 then
+    invalid_arg "Shared_coin: parameters must be positive";
+  let pp_state fmt s =
+    Format.fprintf fmt "c=%+d" s.counter;
+    Array.iter (fun (c, b) -> Format.fprintf fmt " (%d,%d)" c b) s.clocks
+  in
+  let pp_action fmt = function
+    | Tick -> Format.pp_print_string fmt "tick"
+    | Flip i -> Format.fprintf fmt "flip_%d" i
+  in
+  Core.Pa.make ~pp_state ~pp_action ~start:[ start params ]
+    ~enabled:(enabled params) ()

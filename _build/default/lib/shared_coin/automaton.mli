@@ -1,0 +1,49 @@
+(** A shared-coin protocol: third case study for the proof method.
+
+    [n] processes repeatedly flip fair coins and add the outcomes (+1 or
+    -1) to a shared counter; the protocol decides when the counter hits
+    [+bound] or [-bound].  This is the random-walk core of the shared
+    coins used by randomized consensus algorithms in the
+    Aspnes-Herlihy tradition: the adversary schedules the increments
+    but cannot bias them, so the counter performs a fair random walk
+    whose exit time from [(-bound, bound)] is classical --
+    [bound^2] flips in expectation, independent of the schedule.
+
+    Timing follows the digital-clock discipline of the other case
+    studies: every undecided process must flip within one time unit
+    ([g] slots), and may flip at most [k] times per slot.  Hence the
+    flip {e rate} is between [n] and [n*k*g] per unit, and the worst-case
+    expected decision time is [bound^2 / n] units (the adversary can
+    only slow the walk down, not steer it) -- a sharp, hand-checkable
+    law that the exact engine reproduces.
+
+    Interesting methodologically: the paper's composition method
+    applies (a ladder over [|counter|]) and yields a {e valid} bound
+    [decided within bound time units with probability 2^-bound] -- but
+    exponentially far from the truth, illustrating when one should
+    switch from composed phase bounds to direct analysis. *)
+
+type state = {
+  counter : int;  (** current sum, clamped to [[-bound, bound]] *)
+  clocks : (int * int) array;  (** per process: (deadline c, budget b) *)
+}
+
+type action = Tick | Flip of int
+
+type params = { n : int; bound : int; g : int; k : int }
+
+val is_tick : action -> bool
+val duration : action -> int
+
+(** Decided: the counter reached an absorbing barrier. *)
+val decided : params -> state -> bool
+
+(** [at_least params d]: the named set [|counter| >= d] (the rungs of
+    the composition ladder). *)
+val at_least : params -> int -> state Core.Pred.t
+
+val start : params -> state
+
+(** Raises [Invalid_argument] unless [n >= 1], [bound >= 1], [g >= 1],
+    [k >= 1]. *)
+val make : params -> (state, action) Core.Pa.t

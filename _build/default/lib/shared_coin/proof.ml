@@ -1,0 +1,98 @@
+module Q = Proba.Rational
+
+type instance = {
+  params : Automaton.params;
+  expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+}
+
+let build ?max_states ?(g = 1) ?(k = 1) ~n ~bound () =
+  let params = { Automaton.n; bound; g; k } in
+  { params; expl = Mdp.Explore.run ?max_states (Automaton.make params) }
+
+type arrow = {
+  label : string;
+  time : Q.t;
+  prob : Q.t;
+  attained : Q.t;
+  pre_states : int;
+  claim : Automaton.state Core.Claim.t option;
+}
+
+let schema = Core.Schema.unit_time
+
+let rung inst d =
+  let result =
+    Mdp.Checker.check_arrow inst.expl ~is_tick:Automaton.is_tick
+      ~granularity:inst.params.Automaton.g ~schema
+      ~pre:(Automaton.at_least inst.params d)
+      ~post:(Automaton.at_least inst.params (d + 1))
+      ~time:Q.one ~prob:Q.half
+  in
+  { label = Printf.sprintf "D%d" d;
+    time = Q.one; prob = Q.half;
+    attained = result.Mdp.Checker.attained;
+    pre_states = result.Mdp.Checker.pre_states;
+    claim = result.Mdp.Checker.claim }
+
+let rungs inst = List.init inst.params.Automaton.bound (fun d -> d)
+
+let arrows inst = List.map (rung inst) (rungs inst)
+
+let composed inst =
+  let claims =
+    List.map
+      (fun d ->
+         match (rung inst d).claim with
+         | Some c -> Ok c
+         | None -> Error (Printf.sprintf "rung D%d failed" d))
+      (rungs inst)
+  in
+  let rec sequence = function
+    | [] -> Ok []
+    | Ok x :: rest -> Result.map (fun xs -> x :: xs) (sequence rest)
+    | Error e :: _ -> Error e
+  in
+  match sequence claims with
+  | Error e -> Error e
+  | Ok [] -> Error "bound too small"
+  | Ok claims ->
+    (try Ok (Core.Claim.compose_all claims)
+     with Core.Claim.Rule_violation msg -> Error msg)
+
+let decided_pred inst =
+  Automaton.at_least inst.params inst.params.Automaton.bound
+
+let direct_bound inst =
+  let target = Mdp.Explore.indicator inst.expl (decided_pred inst) in
+  let ticks =
+    Core.Timed.within ~granularity:inst.params.Automaton.g
+      ~time:(Q.of_int inst.params.Automaton.bound)
+  in
+  let values =
+    Mdp.Finite_horizon.min_reach inst.expl ~is_tick:Automaton.is_tick ~target
+      ~ticks
+  in
+  let best, _, _ =
+    Mdp.Checker.min_prob_over inst.expl values
+      (Automaton.at_least inst.params 0)
+  in
+  best
+
+let expected_exact inst =
+  let target = Mdp.Explore.indicator inst.expl (decided_pred inst) in
+  let values =
+    Mdp.Expected_time.max_expected_ticks inst.expl ~is_tick:Automaton.is_tick
+      ~target ()
+  in
+  match Mdp.Explore.index inst.expl (Automaton.start inst.params) with
+  | Some i -> values.(i) /. float_of_int inst.params.Automaton.g
+  | None -> nan
+
+let expected_theory inst =
+  let b = float_of_int inst.params.Automaton.bound in
+  b *. b /. float_of_int inst.params.Automaton.n
+
+let liveness_holds inst =
+  let target = Mdp.Explore.indicator inst.expl (decided_pred inst) in
+  let always = Mdp.Qualitative.always_reaches inst.expl ~target in
+  Array.for_all (fun b -> b) always

@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.ml: Core Engine Proba Scheduler

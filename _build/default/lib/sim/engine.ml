@@ -1,0 +1,39 @@
+type why = Reached | Halted | Deadlock | Step_limit | Time_limit
+
+type ('s, 'a) outcome = {
+  final : 's;
+  steps : int;
+  elapsed : int;
+  why : why;
+  frag : ('s, 'a) Core.Exec.t;
+}
+
+let run m sched ~rng ~stop ?(duration = fun _ -> 0)
+    ?(max_steps = 1_000_000) ?max_time start =
+  let rec go frag steps elapsed =
+    let s = Core.Exec.lstate frag in
+    if stop s then { final = s; steps; elapsed; why = Reached; frag }
+    else if steps >= max_steps then
+      { final = s; steps; elapsed; why = Step_limit; frag }
+    else begin
+      match Core.Pa.enabled m s with
+      | [] -> { final = s; steps; elapsed; why = Deadlock; frag }
+      | _ :: _ ->
+        (match sched rng frag with
+         | None -> { final = s; steps; elapsed; why = Halted; frag }
+         | Some step ->
+           let d = duration step.Core.Pa.action in
+           (* Zero-duration steps may still fire at the deadline itself:
+              "within time t" includes activity at time exactly t. *)
+           (match max_time with
+            | Some t when elapsed + d > t ->
+              { final = s; steps; elapsed; why = Time_limit; frag }
+            | Some _ | None ->
+              let target =
+                Proba.Dist.sample step.Core.Pa.dist (Proba.Rng.float rng)
+              in
+              let frag = Core.Exec.snoc frag step.Core.Pa.action target in
+              go frag (steps + 1) (elapsed + d)))
+    end
+  in
+  go (Core.Exec.initial start) 0 0

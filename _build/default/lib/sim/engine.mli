@@ -1,0 +1,32 @@
+(** Single-trajectory simulation of a probabilistic automaton under a
+    scheduler.
+
+    The engine resolves nondeterminism with the scheduler and
+    probabilistic branches by sampling with the supplied generator; it
+    stops when a stop predicate holds, the scheduler halts, a time or
+    step bound is exceeded, or the automaton deadlocks. *)
+
+type why =
+  | Reached  (** the stop predicate held *)
+  | Halted  (** the scheduler returned nothing *)
+  | Deadlock  (** no step enabled *)
+  | Step_limit
+  | Time_limit
+
+type ('s, 'a) outcome = {
+  final : 's;
+  steps : int;  (** number of steps taken *)
+  elapsed : int;  (** total duration of the actions taken, in slots *)
+  why : why;
+  frag : ('s, 'a) Core.Exec.t;  (** the full trajectory *)
+}
+
+(** [run m sched ~rng ~stop ?duration ?max_steps ?max_time start] plays
+    one trajectory from [start].  [duration] defaults to "every action
+    is instantaneous"; [max_time] is in slots and checked {e after} each
+    step ([Time_limit] fires once [elapsed > max_time] would hold,
+    i.e. states reached at exactly [max_time] are still examined). *)
+val run :
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Scheduler.t -> rng:Proba.Rng.t ->
+  stop:('s -> bool) -> ?duration:('a -> int) -> ?max_steps:int ->
+  ?max_time:int -> 's -> ('s, 'a) outcome

@@ -1,0 +1,53 @@
+type ('s, 'a) setup = {
+  pa : ('s, 'a) Core.Pa.t;
+  scheduler : ('s, 'a) Scheduler.t;
+  duration : 'a -> int;
+  start : 's;
+}
+
+let estimate_reach setup ~target ~within ~trials ~seed =
+  let root = Proba.Rng.create ~seed in
+  let prop = Proba.Stat.Proportion.create () in
+  for _ = 1 to trials do
+    let rng = Proba.Rng.split root in
+    let outcome =
+      Engine.run setup.pa setup.scheduler ~rng ~stop:target
+        ~duration:setup.duration ~max_time:within setup.start
+    in
+    Proba.Stat.Proportion.add prop (outcome.Engine.why = Engine.Reached)
+  done;
+  prop
+
+let run_times setup ~target ~trials ~seed ~max_steps record =
+  let root = Proba.Rng.create ~seed in
+  let missed = ref 0 in
+  for _ = 1 to trials do
+    let rng = Proba.Rng.split root in
+    let outcome =
+      Engine.run setup.pa setup.scheduler ~rng ~stop:target
+        ~duration:setup.duration ~max_steps setup.start
+    in
+    if outcome.Engine.why = Engine.Reached then
+      record (float_of_int outcome.Engine.elapsed)
+    else incr missed
+  done;
+  !missed
+
+let estimate_time setup ~target ~trials ~seed ?(max_steps = 1_000_000) () =
+  let summary = Proba.Stat.Summary.create () in
+  let missed =
+    run_times setup ~target ~trials ~seed ~max_steps
+      (Proba.Stat.Summary.add summary)
+  in
+  (summary, missed)
+
+let histogram_time setup ~target ~trials ~seed ?(max_steps = 1_000_000)
+    ~lo ~hi ~bins () =
+  let summary = Proba.Stat.Summary.create () in
+  let hist = Proba.Stat.Histogram.create ~lo ~hi ~bins in
+  let _missed =
+    run_times setup ~target ~trials ~seed ~max_steps (fun x ->
+        Proba.Stat.Summary.add summary x;
+        Proba.Stat.Histogram.add hist x)
+  in
+  (hist, summary)

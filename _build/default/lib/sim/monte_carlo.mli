@@ -1,0 +1,34 @@
+(** Repeated-trial estimation on top of {!Engine}.
+
+    Each trial gets an independent generator split off a root seed, so
+    experiments are exactly reproducible and embarrassingly restartable.
+    Probability estimates come back as Wilson-interval proportions; time
+    estimates as running summaries. *)
+
+type ('s, 'a) setup = {
+  pa : ('s, 'a) Core.Pa.t;
+  scheduler : ('s, 'a) Scheduler.t;
+  duration : 'a -> int;
+  start : 's;
+}
+
+(** [estimate_reach setup ~target ~within ~trials ~seed] estimates
+    [P(reach target within time)] ([within] in slots). *)
+val estimate_reach :
+  ('s, 'a) setup -> target:('s -> bool) -> within:int -> trials:int ->
+  seed:int -> Proba.Stat.Proportion.t
+
+(** [estimate_time setup ~target ~trials ~seed ?max_steps ()] runs until
+    the target and summarizes elapsed slots.  Trials that do not reach
+    the target within [max_steps] steps (default [1_000_000]) are
+    reported separately in the second component. *)
+val estimate_time :
+  ('s, 'a) setup -> target:('s -> bool) -> trials:int -> seed:int ->
+  ?max_steps:int -> unit -> Proba.Stat.Summary.t * int
+
+(** [histogram_time] like {!estimate_time} but also bins the elapsed
+    times. *)
+val histogram_time :
+  ('s, 'a) setup -> target:('s -> bool) -> trials:int -> seed:int ->
+  ?max_steps:int -> lo:float -> hi:float -> bins:int -> unit ->
+  Proba.Stat.Histogram.t * Proba.Stat.Summary.t

@@ -1,0 +1,65 @@
+type ('s, 'a) t =
+  Proba.Rng.t -> ('s, 'a) Core.Exec.t -> ('s, 'a) Core.Pa.step option
+
+let of_adversary adv _rng frag = adv frag
+
+let uniform m rng frag =
+  match Core.Pa.enabled m (Core.Exec.lstate frag) with
+  | [] -> None
+  | steps -> Some (Proba.Rng.pick rng steps)
+
+let priority m rank _rng frag =
+  let s = Core.Exec.lstate frag in
+  match Core.Pa.enabled m s with
+  | [] -> None
+  | first :: rest ->
+    let better best step =
+      if rank s step.Core.Pa.action < rank s best.Core.Pa.action then step
+      else best
+    in
+    Some (List.fold_left better first rest)
+
+let weighted m weight rng frag =
+  let s = Core.Exec.lstate frag in
+  match Core.Pa.enabled m s with
+  | [] -> None
+  | steps ->
+    let weighted_steps =
+      List.filter_map
+        (fun step ->
+           let w = weight s step.Core.Pa.action in
+           if w > 0 then Some (step, w) else None)
+        steps
+    in
+    (match weighted_steps with
+     | [] -> Some (Proba.Rng.pick rng steps)
+     | _ ->
+       let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weighted_steps in
+       let ticket = Proba.Rng.int rng total in
+       let rec pick acc = function
+         | [] -> assert false
+         | (step, w) :: rest ->
+           if ticket < acc + w then step else pick (acc + w) rest
+       in
+       Some (pick 0 weighted_steps))
+
+let halt_when pred sched rng frag =
+  if pred (Core.Exec.lstate frag) then None else sched rng frag
+
+let of_choice choose m _rng frag =
+  let s = Core.Exec.lstate frag in
+  match choose s with
+  | None -> None
+  | Some k when k < 0 -> None
+  | Some k -> List.nth_opt (Core.Pa.enabled m s) k
+
+let of_layered_policy ~horizon ~duration ~choose m _rng frag =
+  let remaining = horizon - Core.Exec.total_time ~duration frag in
+  if remaining < 0 then None
+  else begin
+    let s = Core.Exec.lstate frag in
+    match choose remaining s with
+    | None -> None
+    | Some k when k < 0 -> None
+    | Some k -> List.nth_opt (Core.Pa.enabled m s) k
+  end

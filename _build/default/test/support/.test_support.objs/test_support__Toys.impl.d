@@ -1,0 +1,1 @@
+test/support/toys.ml: Core Format Proba
