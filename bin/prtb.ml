@@ -413,6 +413,80 @@ let export_dot_cmd =
           $ output)
 
 (* ----------------------------------------------------------------- *)
+(* lint *)
+
+let lint models format strict max_states =
+  let targets =
+    match models with
+    | [] -> Ok Lint_targets.all
+    | names ->
+      let rec pick acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest ->
+          (match
+             List.find_opt
+               (fun (n, _, _) -> String.equal n name)
+               Lint_targets.all
+           with
+           | Some t -> pick (t :: acc) rest
+           | None ->
+             Error
+               (`Msg
+                  (Printf.sprintf "unknown lint target %S (try one of: %s)"
+                     name
+                     (String.concat ", "
+                        (List.map (fun (n, _, _) -> n) Lint_targets.all)))))
+      in
+      pick [] names
+  in
+  match targets with
+  | Error _ as e -> e
+  | Ok targets ->
+    let report =
+      Analysis.Report.merge_all
+        (List.map (fun (_, _, run) -> run ~max_states ()) targets)
+    in
+    (match format with
+     | `Text -> Format.printf "@[<v>%a@]@." Analysis.Report.pp_text report
+     | `Json ->
+       print_endline (Analysis.Json.to_string (Analysis.Report.to_json report)));
+    exit (Analysis.Report.exit_code ~strict report)
+
+let lint_cmd =
+  let models =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"MODEL"
+             ~doc:(Printf.sprintf
+                     "Lint targets (all when omitted): %s."
+                     (String.concat ", "
+                        (List.map (fun (n, _, _) -> n) Lint_targets.all))))
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: text (human-readable) or json (for CI).")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit nonzero on warnings too, not only on errors.")
+  in
+  let max_states =
+    Arg.(value & opt int 2_000_000
+         & info [ "max-states" ] ~docv:"N"
+             ~doc:"Exploration bound per model (PA000 when exceeded).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify model well-formedness: probability spaces, \
+             equality/hash coherence, deadlocks, action signatures, \
+             zero-time cycles, tick divergence, and claim-composition \
+             premises.  Exit status is nonzero when any error-severity \
+             diagnostic fires (see docs/LINTS.md for the code catalogue).")
+    Term.(term_result (const lint $ models $ format $ strict $ max_states))
+
+(* ----------------------------------------------------------------- *)
 
 let () =
   let doc =
@@ -422,4 +496,5 @@ let () =
   in
   let info = Cmd.info "prtb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ experiments_cmd; check_cmd; simulate_cmd; export_dot_cmd ]))
+       [ experiments_cmd; check_cmd; simulate_cmd; export_dot_cmd;
+         lint_cmd ]))

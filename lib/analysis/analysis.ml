@@ -1,0 +1,87 @@
+module Json = Json
+module Diagnostic = Diagnostic
+module Report = Report
+module Pa_checks = Pa_checks
+module Time_checks = Time_checks
+module Claim_checks = Claim_checks
+
+type ('s, 'a) config = {
+  name : string;
+  pa : ('s, 'a) Core.Pa.t;
+  is_tick : ('a -> bool) option;
+  accept_terminal : ('s -> bool) option;
+  claims : (string * 's Core.Claim.t) list;
+  plan : (string * 's Core.Claim.t * 's Core.Claim.t) list;
+  max_states : int;
+  max_equal_pairs : int;
+}
+
+let config ?is_tick ?accept_terminal ?(claims = []) ?(plan = [])
+    ?(max_states = 2_000_000) ?(max_equal_pairs = 1_000_000) ~name pa =
+  { name; pa; is_tick; accept_terminal; claims; plan; max_states;
+    max_equal_pairs }
+
+let run_explored cfg expl =
+  let model = cfg.name in
+  let skipped = ref [] in
+  let time_diags =
+    match cfg.is_tick with
+    | None ->
+      skipped :=
+        [ "PA020/PA021 (no is_tick classifier for this model)" ];
+      []
+    | Some is_tick ->
+      let zeno = Time_checks.zero_time_cycles ~model ~is_tick cfg.pa expl in
+      let divergence =
+        (* the derived exploration re-traverses the (possibly broken)
+           distributions, so shield it *)
+        match
+          Time_checks.tick_divergence ~model ~is_tick
+            ~max_states:cfg.max_states cfg.pa
+        with
+        | diags -> diags
+        | exception Mdp.Explore.Too_many_states n ->
+          [ Diagnostic.v PA000 Warning ~model
+              (Printf.sprintf
+                 "PA021 skipped: the tick-redirected exploration exceeded \
+                  %d states" n) ]
+        | exception Proba.Dist.Not_a_distribution msg ->
+          [ Diagnostic.v PA000 Warning ~model
+              (Printf.sprintf
+                 "PA021 skipped: malformed distribution (%s); fix PA001 \
+                  first" msg) ]
+      in
+      zeno @ divergence
+  in
+  let diags =
+    Pa_checks.stochasticity ~model cfg.pa expl
+    @ Pa_checks.equality_coherence ~model ~max_pairs:cfg.max_equal_pairs
+        cfg.pa expl
+    @ Pa_checks.deadlocks ~model ~accept_terminal:cfg.accept_terminal cfg.pa
+        expl
+    @ Pa_checks.signature ~model cfg.pa expl
+    @ time_diags
+    @ Claim_checks.composition ~model ~claims:cfg.claims ~plan:cfg.plan
+    @ Claim_checks.satisfiability ~model ~claims:cfg.claims expl
+  in
+  Report.make
+    { Report.model;
+      states = Mdp.Explore.num_states expl;
+      choices = Mdp.Explore.num_choices expl;
+      branches = Mdp.Explore.num_branches expl;
+      skipped = !skipped }
+    diags
+
+let run cfg =
+  match Mdp.Explore.run ~max_states:cfg.max_states cfg.pa with
+  | expl -> run_explored cfg expl
+  | exception Mdp.Explore.Too_many_states n ->
+    Report.make
+      { Report.model = cfg.name; states = 0; choices = 0; branches = 0;
+        skipped = [ "all state-space checks (exploration bound hit)" ] }
+      ([ Diagnostic.v PA000 Warning ~model:cfg.name
+           (Printf.sprintf
+              "exploration exceeded %d states; state-space checks skipped \
+               (claims were still audited for composability)" n) ]
+       @ Claim_checks.composition ~model:cfg.name ~claims:cfg.claims
+           ~plan:cfg.plan)

@@ -1,0 +1,125 @@
+module Q = Proba.Rational
+module C = Core.Claim
+module E = Mdp.Explore
+
+let witness_limit = 8
+
+(* ------------------------------------------------------------------ *)
+(* CL001 *)
+
+let composition ~model ~claims ~plan =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (label, claim) ->
+       C.iter_derivation
+         (fun node ->
+            match C.rule node with
+            | C.Composed _ ->
+              let sch = C.schema node in
+              if not (Core.Schema.execution_closed sch) then
+                add
+                  (Diagnostic.v CL001 Error ~model
+                     ~witness:(Format.asprintf "%a" C.pp node)
+                     (Printf.sprintf
+                        "claim %s: Theorem 3.4 (compose) used under schema \
+                         %s, which is not marked execution closed \
+                         (Definition 3.3 premise)"
+                        label (Core.Schema.name sch)))
+            | _ -> ())
+         claim)
+    claims;
+  List.iter
+    (fun (label, c1, c2) ->
+       let s1 = C.schema c1 and s2 = C.schema c2 in
+       if not (Core.Schema.same s1 s2) then
+         add
+           (Diagnostic.v CL001 Error ~model
+              (Printf.sprintf
+                 "planned composition %s: schemas %s and %s differ, so \
+                  Theorem 3.4 does not apply"
+                 label (Core.Schema.name s1) (Core.Schema.name s2)))
+       else if not (Core.Schema.execution_closed s1) then
+         add
+           (Diagnostic.v CL001 Error ~model
+              (Printf.sprintf
+                 "planned composition %s: schema %s is not marked execution \
+                  closed (Definition 3.3), so Theorem 3.4 does not apply"
+                 label (Core.Schema.name s1)))
+       else if not (Core.Pred.same (C.post c1) (C.pre c2)) then
+         add
+           (Diagnostic.v CL001 Warning ~model
+              (Printf.sprintf
+                 "planned composition %s: post-set %s of the first claim is \
+                  not the pre-set %s of the second; compose will refuse \
+                  (insert a certified inclusion first)"
+                 label
+                 (Core.Pred.name (C.post c1))
+                 (Core.Pred.name (C.pre c2)))))
+    plan;
+  Diagnostic.cap ~limit:witness_limit (List.rev !diags)
+
+(* ------------------------------------------------------------------ *)
+(* CL002 *)
+
+let satisfiability ~model ~claims expl =
+  let n = E.num_states expl in
+  let satisfiable =
+    (* one verdict per predicate name: names are the identity the proof
+       rules compose by *)
+    let memo = Hashtbl.create 16 in
+    fun pred ->
+      let name = Core.Pred.name pred in
+      match Hashtbl.find_opt memo name with
+      | Some b -> b
+      | None ->
+        let rec scan i =
+          if i >= n then false
+          else Core.Pred.mem pred (E.state expl i) || scan (i + 1)
+        in
+        let b = scan 0 in
+        Hashtbl.add memo name b;
+        b
+  in
+  let reported = Hashtbl.create 16 in
+  let diags = ref [] in
+  let check label node =
+    let side which pred =
+      let name = Core.Pred.name pred in
+      if (not (satisfiable pred)) && not (Hashtbl.mem reported (which, name))
+      then begin
+        Hashtbl.add reported (which, name) ();
+        let vacuous_pre =
+          Printf.sprintf
+            "claim %s: pre-set %s holds of no explored reachable state -- \
+             the statement is vacuous on this fragment"
+            label name
+        and dead_post =
+          Printf.sprintf
+            "claim %s: post-set %s holds of no explored reachable state \
+             although the claim promises it with probability %s"
+            label name
+            (Q.to_string (C.prob node))
+        in
+        match which with
+        | `Pre -> diags := Diagnostic.v CL002 Error ~model vacuous_pre :: !diags
+        | `Post ->
+          if Q.sign (C.prob node) > 0 then
+            diags := Diagnostic.v CL002 Error ~model dead_post :: !diags
+          else
+            diags :=
+              Diagnostic.v CL002 Warning ~model
+                (Printf.sprintf
+                   "claim %s: post-set %s holds of no explored reachable \
+                    state (harmless at probability 0, but suspicious)"
+                   label name)
+              :: !diags
+      end
+    in
+    side `Pre (C.pre node);
+    side `Post (C.post node)
+  in
+  List.iter
+    (fun (label, claim) -> C.iter_derivation (check label) claim)
+    claims;
+  Diagnostic.cap ~limit:witness_limit (List.rev !diags)

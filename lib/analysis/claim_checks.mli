@@ -1,0 +1,34 @@
+(** Static checks over claim derivations and composition plans.
+
+    {!Claim.compose} already refuses to fire at run time when its
+    premises fail; these checks surface the same conditions as
+    diagnostics, before a proof script runs and on proof {e plans}
+    that have not been executed yet, and audit finished derivations
+    defensively (a deserialized or hand-patched derivation could
+    violate premises the constructors enforce today).
+
+    - CL001: Theorem 3.4 applied -- or planned -- under a schema that
+      is not marked execution closed (Definition 3.3), or a planned
+      composition whose schemas differ;
+    - CL002: a claim (or a node of its derivation) whose [pre] or
+      [post] predicate holds of no explored reachable state.  An
+      unsatisfiable [pre] makes the claim vacuous; an unreachable
+      [post] under a positive probability bound means the underlying
+      statement can never have been exercised on this fragment. *)
+
+(** CL001 over finished claims (every derivation node is audited) and
+    over a plan of intended compositions. *)
+val composition :
+  model:string ->
+  claims:(string * 's Core.Claim.t) list ->
+  plan:(string * 's Core.Claim.t * 's Core.Claim.t) list ->
+  Diagnostic.t list
+
+(** CL002 over every node of every claim's derivation, evaluated
+    against the explored fragment.  Predicates are audited once per
+    name (names are the identity the proof rules use). *)
+val satisfiability :
+  model:string ->
+  claims:(string * 's Core.Claim.t) list ->
+  ('s, 'a) Mdp.Explore.t ->
+  Diagnostic.t list

@@ -1,0 +1,22 @@
+(** A minimal JSON tree and serializer.
+
+    The linter's machine-readable output ([prtb lint --format json])
+    must be consumable by CI pipelines without adding a JSON dependency
+    to the repository, so this module implements the small fragment we
+    need: construction and compact serialization with correct string
+    escaping.  No parser is provided (nothing in the system reads JSON
+    back). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact rendering (no insignificant whitespace), RFC 8259 string
+    escaping. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

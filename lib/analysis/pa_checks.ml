@@ -1,0 +1,182 @@
+module Q = Proba.Rational
+module D = Proba.Dist
+module E = Mdp.Explore
+
+let witness_limit = 8
+
+let show_state pa s = Format.asprintf "%a" (Core.Pa.pp_state pa) s
+let show_action pa a = Format.asprintf "%a" (Core.Pa.pp_action pa) a
+
+(* ------------------------------------------------------------------ *)
+(* PA001 / PA002 *)
+
+let stochasticity ~model pa expl =
+  let pa001 = ref [] and pa002 = ref [] in
+  let n = E.num_states expl in
+  for i = 0 to n - 1 do
+    let s = E.state expl i in
+    List.iter
+      (fun { Core.Pa.action; dist } ->
+         let support = D.support dist in
+         let where =
+           lazy
+             (Printf.sprintf "step %s from state %s" (show_action pa action)
+                (show_state pa s))
+         in
+         let total = Q.sum (List.map snd support) in
+         let negative = List.exists (fun (_, w) -> Q.sign w < 0) support in
+         if negative || not (Q.equal total Q.one) then
+           pa001 :=
+             Diagnostic.v PA001 Error ~model
+               ~witness:(Lazy.force where)
+               (Printf.sprintf
+                  "outcome weights sum to %s, not 1%s: not a probability \
+                   space (Definition 2.1)"
+                  (Q.to_string total)
+                  (if negative then " (and some weight is negative)" else ""))
+             :: !pa001;
+         if List.exists (fun (_, w) -> Q.is_zero w) support then
+           pa002 :=
+             Diagnostic.v PA002 Warning ~model
+               ~witness:(Lazy.force where)
+               "distribution carries a zero-probability outcome"
+             :: !pa002;
+         let rec dup = function
+           | [] -> None
+           | (x, _) :: rest ->
+             if List.exists (fun (y, _) -> Core.Pa.equal_state pa x y) rest
+             then Some x
+             else dup rest
+         in
+         match dup support with
+         | None -> ()
+         | Some x ->
+           pa002 :=
+             Diagnostic.v PA002 Warning ~model
+               ~witness:(Lazy.force where)
+               (Printf.sprintf
+                  "outcome %s occurs more than once in the same distribution \
+                   (weights should be merged)"
+                  (show_state pa x))
+             :: !pa002)
+      (Core.Pa.enabled pa s)
+  done;
+  Diagnostic.cap ~limit:witness_limit (List.rev !pa001)
+  @ Diagnostic.cap ~limit:witness_limit (List.rev !pa002)
+
+(* ------------------------------------------------------------------ *)
+(* PA003 *)
+
+let equality_coherence ~model ~max_pairs pa expl =
+  let n = E.num_states expl in
+  let budget = ref max_pairs in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         if !budget <= 0 then raise Exit;
+         decr budget;
+         if Core.Pa.equal_state pa (E.state expl i) (E.state expl j) then begin
+           found := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  let total_pairs = n * (n - 1) / 2 in
+  let sampled = max_pairs - !budget in
+  let note =
+    if !found = None && sampled < total_pairs then
+      [ Diagnostic.v PA003 Info ~model
+          (Printf.sprintf
+             "equal/hash coherence sampled %d of %d state pairs (raise the \
+              pair budget for full coverage)"
+             sampled total_pairs) ]
+    else []
+  in
+  (match !found with
+   | None -> []
+   | Some (i, j) ->
+     [ Diagnostic.v PA003 Error ~model
+         ~witness:
+           (Printf.sprintf "state #%d = %s vs state #%d = %s" i
+              (show_state pa (E.state expl i))
+              j
+              (show_state pa (E.state expl j)))
+         "two reachable states are identified by equal_state yet were \
+          interned separately: hash_state disagrees with equal_state, so \
+          explored state counts and probabilities are unreliable" ])
+  @ note
+
+(* ------------------------------------------------------------------ *)
+(* PA010 *)
+
+let deadlocks ~model ~accept_terminal pa expl =
+  let diags = ref [] in
+  let n = E.num_states expl in
+  for i = 0 to n - 1 do
+    if Array.length (E.steps expl i) = 0 then begin
+      let s = E.state expl i in
+      match accept_terminal with
+      | Some ok when ok s -> ()
+      | Some _ ->
+        diags :=
+          Diagnostic.v PA010 Error ~model ~witness:(show_state pa s)
+            "reachable deadlock: no enabled step and not an accepted \
+             terminal state"
+          :: !diags
+      | None ->
+        diags :=
+          Diagnostic.v PA010 Warning ~model ~witness:(show_state pa s)
+            "reachable terminal state (no enabled step); pass \
+             accept_terminal to classify it as intended or as a deadlock"
+          :: !diags
+    end
+  done;
+  Diagnostic.cap ~limit:witness_limit (List.rev !diags)
+
+(* ------------------------------------------------------------------ *)
+(* PA011 *)
+
+let max_distinct_actions = 4096
+
+let signature ~model pa expl =
+  let diags = ref [] in
+  (* (representative, classification, already reported) per
+     equal_action class, in occurrence order *)
+  let reps : ('a * bool * bool ref) list ref = ref [] in
+  let n = E.num_states expl in
+  (try
+     for i = 0 to n - 1 do
+       Array.iter
+         (fun { E.action; _ } ->
+            match
+              List.find_opt
+                (fun (b, _, _) -> Core.Pa.equal_action pa action b)
+                !reps
+            with
+            | None ->
+              if List.length !reps >= max_distinct_actions then raise Exit;
+              reps :=
+                (action, Core.Pa.is_external pa action, ref false) :: !reps
+            | Some (b, ext_b, reported) ->
+              let ext_a = Core.Pa.is_external pa action in
+              if ext_a <> ext_b && not !reported then begin
+                reported := true;
+                diags :=
+                  Diagnostic.v PA011 Warning ~model
+                    ~witness:
+                      (Printf.sprintf "%s (%s) vs %s (%s)"
+                         (show_action pa action)
+                         (if ext_a then "external" else "internal")
+                         (show_action pa b)
+                         (if ext_b then "external" else "internal"))
+                    "actions identified by equal_action are classified \
+                     differently by is_external: the action signature is \
+                     not a partition (Definition 2.1)"
+                  :: !diags
+              end)
+         (E.steps expl i)
+     done
+   with Exit -> ());
+  Diagnostic.cap ~limit:witness_limit (List.rev !diags)

@@ -1,0 +1,52 @@
+(** Static well-formedness checks over a probabilistic automaton and
+    its explored reachable fragment.
+
+    Each check returns the diagnostics it found (already capped to a
+    readable number per code); {!Analysis.run} orchestrates them.  The
+    checks verify the structural premises of Definition 2.1 that the
+    rest of the system takes on faith:
+
+    - {!stochasticity} (PA001/PA002): every enabled step leads into a
+      genuine finite probability space -- weights positive, no
+      duplicate outcomes, total exactly 1 in exact rationals;
+    - {!equality_coherence} (PA003): [equal_state] and [hash_state]
+      agree on the reachable fragment (disagreement silently splits
+      states during exploration and invalidates every downstream
+      number);
+    - {!deadlocks} (PA010): no reachable state is stuck unless the
+      model declares it an accepted terminal;
+    - {!signature} (PA011): [is_external] classifies [equal_action]-
+      identified actions consistently. *)
+
+(** [stochasticity ~model pa expl] checks every enabled step of every
+    reachable state.  PA001 ([Error]): weights negative or not summing
+    to 1.  PA002 ([Warning]): zero-weight outcomes, or outcomes
+    duplicated up to [equal_state]. *)
+val stochasticity :
+  model:string ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+
+(** [equality_coherence ~model ~max_pairs pa expl] samples up to
+    [max_pairs] pairs of distinct reachable state indices; finding a
+    pair that [equal_state] identifies is a PA003 [Error] (the
+    exploration table separated them, so [hash_state] must have
+    disagreed).  Adds an [Info] note when the budget truncated the
+    scan. *)
+val equality_coherence :
+  model:string -> max_pairs:int ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+
+(** [deadlocks ~model ~accept_terminal pa expl]: reachable states with
+    no enabled step are PA010 [Error]s when [accept_terminal] is
+    provided and rejects them, PA010 [Warning]s when no classifier was
+    provided (the model may or may not intend them). *)
+val deadlocks :
+  model:string -> accept_terminal:('s -> bool) option ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+
+(** [signature ~model pa expl]: PA011 [Warning] when two actions
+    occurring on reachable steps are identified by [equal_action] but
+    classified differently by [is_external]. *)
+val signature :
+  model:string ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list

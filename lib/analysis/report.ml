@@ -1,0 +1,89 @@
+type model_stats = {
+  model : string;
+  states : int;
+  choices : int;
+  branches : int;
+  skipped : string list;
+}
+
+type t = {
+  stats : model_stats list;
+  diagnostics : Diagnostic.t list;
+}
+
+let empty = { stats = []; diagnostics = [] }
+let make stats diagnostics = { stats = [ stats ]; diagnostics }
+
+let merge a b =
+  { stats = a.stats @ b.stats; diagnostics = a.diagnostics @ b.diagnostics }
+
+let merge_all = List.fold_left merge empty
+
+let diagnostics t = t.diagnostics
+let stats t = t.stats
+
+let count severity t =
+  List.length
+    (List.filter (fun d -> d.Diagnostic.severity = severity) t.diagnostics)
+
+let errors = count Diagnostic.Error
+let warnings = count Diagnostic.Warning
+let infos = count Diagnostic.Info
+let has_errors t = errors t > 0
+
+let mem code t = List.exists (fun d -> d.Diagnostic.code = code) t.diagnostics
+
+let mem_error code t =
+  List.exists
+    (fun d ->
+       d.Diagnostic.code = code && d.Diagnostic.severity = Diagnostic.Error)
+    t.diagnostics
+
+let exit_code ?(strict = false) t =
+  if has_errors t || (strict && warnings t > 0) then 1 else 0
+
+let by_severity t =
+  List.stable_sort
+    (fun a b ->
+       Diagnostic.compare_severity a.Diagnostic.severity
+         b.Diagnostic.severity)
+    t.diagnostics
+
+let pp_text fmt t =
+  List.iter
+    (fun s ->
+       Format.fprintf fmt "model %-12s %d states, %d choices, %d branches"
+         s.model s.states s.choices s.branches;
+       List.iter (fun reason -> Format.fprintf fmt "@,  skipped: %s" reason)
+         s.skipped;
+       Format.pp_print_cut fmt ())
+    t.stats;
+  (match by_severity t with
+   | [] -> ()
+   | ds ->
+     Format.pp_print_cut fmt ();
+     List.iter (fun d -> Format.fprintf fmt "%a@," Diagnostic.pp d) ds);
+  Format.fprintf fmt "@,summary: %d error(s), %d warning(s), %d info"
+    (errors t) (warnings t) (infos t)
+
+let to_json t =
+  Json.Obj
+    [ ("version", Json.Int 1);
+      ("models",
+       Json.Arr
+         (List.map
+            (fun s ->
+               Json.Obj
+                 [ ("name", Json.Str s.model);
+                   ("states", Json.Int s.states);
+                   ("choices", Json.Int s.choices);
+                   ("branches", Json.Int s.branches);
+                   ("skipped",
+                    Json.Arr (List.map (fun r -> Json.Str r) s.skipped)) ])
+            t.stats));
+      ("diagnostics", Json.Arr (List.map Diagnostic.to_json (by_severity t)));
+      ("summary",
+       Json.Obj
+         [ ("errors", Json.Int (errors t));
+           ("warnings", Json.Int (warnings t));
+           ("infos", Json.Int (infos t)) ]) ]

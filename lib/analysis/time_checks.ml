@@ -1,0 +1,93 @@
+module D = Proba.Dist
+module E = Mdp.Explore
+
+let witness_limit = 5
+
+let show_state pa s = Format.asprintf "%a" (Core.Pa.pp_state pa) s
+
+(* ------------------------------------------------------------------ *)
+(* PA020 *)
+
+let zero_time_cycles ~model ~is_tick pa expl =
+  match Mdp.Zeno.check expl ~is_tick with
+  | Mdp.Zeno.Ok -> []
+  | Mdp.Zeno.Probabilistic_zero_time_cycle component ->
+    let shown =
+      List.filteri (fun k _ -> k < witness_limit) component
+      |> List.map (fun i -> show_state pa (E.state expl i))
+      |> String.concat ", "
+    in
+    let extra = List.length component - witness_limit in
+    [ Diagnostic.v PA020 Error ~model
+        ~witness:
+          (Printf.sprintf "cycle through {%s}%s" shown
+             (if extra > 0 then Printf.sprintf " and %d more state(s)" extra
+              else ""))
+        "probabilistic zero-time cycle: probability mass can cycle without \
+         consuming time, so the exact finite-horizon engine cannot \
+         converge and time-bound claims are meaningless here" ]
+
+(* ------------------------------------------------------------------ *)
+(* PA021 *)
+
+(* The derived automaton: every tick edge (and every terminal state)
+   falls into an absorbing sink.  "Some adversary avoids ticking
+   forever with positive probability from s" is then exactly "s is not
+   in always_reaches {sink}". *)
+
+type 's wstate = St of 's | Sink
+type 'a waction = Act of 'a | Stop
+
+let tick_divergence ~model ~is_tick ~max_states pa =
+  let equal_w a b =
+    match (a, b) with
+    | St a, St b -> Core.Pa.equal_state pa a b
+    | Sink, Sink -> true
+    | _ -> false
+  in
+  let wrapped =
+    Core.Pa.make
+      ~equal_state:equal_w
+      ~hash_state:(function
+        | St s -> Core.Pa.hash_state pa s
+        | Sink -> 0x7b3f)
+      ~pp_state:(fun fmt -> function
+        | St s -> Core.Pa.pp_state pa fmt s
+        | Sink -> Format.pp_print_string fmt "<ticked>")
+      ~start:(List.map (fun s -> St s) (Core.Pa.start pa))
+      ~enabled:(function
+        | Sink -> []
+        | St s ->
+          (match Core.Pa.enabled pa s with
+           | [] -> [ { Core.Pa.action = Stop; dist = D.point Sink } ]
+           | steps ->
+             List.map
+               (fun { Core.Pa.action; dist } ->
+                  if is_tick action then
+                    { Core.Pa.action = Act action; dist = D.point Sink }
+                  else
+                    { Core.Pa.action = Act action;
+                      dist = D.map ~equal:equal_w (fun s' -> St s') dist })
+               steps))
+      ()
+  in
+  let wexpl = E.run ~max_states wrapped in
+  let target =
+    Array.init (E.num_states wexpl) (fun i ->
+        match E.state wexpl i with Sink -> true | St _ -> false)
+  in
+  let always = Mdp.Qualitative.always_reaches wexpl ~target in
+  let diags = ref [] in
+  for i = Array.length always - 1 downto 0 do
+    if not always.(i) then
+      match E.state wexpl i with
+      | Sink -> ()
+      | St s ->
+        diags :=
+          Diagnostic.v PA021 Error ~model ~witness:(show_state pa s)
+            "tick divergence fails: from this reachable state some \
+             adversary avoids performing a tick forever with positive \
+             probability, so no finite time bound can cover its executions"
+          :: !diags
+  done;
+  Diagnostic.cap ~limit:witness_limit !diags

@@ -1,0 +1,34 @@
+(** Time-divergence checks for digital-clock models.
+
+    The paper's time-bound statements [U -t->_p U'] presuppose that
+    time actually advances: Definition 3.1 measures elapsed time along
+    executions, and both proof rules and the exact engines degenerate
+    when an execution can perform infinitely many steps in bounded
+    time.  Two failure modes are checked:
+
+    - {!zero_time_cycles} (PA020): a cycle of non-tick steps carrying
+      probabilistic branching, which makes the finite-horizon layer
+      fixpoint asymptotic (wraps {!Mdp.Zeno} as a diagnostic);
+    - {!tick_divergence} (PA021): some adversary can, with positive
+      probability, avoid scheduling a [tick] forever -- i.e. the
+      minimum probability of ever ticking is below 1 somewhere
+      reachable, so time need not diverge under every adversary.  This
+      is decided by a qualitative (probability-1) reachability query
+      ({!Mdp.Qualitative.always_reaches}) on a derived automaton in
+      which every tick edge is redirected to an absorbing [<ticked>]
+      sink; terminal states are also redirected, so deadlocks are
+      reported once (by PA010), not twice. *)
+
+(** PA020 ([Error]): wraps {!Mdp.Zeno.check}; the witness lists the
+    offending strongly connected component. *)
+val zero_time_cycles :
+  model:string -> is_tick:('a -> bool) ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+
+(** PA021 ([Error]): one diagnostic per reachable state (capped) from
+    which some adversary avoids ticking forever with positive
+    probability.  Performs its own exploration of the derived
+    automaton, bounded by [max_states]. *)
+val tick_divergence :
+  model:string -> is_tick:('a -> bool) -> max_states:int ->
+  ('s, 'a) Core.Pa.t -> Diagnostic.t list

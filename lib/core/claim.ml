@@ -112,6 +112,40 @@ let trivial ~schema incl =
     time = Q.zero; prob = Q.one; schema;
     derivation = Trivial incl }
 
+type 's rule =
+  | Checked_leaf of string
+  | Axiom_leaf of string
+  | Trivial_leaf of 's Inclusion.t
+  | Composed of 's t * 's t
+  | Unioned of 's t * 's Pred.t
+  | Prob_weakened of 's t
+  | Time_relaxed of 's t
+  | Pre_strengthened of 's t * 's Inclusion.t
+  | Post_weakened of 's t * 's Inclusion.t
+
+let rule c =
+  match c.derivation with
+  | Checked evidence -> Checked_leaf evidence
+  | Axiom reason -> Axiom_leaf reason
+  | Trivial incl -> Trivial_leaf incl
+  | Compose (a, b) -> Composed (a, b)
+  | Union (a, u) -> Unioned (a, u)
+  | Weaken_prob a -> Prob_weakened a
+  | Relax_time a -> Time_relaxed a
+  | Strengthen_pre (a, incl) -> Pre_strengthened (a, incl)
+  | Weaken_post (a, incl) -> Post_weakened (a, incl)
+
+let subclaims c =
+  match c.derivation with
+  | Checked _ | Axiom _ | Trivial _ -> []
+  | Compose (a, b) -> [ a; b ]
+  | Union (a, _) | Weaken_prob a | Relax_time a
+  | Strengthen_pre (a, _) | Weaken_post (a, _) -> [ a ]
+
+let rec iter_derivation f c =
+  f c;
+  List.iter (iter_derivation f) (subclaims c)
+
 let pp fmt c =
   Format.fprintf fmt "@[%s --%s-->_%s %s  [%s]@]" (Pred.name c.pre)
     (Q.to_string c.time) (Q.to_string c.prob) (Pred.name c.post)

@@ -86,6 +86,36 @@ val weaken_post : 's t -> 's Inclusion.t -> 's t
     (starting inside the target counts as immediate arrival). *)
 val trivial : schema:Schema.t -> 's Inclusion.t -> 's t
 
+(** {1 Derivation introspection}
+
+    A read-only view of the proof tree, one node at a time.  External
+    analyses (notably the model linter in [lib/analysis]) use it to
+    re-check rule premises defensively -- e.g. that every
+    {!compose} node in a derivation really sits under an
+    execution-closed schema -- and to audit the predicates a derivation
+    mentions against an explored state space. *)
+
+type 's rule =
+  | Checked_leaf of string  (** evidence recorded by {!checked} *)
+  | Axiom_leaf of string  (** reason recorded by {!axiom} *)
+  | Trivial_leaf of 's Inclusion.t
+  | Composed of 's t * 's t  (** Theorem 3.4 *)
+  | Unioned of 's t * 's Pred.t  (** Proposition 3.2 *)
+  | Prob_weakened of 's t
+  | Time_relaxed of 's t
+  | Pre_strengthened of 's t * 's Inclusion.t
+  | Post_weakened of 's t * 's Inclusion.t
+
+(** The root rule of the derivation. *)
+val rule : 's t -> 's rule
+
+(** Immediate sub-derivations of the root rule. *)
+val subclaims : 's t -> 's t list
+
+(** [iter_derivation f c] applies [f] to every node of the derivation,
+    root first. *)
+val iter_derivation : ('s t -> unit) -> 's t -> unit
+
 (** {1 Printing} *)
 
 (** One-line rendering ["U --t-->_p U'  [schema]"]. *)

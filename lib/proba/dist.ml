@@ -38,6 +38,8 @@ let make ?(equal = default_equal) pairs =
              (Printf.sprintf "weights sum to %s, not 1" (Rational.to_string t)));
   pairs
 
+let unsafe_make pairs = pairs
+
 let point x = [ (x, Rational.one) ]
 
 let uniform xs =

@@ -33,6 +33,19 @@ val bernoulli : Rational.t -> 'a -> 'a -> 'a t
 (** Fair coin over two outcomes. *)
 val coin : 'a -> 'a -> 'a t
 
+(** {1 Unchecked construction} *)
+
+(** [unsafe_make pairs] wraps raw weighted outcomes {e without}
+    merging duplicates, dropping zero weights, or checking that the
+    weights sum to one.  It exists so that models imported from
+    external descriptions (and the deliberately broken fixtures of the
+    model linter's test suite) can be represented as automata and then
+    {e audited}: the static analyses in [lib/analysis] (codes
+    PA001/PA002) report exactly the invariant violations this
+    constructor lets through.  Feeding a non-distribution into any
+    other operation of this module is unspecified. *)
+val unsafe_make : ('a * Rational.t) list -> 'a t
+
 (** {1 Observation} *)
 
 (** Weighted outcomes, weights positive and summing to 1.  The order is
