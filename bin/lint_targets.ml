@@ -158,6 +158,30 @@ let lint_walker ~max_states () =
     (Analysis.config ~name:"example:walker" ~is_tick:Walker.is_tick
        ~max_states Walker.pa)
 
+let lint_lr_crash ~max_states () =
+  let config =
+    { Faults.Lr.params = { LR.Automaton.n = 3; g = 1; k = 1 };
+      faults = Faults.Fault.v ~crash:1 ();
+      release = true }
+  in
+  let d = Faults.Lr.derive ~max_states config in
+  let claims =
+    List.filter_map
+      (fun (a : Faults.Lr.arrow) ->
+         Option.map (fun c -> (a.Faults.Lr.label, c)) a.Faults.Lr.claim)
+      [ d.Faults.Lr.arrow1; d.Faults.Lr.arrow2 ]
+    @ (match d.Faults.Lr.composed with
+       | Ok c -> [ ("composed", c) ]
+       | Error _ -> [])
+  in
+  Analysis.run
+    (Analysis.config ~name:"lr-crash" ~is_tick:Faults.Lr.is_tick ~claims
+       ~fault_view:
+         (Faults.Inject.faulted,
+          Faults.Inject.effective_proc Faults.Lr.proc_of_action)
+       ~max_states
+       (Faults.Lr.make config))
+
 let lint_race ~max_states () =
   Analysis.run
     (Analysis.config ~name:"example:race"
@@ -173,15 +197,17 @@ let lint_race ~max_states () =
 let guard name runner ~max_states () =
   try runner ~max_states () with
   | Mdp.Explore.Too_many_states n ->
+    (* At raise time exactly [n] states had been interned, so [n] is
+       the partial state count, not just the configured ceiling. *)
     Analysis.Report.make
-      { Analysis.Report.model = name; states = 0; choices = 0;
+      { Analysis.Report.model = name; states = n; choices = 0;
         branches = 0;
         skipped = [ "all checks (exploration exceeded the state budget)" ] }
       [ Analysis.Diagnostic.v Analysis.Diagnostic.PA000
           Analysis.Diagnostic.Warning ~model:name
           (Printf.sprintf
-             "exploration exceeded %d states while building the model; \
-              all checks skipped (raise --max-states)"
+             "exploration stopped after interning %d states while building \
+              the model; all checks skipped (raise --max-states)"
              n) ]
 
 (* Name, what it covers, runner. *)
@@ -198,5 +224,8 @@ let all : (string * string * (max_states:int -> unit -> Analysis.Report.t)) list
     ("coin", "shared coin (n=2, barrier 3) + ladder claims", lint_coin);
     ("consensus", "Ben-Or (n=3, f=1, 2 rounds) + decision claim",
      lint_consensus);
+    ("lr-crash",
+     "Lehmann-Rabin ring (n=3) under one crash + degraded claims",
+     lint_lr_crash);
     ("example:walker", "the quickstart walker automaton", lint_walker);
     ("example:race", "the Example 4.1 two-coin automaton", lint_race) ]

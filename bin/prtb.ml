@@ -37,7 +37,7 @@ let experiments_cmd =
   let only =
     Arg.(value & pos_all string []
          & info [] ~docv:"ID"
-             ~doc:"Experiment ids to run (e1..e12); all when omitted.")
+             ~doc:"Experiment ids to run (e1..e13); all when omitted.")
   in
   let run config ids =
     let ctx = Experiments.Harness.make_ctx config in
@@ -49,7 +49,8 @@ let experiments_cmd =
         ("e9", Experiments.Harness.e9_election);
         ("e10", Experiments.Harness.e10_topologies);
         ("e11", Experiments.Harness.e11_shared_coin);
-        ("e12", Experiments.Harness.e12_consensus) ]
+        ("e12", Experiments.Harness.e12_consensus);
+        ("e13", Experiments.Harness.e13_faults) ]
     in
     match ids with
     | [] -> Ok (Experiments.Harness.run_all ctx)
@@ -58,7 +59,9 @@ let experiments_cmd =
         | [] -> Ok ()
         | id :: rest ->
           (match List.assoc_opt (String.lowercase_ascii id) table with
-           | Some f -> f ctx; go rest
+           | Some f ->
+             Experiments.Harness.guarded (String.uppercase_ascii id) f ctx;
+             go rest
            | None -> Error (`Msg (Printf.sprintf "unknown experiment %S" id)))
       in
       go ids
@@ -179,6 +182,42 @@ let check_coin n bound =
     (SC.Proof.expected_exact inst)
     (SC.Proof.expected_theory inst)
 
+let check_lr_faults n g k faults budget release seed =
+  Printf.printf
+    "Lehmann-Rabin, n=%d g=%d k=%d, faults %s, release=%b, budget %s\n%!"
+    n g k (Faults.Fault.to_string faults) release
+    (Core.Budget.to_string budget);
+  let config =
+    { Faults.Lr.params = { LR.Automaton.n; g; k }; faults; release }
+  in
+  let verdict = Faults.Lr.check_budgeted ~budget ~seed config in
+  Format.printf "T∧live -13->_{1/8} C∧live:@.  %a@."
+    Faults.Resilient.pp_verdict verdict;
+  match verdict with
+  | Faults.Resilient.Estimate _ | Faults.Resilient.Exhausted _ -> ()
+  | Faults.Resilient.Exact _ ->
+    (* The whole wrapped space fit the budget, so the two-arrow
+       derivation (same exploration, two more backward inductions) is
+       affordable; show the degraded constants it certifies. *)
+    let d =
+      Faults.Lr.derive ?max_states:budget.Core.Budget.max_states config
+    in
+    Printf.printf "degraded derivation over %d states:\n"
+      d.Faults.Lr.states;
+    List.iter
+      (fun (a : Faults.Lr.arrow) ->
+         Format.printf "  %-28s attained %s (%s)@." a.Faults.Lr.label
+           (Q.to_string a.Faults.Lr.attained)
+           (match a.Faults.Lr.claim with
+            | Some _ -> "certified at that bound"
+            | None -> "NOT certified"))
+      [ d.Faults.Lr.arrow1; d.Faults.Lr.arrow2 ];
+    (match d.Faults.Lr.composed with
+     | Ok claim -> Format.printf "  composed: %a@." Core.Claim.pp claim
+     | Error e -> Printf.printf "  composition failed: %s\n" e);
+    Printf.printf "  direct 13-unit minimum: %s\n"
+      (Q.to_string d.Faults.Lr.direct)
+
 let check_consensus n cap =
   let f = (n - 1) / 2 in
   let initial = Array.init n (fun i -> i = n - 1) in
@@ -230,24 +269,91 @@ let cap_arg =
        & info [ "cap" ] ~docv:"R"
            ~doc:"For consensus: number of rounds modelled.")
 
+let faults_arg =
+  let fault_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Faults.Fault.of_string s)),
+        Faults.Fault.pp )
+  in
+  Arg.(value & opt (some fault_conv) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault budget to inject, e.g. crash:1 or crash:1,loss:2 \
+                 (kinds: crash, loss, stuck).  Currently modelled for the \
+                 lr ring; re-derives the degraded time bound.")
+
+let budget_arg =
+  let budget_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Core.Budget.of_string s)),
+        Core.Budget.pp )
+  in
+  Arg.(value & opt (some budget_conv) None
+       & info [ "budget" ] ~docv:"SPEC"
+           ~doc:"Verification budget, e.g. states:100000,wall:30s,retries:4. \
+                 When exact exploration does not fit, the checker degrades \
+                 to a Monte Carlo estimate instead of failing.")
+
+let release_arg =
+  Arg.(value & opt bool true
+       & info [ "release" ] ~docv:"BOOL"
+           ~doc:"Whether crashed processes free their held resources \
+                 (default true).  With --release=false a crashed \
+                 philosopher keeps its forks and the degraded bound \
+                 collapses to 0.")
+
+let check_seed_arg =
+  Arg.(value & opt int 1994
+       & info [ "seed" ] ~docv:"S"
+           ~doc:"PRNG seed for the Monte Carlo fallback.")
+
 let check_cmd =
-  let run system n g k topology bound cap =
-    match system with
-    | `Lr ->
-      (match topology with
-       | None | Some "ring" -> check_lr n g k
-       | Some "line" -> check_lr_topo (LR.Topology.line n) g k
-       | Some "star" -> check_lr_topo (LR.Topology.star n) g k
-       | Some other -> failwith (Printf.sprintf "unknown topology %S" other))
-    | `Election -> check_election n g k
-    | `Coin -> check_coin n bound
-    | `Consensus -> check_consensus n cap
+  let run system n g k topology bound cap faults budget release seed =
+    try
+      Ok
+        (match system with
+         | `Lr ->
+           (match faults, topology with
+            | Some f, (None | Some "ring") ->
+              check_lr_faults n g k f
+                (Option.value budget ~default:Core.Budget.unlimited)
+                release seed
+            | Some _, Some other ->
+              failwith
+                (Printf.sprintf
+                   "fault injection is modelled on the ring topology only \
+                    (got %S)" other)
+            | None, (None | Some "ring") -> check_lr n g k
+            | None, Some "line" -> check_lr_topo (LR.Topology.line n) g k
+            | None, Some "star" -> check_lr_topo (LR.Topology.star n) g k
+            | None, Some other ->
+              failwith (Printf.sprintf "unknown topology %S" other))
+         | `Election | `Coin | `Consensus when faults <> None ->
+           failwith
+             "fault injection is currently modelled for the lr system only"
+         | `Election -> check_election n g k
+         | `Coin -> check_coin n bound
+         | `Consensus -> check_consensus n cap)
+    with
+    | Failure msg -> Error (`Msg msg)
+    | Mdp.Explore.Too_many_states m ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "exploration stopped after interning %d states; rerun with \
+               --faults ... --budget states:N,wall:Ts to degrade gracefully \
+               to a Monte Carlo estimate"
+              m))
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Exhaustively verify the phase statements of a case study.")
-    Term.(const run $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg
-          $ topology_arg $ bound_arg $ cap_arg)
+       ~doc:"Exhaustively verify the phase statements of a case study; \
+             with --faults, re-derive the degraded bound under an exact \
+             fault budget, falling back to simulation when --budget is \
+             exceeded.")
+    Term.(term_result
+            (const run $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg
+             $ topology_arg $ bound_arg $ cap_arg $ faults_arg $ budget_arg
+             $ release_arg $ check_seed_arg))
 
 (* ----------------------------------------------------------------- *)
 (* simulate *)

@@ -12,14 +12,16 @@ type ('s, 'a) config = {
   accept_terminal : ('s -> bool) option;
   claims : (string * 's Core.Claim.t) list;
   plan : (string * 's Core.Claim.t * 's Core.Claim.t) list;
+  fault_view : (('s -> int list) * ('a -> int option)) option;
   max_states : int;
   max_equal_pairs : int;
 }
 
 let config ?is_tick ?accept_terminal ?(claims = []) ?(plan = [])
-    ?(max_states = 2_000_000) ?(max_equal_pairs = 1_000_000) ~name pa =
-  { name; pa; is_tick; accept_terminal; claims; plan; max_states;
-    max_equal_pairs }
+    ?fault_view ?(max_states = 2_000_000) ?(max_equal_pairs = 1_000_000)
+    ~name pa =
+  { name; pa; is_tick; accept_terminal; claims; plan; fault_view;
+    max_states; max_equal_pairs }
 
 let run_explored cfg expl =
   let model = cfg.name in
@@ -60,6 +62,11 @@ let run_explored cfg expl =
     @ Pa_checks.deadlocks ~model ~accept_terminal:cfg.accept_terminal cfg.pa
         expl
     @ Pa_checks.signature ~model cfg.pa expl
+    @ (match cfg.fault_view with
+       | None -> []
+       | Some (faulted, effective_proc) ->
+         Pa_checks.fault_isolation ~model ~faulted ~effective_proc cfg.pa
+           expl)
     @ time_diags
     @ Claim_checks.composition ~model ~claims:cfg.claims ~plan:cfg.plan
     @ Claim_checks.satisfiability ~model ~claims:cfg.claims expl
@@ -73,15 +80,28 @@ let run_explored cfg expl =
     diags
 
 let run cfg =
-  match Mdp.Explore.run ~max_states:cfg.max_states cfg.pa with
-  | expl -> run_explored cfg expl
-  | exception Mdp.Explore.Too_many_states n ->
+  let budget = Core.Budget.v ~max_states:cfg.max_states () in
+  let part = Mdp.Explore.run_budgeted ~budget cfg.pa in
+  if part.Mdp.Explore.complete then
+    run_explored cfg part.Mdp.Explore.fragment
+  else begin
+    (* The fragment is a sound under-approximation, but its frontier
+       states carry no steps, so the state-space checks would drown in
+       spurious PA010s; report the partial count and audit only the
+       claims. *)
+    let interned = Mdp.Explore.num_states part.Mdp.Explore.fragment in
     Report.make
-      { Report.model = cfg.name; states = 0; choices = 0; branches = 0;
+      { Report.model = cfg.name; states = interned; choices = 0;
+        branches = 0;
         skipped = [ "all state-space checks (exploration bound hit)" ] }
       ([ Diagnostic.v PA000 Warning ~model:cfg.name
            (Printf.sprintf
-              "exploration exceeded %d states; state-space checks skipped \
-               (claims were still audited for composability)" n) ]
+              "exploration stopped after interning %d states (%s); \
+               state-space checks skipped (claims were still audited for \
+               composability)"
+              interned
+              (Option.value part.Mdp.Explore.stopped
+                 ~default:"budget exhausted")) ]
        @ Claim_checks.composition ~model:cfg.name ~claims:cfg.claims
            ~plan:cfg.plan)
+  end

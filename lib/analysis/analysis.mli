@@ -37,9 +37,13 @@ type ('s, 'a) config
     - [claims]: labelled finished derivations to audit (CL001, CL002);
     - [plan]: labelled {e intended} compositions, checked against the
       premises of Theorem 3.4 before any proof script runs (CL001);
+    - [fault_view]: for fault-wrapped automata, the pair
+      [(faulted, effective_proc)] handed to
+      {!Pa_checks.fault_isolation}; enables PA012 (a crashed or
+      stalled process's original step still enabled);
     - [max_states]: exploration bound for this model (default
-      [2_000_000]); exceeding it yields a PA000 warning instead of an
-      exception;
+      [2_000_000]); exceeding it yields a PA000 warning carrying the
+      partial interned-state count instead of an exception;
     - [max_equal_pairs]: comparison budget for the PA003 sampling
       (default [1_000_000] pairs). *)
 val config :
@@ -47,6 +51,7 @@ val config :
   ?accept_terminal:('s -> bool) ->
   ?claims:(string * 's Core.Claim.t) list ->
   ?plan:(string * 's Core.Claim.t * 's Core.Claim.t) list ->
+  ?fault_view:(('s -> int list) * ('a -> int option)) ->
   ?max_states:int ->
   ?max_equal_pairs:int ->
   name:string ->

@@ -7,6 +7,7 @@ type code =
   | PA003
   | PA010
   | PA011
+  | PA012
   | PA020
   | PA021
   | CL001
@@ -30,6 +31,7 @@ let code_name = function
   | PA003 -> "PA003"
   | PA010 -> "PA010"
   | PA011 -> "PA011"
+  | PA012 -> "PA012"
   | PA020 -> "PA020"
   | PA021 -> "PA021"
   | CL001 -> "CL001"
@@ -42,13 +44,15 @@ let code_summary = function
   | PA003 -> "equal_state and hash_state disagree on reachable states"
   | PA010 -> "reachable deadlock or unclassified terminal state"
   | PA011 -> "action signature inconsistent under equal_action"
+  | PA012 -> "a faulted process's original step is still enabled"
   | PA020 -> "probabilistic zero-time cycle: time can stall"
   | PA021 -> "an adversary can block tick forever (time need not diverge)"
   | CL001 -> "compose applied under a schema that is not execution closed"
   | CL002 -> "claim predicate unsatisfiable on the explored fragment"
 
 let all_codes =
-  [ PA000; PA001; PA002; PA003; PA010; PA011; PA020; PA021; CL001; CL002 ]
+  [ PA000; PA001; PA002; PA003; PA010; PA011; PA012; PA020; PA021; CL001;
+    CL002 ]
 
 let severity_name = function
   | Error -> "error"

@@ -24,6 +24,7 @@ type code =
   | PA003  (** [equal_state]/[hash_state] disagree on reachable states *)
   | PA010  (** reachable deadlock / unclassified terminal state *)
   | PA011  (** action signature inconsistent under [equal_action] *)
+  | PA012  (** fault isolation: a crashed/stalled process still steps *)
   | PA020  (** probabilistic zero-time cycle (time can stall) *)
   | PA021  (** an adversary can block [tick] forever *)
   | CL001  (** compose premise: schema not execution closed *)

@@ -136,6 +136,36 @@ let deadlocks ~model ~accept_terminal pa expl =
   Diagnostic.cap ~limit:witness_limit (List.rev !diags)
 
 (* ------------------------------------------------------------------ *)
+(* PA012 *)
+
+let fault_isolation ~model ~faulted ~effective_proc pa expl =
+  let diags = ref [] in
+  let n = E.num_states expl in
+  for i = 0 to n - 1 do
+    let s = E.state expl i in
+    match faulted s with
+    | [] -> ()
+    | down ->
+      Array.iter
+        (fun { E.action; _ } ->
+           match effective_proc action with
+           | Some p when List.mem p down ->
+             diags :=
+               Diagnostic.v PA012 Error ~model
+                 ~witness:
+                   (Printf.sprintf "step %s of process %d in state %s"
+                      (show_action pa action) p (show_state pa s))
+                 (Printf.sprintf
+                    "process %d is crashed or stalled here, yet one of its \
+                     original steps is still enabled: the fault wrapper \
+                     leaks base behaviour" p)
+               :: !diags
+           | Some _ | None -> ())
+        (E.steps expl i)
+  done;
+  Diagnostic.cap ~limit:witness_limit (List.rev !diags)
+
+(* ------------------------------------------------------------------ *)
 (* PA011 *)
 
 let max_distinct_actions = 4096

@@ -44,6 +44,20 @@ val deadlocks :
   model:string -> accept_terminal:('s -> bool) option ->
   ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
 
+(** [fault_isolation ~model ~faulted ~effective_proc pa expl]: for
+    fault-wrapped automata.  [faulted s] lists the processes the
+    wrapper considers crashed or stalled in [s]; [effective_proc a]
+    names the process whose {e original} (base-automaton) step [a] is
+    -- injection actions map to [None].  Any reachable state that
+    still enables an original step of a faulted process is a PA012
+    [Error]: the wrapper is leaking behaviour the fault model says is
+    impossible, so every "degraded bound" computed on it is
+    meaningless. *)
+val fault_isolation :
+  model:string -> faulted:('s -> int list) ->
+  effective_proc:('a -> int option) ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+
 (** [signature ~model pa expl]: PA011 [Warning] when two actions
     occurring on reachable steps are identified by [equal_action] but
     classified differently by [is_external]. *)

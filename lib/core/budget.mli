@@ -1,0 +1,50 @@
+(** Resource budgets for the verification engines.
+
+    The exact engines are only as useful as their worst failure mode: an
+    exploration that dies with an exception after minutes of work helps
+    nobody.  A budget bounds what an engine may consume -- interned
+    states, wall-clock seconds -- and a {!clock} tracks consumption so
+    that several phases (exploration, then Monte Carlo fallback) can
+    share one allowance.  Engines never raise on exhaustion; they return
+    partial work labelled with {!exhausted}'s reason.
+
+    The retry fields drive the Monte Carlo backoff policy: when an
+    estimate is requested under a wall budget, trials run in batches
+    that grow geometrically ([retries] rounds, doubling each time) until
+    the clock runs out, so short budgets still produce an interval and
+    long budgets tighten it. *)
+
+type t = {
+  max_states : int option;  (** interned-state bound for exploration *)
+  wall : float option;  (** wall-clock allowance, in seconds *)
+  retries : int;  (** Monte Carlo batch rounds (doubling backoff) *)
+}
+
+(** No bounds at all; [retries] = 6. *)
+val unlimited : t
+
+val v : ?max_states:int -> ?wall:float -> ?retries:int -> unit -> t
+
+(** [of_string spec] parses a comma-separated budget such as
+    ["states:100000,wall:30s,retries:4"].  [wall] accepts a plain
+    number of seconds or the suffixes [ms], [s], [m]. *)
+val of_string : string -> (t, string) result
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Consumption tracking} *)
+
+(** A started budget: remembers when measuring began. *)
+type clock
+
+val start : t -> clock
+val budget : clock -> t
+
+(** Seconds since {!start}. *)
+val elapsed : clock -> float
+
+(** [None] while within bounds; otherwise a human-readable reason
+    naming the dimension that ran out ([states] is the current
+    interned-state count of the consumer). *)
+val exhausted : ?states:int -> clock -> string option

@@ -9,4 +9,8 @@ let same a b = String.equal a.name b.name
 let all = make ~execution_closed:true "Advs"
 let unit_time = make ~execution_closed:true "Unit-Time"
 
+let with_faults ~desc base =
+  make ~execution_closed:base.execution_closed
+    (Printf.sprintf "%s+faults(%s)" base.name desc)
+
 let pp fmt s = Format.pp_print_string fmt s.name

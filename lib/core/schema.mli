@@ -32,4 +32,18 @@ val all : t
     time 1.  Execution closed, as argued in the paper. *)
 val unit_time : t
 
+(** [with_faults ~desc base] is the schema of fault-injecting
+    adversaries over [base]: adversaries of the fault-wrapped automaton
+    whose projections to surviving steps are adversaries of [base], and
+    whose injections respect the fault budget of the wrapped state
+    ([desc] records that budget, e.g. ["crash:1,loss:0"]).
+
+    Execution closure is inherited from [base]: the remaining fault
+    budget is part of the wrapped state, so shifting an adversary past a
+    fragment leaves a fault-injecting adversary for the suffix started
+    at the fragment's last state -- with exactly the budget that state
+    still carries.  Hence Theorem 3.4 composition applies to claims
+    checked on the wrapped automaton, just as for [base]. *)
+val with_faults : desc:string -> t -> t
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type spec = { crash : int; loss : int; stuck : int }
+
+let none = { crash = 0; loss = 0; stuck = 0 }
+
+let v ?(crash = 0) ?(loss = 0) ?(stuck = 0) () =
+  if crash < 0 || loss < 0 || stuck < 0 then
+    invalid_arg "Fault.v: negative budget";
+  { crash; loss; stuck }
+
+let total f = f.crash + f.loss + f.stuck
+let is_none f = total f = 0
+
+let of_string spec =
+  if String.trim spec = "none" then Ok none
+  else
+  let fields =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' spec)
+  in
+  if fields = [] then Error "empty fault specification"
+  else
+    let rec go acc = function
+      | [] -> Ok acc
+      | field :: rest ->
+        (match String.index_opt field ':' with
+         | None ->
+           Error
+             (Printf.sprintf
+                "fault field %S is not of the form kind:count (expected \
+                 crash:N, loss:N or stuck:N)"
+                field)
+         | Some i ->
+           let kind = String.sub field 0 i in
+           let value =
+             String.sub field (i + 1) (String.length field - i - 1)
+           in
+           (match int_of_string_opt value with
+            | Some n when n >= 0 ->
+              (match kind with
+               | "crash" -> go { acc with crash = n } rest
+               | "loss" -> go { acc with loss = n } rest
+               | "stuck" -> go { acc with stuck = n } rest
+               | other ->
+                 Error
+                   (Printf.sprintf
+                      "unknown fault kind %S (expected crash, loss or \
+                       stuck)"
+                      other))
+            | Some _ | None ->
+              Error
+                (Printf.sprintf "fault count %S is not a nonnegative int"
+                   value)))
+    in
+    go none fields
+
+let to_string f =
+  let fields =
+    List.filter_map Fun.id
+      [ (if f.crash > 0 then Some (Printf.sprintf "crash:%d" f.crash)
+         else None);
+        (if f.loss > 0 then Some (Printf.sprintf "loss:%d" f.loss)
+         else None);
+        (if f.stuck > 0 then Some (Printf.sprintf "stuck:%d" f.stuck)
+         else None) ]
+  in
+  match fields with [] -> "none" | _ -> String.concat "," fields
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)

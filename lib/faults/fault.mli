@@ -1,0 +1,37 @@
+(** Fault specifications: what may go wrong, and how many times.
+
+    A specification is an {e exact budget}: it bounds how many fault
+    events of each kind the adversary may inject over a whole execution.
+    The remaining budget travels inside the wrapped automaton's state
+    (see {!Inject}), which is what keeps the fault-extended adversary
+    schema execution closed (the premise of Theorem 3.4) and the
+    zero-time layers of the clocked encoding acyclic. *)
+
+type spec = {
+  crash : int;  (** processes that may halt permanently *)
+  loss : int;  (** scheduled steps whose effect may be dropped *)
+  stuck : int;  (** times a process may wedge until explicitly resumed *)
+}
+
+(** No faults at all. *)
+val none : spec
+
+(** [v ()] is {!none}; each field raises the corresponding budget.
+    Raises [Invalid_argument] on a negative count. *)
+val v : ?crash:int -> ?loss:int -> ?stuck:int -> unit -> spec
+
+(** Total number of injections the budget still allows ([Resume] is
+    free; it only undoes a paid [Stall]). *)
+val total : spec -> int
+
+val is_none : spec -> bool
+
+(** [of_string spec] parses a comma-separated list such as
+    ["crash:1,loss:2"]; omitted kinds default to 0, and ["none"] is the
+    empty budget. *)
+val of_string : string -> (spec, string) result
+
+(** Inverse of {!of_string}; ["none"] for {!none}. *)
+val to_string : spec -> string
+
+val pp : Format.formatter -> spec -> unit

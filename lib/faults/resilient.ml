@@ -1,0 +1,79 @@
+module Q = Proba.Rational
+
+type 's exact = {
+  attained : Q.t;
+  meets : bool;
+  witness : 's option;
+  pre_states : int;
+  states : int;
+  claim : 's Core.Claim.t option;
+}
+
+type estimate = {
+  est : Sim.Monte_carlo.budgeted;
+  meets_point : bool;
+  reason : string;
+}
+
+type 's verdict =
+  | Exact of 's exact
+  | Estimate of estimate
+  | Exhausted of string
+
+let check_arrow ?(budget = Core.Budget.unlimited) ?fallback ~pa ~is_tick
+    ~granularity ~schema ~pre ~post ~time ~prob () =
+  let clock = Core.Budget.start budget in
+  let part = Mdp.Explore.run_budgeted ~clock pa in
+  if part.Mdp.Explore.complete then begin
+    let expl = part.Mdp.Explore.fragment in
+    let r =
+      Mdp.Checker.check_arrow expl ~is_tick ~granularity ~schema ~pre
+        ~post ~time ~prob
+    in
+    Exact
+      { attained = r.Mdp.Checker.attained;
+        meets = r.Mdp.Checker.claim <> None;
+        witness = r.Mdp.Checker.witness;
+        pre_states = r.Mdp.Checker.pre_states;
+        states = Mdp.Explore.num_states expl;
+        claim = r.Mdp.Checker.claim }
+  end
+  else begin
+    let reason =
+      Printf.sprintf "exact exploration stopped after %d states: %s"
+        (Mdp.Explore.num_states part.Mdp.Explore.fragment)
+        (Option.value part.Mdp.Explore.stopped ~default:"budget exhausted")
+    in
+    match fallback with
+    | None -> Exhausted reason
+    | Some run ->
+      let est = run clock in
+      let meets_point =
+        Proba.Stat.Proportion.estimate est.Sim.Monte_carlo.prop
+        >= Q.to_float prob
+      in
+      Estimate { est; meets_point; reason }
+  end
+
+let pp_verdict fmt = function
+  | Exact e ->
+    Format.fprintf fmt
+      "@[<v>exact: min P = %s over %d pre-states (%d states explored): \
+       %s@]"
+      (Q.to_string e.attained) e.pre_states e.states
+      (if e.meets then "bound holds" else "bound MISSED")
+  | Estimate e ->
+    let lo, hi = Proba.Stat.Proportion.wilson_ci e.est.Sim.Monte_carlo.prop in
+    Format.fprintf fmt
+      "@[<v>Monte Carlo ESTIMATE (not a proof; %s):@ p-hat = %.4f, 95%% \
+       CI [%.4f, %.4f], %d trials in %d batches%s@]"
+      e.reason
+      (Proba.Stat.Proportion.estimate e.est.Sim.Monte_carlo.prop)
+      lo hi e.est.Sim.Monte_carlo.trials_run
+      e.est.Sim.Monte_carlo.batches
+      (match e.est.Sim.Monte_carlo.stopped with
+       | None -> ""
+       | Some r -> Printf.sprintf " (stopped: %s)" r)
+  | Exhausted reason ->
+    Format.fprintf fmt
+      "budget exhausted (%s) and no simulation fallback available" reason

@@ -8,9 +8,22 @@ type ('s, 'a) t = {
   table : ('s, int) Funtbl.t;
   steps : 'a step array array;
   start_indices : int list;
+  expanded : int;
 }
 
-let run ?(max_states = 5_000_000) m =
+type ('s, 'a) partial = {
+  fragment : ('s, 'a) t;
+  complete : bool;
+  frontier : int;
+  stopped : string option;
+}
+
+(* Shared BFS.  Interning order is FIFO visitation order, so states are
+   expanded in index order and an incomplete run's frontier is exactly
+   the index suffix [expanded ..].  [stop] is consulted before each
+   expansion; [hard_max] reproduces the legacy contract of {!run}
+   (raise the moment a state beyond the bound would be interned). *)
+let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
   let table =
     Funtbl.create ~equal:(Core.Pa.equal_state m) ~hash:(Core.Pa.hash_state m)
       1024
@@ -22,31 +35,39 @@ let run ?(max_states = 5_000_000) m =
     match Funtbl.find table s with
     | Some i -> i
     | None ->
-      if !count >= max_states then raise (Too_many_states max_states);
+      (match hard_max with
+       | Some bound when !count >= bound -> raise (Too_many_states bound)
+       | Some _ | None -> ());
       let i = !count in
       incr count;
       Funtbl.add table s i;
       states := s :: !states;
-      Queue.add (i, s) queue;
+      Queue.add s queue;
       i
   in
   let start_indices = List.map intern (Core.Pa.start m) in
   let steps_acc = ref [] in
-  (* Visitation is FIFO, so step lists are produced in index order. *)
-  while not (Queue.is_empty queue) do
-    let i, s = Queue.take queue in
-    let steps =
-      List.map
-        (fun step ->
-           let outcomes =
-             List.map
-               (fun (target, w) -> (intern target, w))
-               (Proba.Dist.support step.Core.Pa.dist)
-           in
-           { action = step.Core.Pa.action; outcomes = Array.of_list outcomes })
-        (Core.Pa.enabled m s)
-    in
-    steps_acc := (i, Array.of_list steps) :: !steps_acc
+  let expanded = ref 0 in
+  let stopped = ref None in
+  while !stopped = None && not (Queue.is_empty queue) do
+    match stop ~interned:!count with
+    | Some _ as reason -> stopped := reason
+    | None ->
+      let s = Queue.take queue in
+      let steps =
+        List.map
+          (fun step ->
+             let outcomes =
+               List.map
+                 (fun (target, w) -> (intern target, w))
+                 (Proba.Dist.support step.Core.Pa.dist)
+             in
+             { action = step.Core.Pa.action;
+               outcomes = Array.of_list outcomes })
+          (Core.Pa.enabled m s)
+      in
+      steps_acc := Array.of_list steps :: !steps_acc;
+      incr expanded
   done;
   let n = !count in
   let states_arr =
@@ -57,12 +78,37 @@ let run ?(max_states = 5_000_000) m =
       List.iteri (fun k s -> arr.(n - 1 - k) <- s) !states;
       arr
   in
+  (* Frontier states (indices >= expanded) keep the empty step array:
+     downstream analyses treat them as stuck, which under-approximates
+     reachability -- the sound direction for min-reach lower bounds. *)
   let steps_arr = Array.make n [||] in
-  List.iter (fun (i, st) -> steps_arr.(i) <- st) !steps_acc;
-  { pa = m; states = states_arr; table; steps = steps_arr; start_indices }
+  List.iteri
+    (fun k st -> steps_arr.(!expanded - 1 - k) <- st)
+    !steps_acc;
+  ( { pa = m; states = states_arr; table; steps = steps_arr; start_indices;
+      expanded = !expanded },
+    !stopped )
+
+let run ?(max_states = 5_000_000) m =
+  let fragment, _ = bfs ~hard_max:max_states m in
+  fragment
+
+let run_budgeted ?(budget = Core.Budget.unlimited) ?clock m =
+  let clock =
+    match clock with Some c -> c | None -> Core.Budget.start budget
+  in
+  let stop ~interned = Core.Budget.exhausted ~states:interned clock in
+  let fragment, stopped = bfs ~stop m in
+  { fragment;
+    complete = stopped = None;
+    frontier = Array.length fragment.states - fragment.expanded;
+    stopped }
 
 let automaton e = e.pa
 let num_states e = Array.length e.states
+let num_expanded e = e.expanded
+let is_expanded e i = i < e.expanded
+let is_complete e = e.expanded = Array.length e.states
 
 let num_choices e =
   Array.fold_left (fun acc st -> acc + Array.length st) 0 e.steps

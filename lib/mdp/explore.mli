@@ -17,13 +17,48 @@ type ('s, 'a) t
 
 (** [run ?max_states m] explores [m] from its start states.
     Raises {!Too_many_states} when the bound (default [5_000_000]) is
-    exceeded. *)
+    exceeded -- prefer {!run_budgeted}, which keeps the partial work. *)
 val run : ?max_states:int -> ('s, 'a) Core.Pa.t -> ('s, 'a) t
+
+(** A possibly-incomplete exploration.  When the budget ran out,
+    [fragment] still holds every interned state; the [frontier] states
+    (the index suffix, see {!is_expanded}) were discovered but not
+    expanded and report no steps.  Downstream backward inductions treat
+    them as stuck, which {e under}-approximates reachability -- so a
+    min-reach value computed on the fragment is a sound lower bound for
+    the full automaton, though claims must not be certified from it
+    (pre-states beyond the frontier were never examined). *)
+type ('s, 'a) partial = {
+  fragment : ('s, 'a) t;
+  complete : bool;
+  frontier : int;  (** number of interned-but-unexpanded states *)
+  stopped : string option;  (** which budget dimension ran out *)
+}
+
+(** [run_budgeted ?budget ?clock m] explores within [budget], never
+    raising on exhaustion.  Pass [clock] to share one allowance across
+    phases (e.g. exploration, then a Monte Carlo fallback); otherwise a
+    fresh clock is started.  The state bound is checked before each
+    expansion, so the interned count can overshoot it by the branching
+    of the last expanded state. *)
+val run_budgeted :
+  ?budget:Core.Budget.t -> ?clock:Core.Budget.clock ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) partial
 
 (** The automaton that was explored. *)
 val automaton : ('s, 'a) t -> ('s, 'a) Core.Pa.t
 
 val num_states : ('s, 'a) t -> int
+
+(** States whose steps were computed; the frontier of an incomplete
+    fragment is the index range [num_expanded .. num_states - 1]. *)
+val num_expanded : ('s, 'a) t -> int
+
+val is_expanded : ('s, 'a) t -> int -> bool
+
+(** [true] iff every interned state was expanded ({!run} results
+    always are). *)
+val is_complete : ('s, 'a) t -> bool
 
 (** Total number of (state, step) pairs. *)
 val num_choices : ('s, 'a) t -> int

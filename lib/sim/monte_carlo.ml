@@ -18,6 +18,51 @@ let estimate_reach setup ~target ~within ~trials ~seed =
   done;
   prop
 
+type budgeted = {
+  prop : Proba.Stat.Proportion.t;
+  trials_run : int;
+  batches : int;
+  stopped : string option;
+}
+
+let estimate_reach_budgeted setup ~target ~within
+    ?(budget = Core.Budget.unlimited) ?clock ?(initial_trials = 64) ~seed () =
+  let clock =
+    match clock with Some c -> c | None -> Core.Budget.start budget
+  in
+  let retries = max 1 (Core.Budget.budget clock).Core.Budget.retries in
+  let root = Proba.Rng.create ~seed in
+  let prop = Proba.Stat.Proportion.create () in
+  let trials_run = ref 0 in
+  let batches = ref 0 in
+  let stopped = ref None in
+  let batch = ref (max 1 initial_trials) in
+  (try
+     for _round = 1 to retries do
+       for _ = 1 to !batch do
+         (* The first trial always runs, so even an already-expired
+            budget yields a (wide) interval rather than nothing. *)
+         if !trials_run > 0 then
+           (match Core.Budget.exhausted clock with
+            | Some reason ->
+              stopped := Some reason;
+              raise Exit
+            | None -> ());
+         let rng = Proba.Rng.split root in
+         let outcome =
+           Engine.run setup.pa setup.scheduler ~rng ~stop:target
+             ~duration:setup.duration ~max_time:within setup.start
+         in
+         Proba.Stat.Proportion.add prop
+           (outcome.Engine.why = Engine.Reached);
+         incr trials_run
+       done;
+       incr batches;
+       batch := !batch * 2
+     done
+   with Exit -> ());
+  { prop; trials_run = !trials_run; batches = !batches; stopped = !stopped }
+
 let run_times setup ~target ~trials ~seed ~max_steps record =
   let root = Proba.Rng.create ~seed in
   let missed = ref 0 in

@@ -18,6 +18,29 @@ val estimate_reach :
   ('s, 'a) setup -> target:('s -> bool) -> within:int -> trials:int ->
   seed:int -> Proba.Stat.Proportion.t
 
+(** Outcome of a budgeted estimation: the Wilson-interval proportion,
+    how much work fit in the allowance, and which budget dimension cut
+    the run short ([None] when all batch rounds completed). *)
+type budgeted = {
+  prop : Proba.Stat.Proportion.t;
+  trials_run : int;
+  batches : int;
+  stopped : string option;
+}
+
+(** [estimate_reach_budgeted setup ~target ~within ?budget ?clock
+    ?initial_trials ~seed ()] is {!estimate_reach} under a wall-clock
+    allowance: trials run in [budget.retries] batches that double in
+    size ([initial_trials], then twice that, ...) so short budgets
+    still produce an interval and long budgets tighten it.  The clock
+    is consulted between trials; pass [clock] to share an allowance
+    already partly consumed by exploration.  At least one trial always
+    runs, and no exception escapes on exhaustion. *)
+val estimate_reach_budgeted :
+  ('s, 'a) setup -> target:('s -> bool) -> within:int ->
+  ?budget:Core.Budget.t -> ?clock:Core.Budget.clock ->
+  ?initial_trials:int -> seed:int -> unit -> budgeted
+
 (** [estimate_time setup ~target ~trials ~seed ?max_steps ()] runs until
     the target and summarizes elapsed slots.  Trials that do not reach
     the target within [max_steps] steps (default [1_000_000]) are

@@ -9,11 +9,11 @@ module A = Analysis
 module Diag = Analysis.Diagnostic
 module Report = Analysis.Report
 
-let lint ?is_tick ?accept_terminal ?claims ?plan ?max_states
+let lint ?is_tick ?accept_terminal ?claims ?plan ?fault_view ?max_states
     ?max_equal_pairs name pa =
   A.run
-    (A.config ?is_tick ?accept_terminal ?claims ?plan ?max_states
-       ?max_equal_pairs ~name pa)
+    (A.config ?is_tick ?accept_terminal ?claims ?plan ?fault_view
+       ?max_states ?max_equal_pairs ~name pa)
 
 let check_mem name code report =
   Alcotest.(check bool) (name ^ " fires") true (Report.mem code report)
@@ -114,6 +114,42 @@ let test_signature_violation () =
   in
   let report = lint ~accept_terminal:(fun _ -> true) "signature" pa in
   check_mem "PA011" Diag.PA011 report
+
+(* PA012: a hand-rolled fault wrapper that marks process 1 crashed in
+   its state yet forgets to filter process 1's steps out of [enabled];
+   the fault-isolation check must catch the leak.  States are
+   [(pos, crashed)], actions name the acting process. *)
+let test_fault_leak () =
+  let view = ((fun (_, crashed) -> crashed), fun i -> Some i) in
+  let step pos crashed i =
+    { Core.Pa.action = i; dist = D.point (pos + 1, crashed) }
+  in
+  let leaky (pos, crashed) =
+    if pos >= 2 then [] else List.map (step pos crashed) [ 0; 1 ]
+  in
+  let pa = Core.Pa.make ~start:[ (0, [ 1 ]) ] ~enabled:leaky () in
+  let report =
+    lint ~accept_terminal:(fun _ -> true) ~fault_view:view "fault-leak" pa
+  in
+  check_mem "PA012" Diag.PA012 report;
+  Alcotest.(check bool) "error severity" true
+    (Report.mem_error Diag.PA012 report);
+  (* the corrected wrapper really suppresses the crashed process *)
+  let sound (pos, crashed) =
+    if pos >= 2 then []
+    else
+      List.filter_map
+        (fun i ->
+           if List.mem i crashed then None else Some (step pos crashed i))
+        [ 0; 1 ]
+  in
+  let fixed = Core.Pa.make ~start:[ (0, [ 1 ]) ] ~enabled:sound () in
+  let ok =
+    lint ~accept_terminal:(fun _ -> true) ~fault_view:view "fault-sound"
+      fixed
+  in
+  Alcotest.(check bool) "PA012 silent on the fix" false
+    (Report.mem Diag.PA012 ok)
 
 (* PA020: a zero-time coin-flip loop -- probability mass cycles
    between states 0 and 1 without any tick. *)
@@ -336,6 +372,7 @@ let () =
           Alcotest.test_case "PA010 deadlock" `Quick test_deadlock;
           Alcotest.test_case "PA011 signature" `Quick
             test_signature_violation;
+          Alcotest.test_case "PA012 fault leak" `Quick test_fault_leak;
           Alcotest.test_case "PA020 zero-time cycle" `Quick
             test_zero_time_cycle;
           Alcotest.test_case "PA021 tick blockable" `Quick

@@ -160,6 +160,94 @@ let test_engine_stop_immediately () =
   Alcotest.(check int) "no steps" 0 outcome.Sim.Engine.steps
 
 (* ------------------------------------------------------------------ *)
+(* Termination taxonomy at the deadline itself.  A deterministic
+   countdown makes every outcome exact: [n] ticks down to [1] (one time
+   unit each), then a zero-duration [finish] reaches [0], which is
+   terminal. *)
+
+module Countdown = struct
+  let enabled s =
+    if s > 1 then [ { Core.Pa.action = "tick"; dist = Proba.Dist.point (s - 1) } ]
+    else if s = 1 then
+      [ { Core.Pa.action = "finish"; dist = Proba.Dist.point 0 } ]
+    else []
+
+  let pa =
+    Core.Pa.make
+      ~pp_state:(fun fmt s -> Format.fprintf fmt "%d" s)
+      ~pp_action:Format.pp_print_string
+      ~start:[ 3 ] ~enabled ()
+
+  let duration = function "tick" -> 1 | _ -> 0
+
+  let run ~stop ?max_time () =
+    Sim.Engine.run pa (Sim.Scheduler.uniform pa)
+      ~rng:(Proba.Rng.create ~seed:30) ~stop ~duration ?max_time 3
+end
+
+let test_engine_reached_at_exact_max_time () =
+  (* The target appears at elapsed = max_time; "within t" includes t, so
+     this is Reached, not Time_limit. *)
+  let outcome = Countdown.run ~stop:(fun s -> s = 1) ~max_time:2 () in
+  Alcotest.(check bool) "reached" true
+    (outcome.Sim.Engine.why = Sim.Engine.Reached);
+  Alcotest.(check int) "at the deadline" 2 outcome.Sim.Engine.elapsed
+
+let test_engine_deadlock_at_exact_max_time () =
+  (* The zero-duration finish still fires at the deadline, and the
+     terminal it lands in is a Deadlock, not a Time_limit. *)
+  let outcome = Countdown.run ~stop:(fun _ -> false) ~max_time:2 () in
+  Alcotest.(check bool) "deadlock" true
+    (outcome.Sim.Engine.why = Sim.Engine.Deadlock);
+  Alcotest.(check int) "final is 0" 0 outcome.Sim.Engine.final;
+  Alcotest.(check int) "elapsed is the deadline" 2
+    outcome.Sim.Engine.elapsed
+
+let test_engine_time_limit_before_deadline_step () =
+  (* A unit-duration step that would end beyond the deadline is not
+     taken: the run stops one state earlier with Time_limit. *)
+  let outcome = Countdown.run ~stop:(fun _ -> false) ~max_time:1 () in
+  Alcotest.(check bool) "time limit" true
+    (outcome.Sim.Engine.why = Sim.Engine.Time_limit);
+  Alcotest.(check int) "stopped before the long tick" 2
+    outcome.Sim.Engine.final;
+  Alcotest.(check int) "elapsed capped" 1 outcome.Sim.Engine.elapsed
+
+let test_engine_halted_beats_time_limit () =
+  (* The scheduler declining wins over the clock when both apply at the
+     same instant. *)
+  let sched =
+    Sim.Scheduler.halt_when (fun s -> s = 2)
+      (Sim.Scheduler.uniform Countdown.pa)
+  in
+  let outcome =
+    Sim.Engine.run Countdown.pa sched ~rng:(Proba.Rng.create ~seed:31)
+      ~stop:(fun _ -> false) ~duration:Countdown.duration ~max_time:1 3
+  in
+  Alcotest.(check bool) "halted" true
+    (outcome.Sim.Engine.why = Sim.Engine.Halted);
+  Alcotest.(check int) "at the deadline" 1 outcome.Sim.Engine.elapsed
+
+let test_engine_seed_deterministic () =
+  (* Two runs from identical seeds replay the same trajectory exactly;
+     Proba.Rng is a pure function of its seed. *)
+  let run () =
+    Sim.Engine.run Toys.Walker.pa (Sim.Scheduler.uniform Toys.Walker.pa)
+      ~rng:(Proba.Rng.create ~seed:32)
+      ~stop:(fun s -> s = Toys.Walker.Done)
+      ~duration:(fun a -> if Toys.Walker.is_tick a then 1 else 0)
+      ~max_steps:500 Toys.Walker.start
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same steps" a.Sim.Engine.steps b.Sim.Engine.steps;
+  Alcotest.(check int) "same elapsed" a.Sim.Engine.elapsed
+    b.Sim.Engine.elapsed;
+  Alcotest.(check bool) "same verdict" true
+    (a.Sim.Engine.why = b.Sim.Engine.why);
+  Alcotest.(check bool) "same final state" true
+    (a.Sim.Engine.final = b.Sim.Engine.final)
+
+(* ------------------------------------------------------------------ *)
 (* Monte Carlo, cross-checked against the exact walker values *)
 
 let delayer_sched =
@@ -362,7 +450,17 @@ let () =
          Alcotest.test_case "halted" `Quick test_engine_halted;
          Alcotest.test_case "time limit" `Quick test_engine_time_limit;
          Alcotest.test_case "stop immediately" `Quick
-           test_engine_stop_immediately ]);
+           test_engine_stop_immediately;
+         Alcotest.test_case "reached at exact max_time" `Quick
+           test_engine_reached_at_exact_max_time;
+         Alcotest.test_case "deadlock at exact max_time" `Quick
+           test_engine_deadlock_at_exact_max_time;
+         Alcotest.test_case "time limit before overlong step" `Quick
+           test_engine_time_limit_before_deadline_step;
+         Alcotest.test_case "halted beats time limit" `Quick
+           test_engine_halted_beats_time_limit;
+         Alcotest.test_case "seed deterministic" `Quick
+           test_engine_seed_deterministic ]);
       ("search",
        [ Alcotest.test_case "finds peak" `Quick test_search_finds_peak;
          Alcotest.test_case "trace monotone" `Quick
