@@ -10,7 +10,12 @@
       micro-benchmarks.
 
    Flags: --quick (smaller experiment instances), --tables-only,
-   --bench-only. *)
+   --bench-only, --domains N (install the worker pool the engines use),
+   --json PATH (persist per-kernel ns/run + run metadata, the format of
+   the committed BENCH_baseline.json), --check-against PATH (exit
+   nonzero if any e1-e12 kernel regressed more than 3x against a
+   previously persisted baseline -- a coarse guard, robust to CI
+   noise). *)
 
 open Bechamel
 open Toolkit
@@ -183,17 +188,20 @@ let run_benchmarks () =
   let raw = Benchmark.all cfg instances (bench_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    Hashtbl.fold
+      (fun name ols acc ->
+         let estimate =
+           match Analyze.OLS.estimates ols with
+           | Some (t :: _) -> t
+           | Some [] | None -> nan
+         in
+         (name, estimate) :: acc)
+      results []
   in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "\n=== kernel timings (monotonic clock, per run) ===\n\n";
   List.iter
-    (fun (name, ols) ->
-       let estimate =
-         match Analyze.OLS.estimates ols with
-         | Some (t :: _) -> t
-         | Some [] | None -> nan
-       in
+    (fun (name, estimate) ->
        let pretty =
          if estimate >= 1e9 then Printf.sprintf "%8.3f s " (estimate /. 1e9)
          else if estimate >= 1e6 then
@@ -203,17 +211,132 @@ let run_benchmarks () =
          else Printf.sprintf "%8.1f ns" estimate
        in
        Printf.printf "  %-45s %s\n%!" name pretty)
-    rows
+    rows;
+  rows
+
+(* ----------------------------------------------------------------- *)
+(* Persisted baseline (--json) and regression guard (--check-against). *)
+
+module J = Analysis.Json
+
+let emit_json ~path ~quick ~domains rows =
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "prtb-bench/1");
+        ("ocaml", J.Str Sys.ocaml_version);
+        ("word_size", J.Int Sys.word_size);
+        ("hostname", J.Str (Unix.gethostname ()));
+        ("unix_time", J.Num (Unix.gettimeofday ()));
+        ("clock", J.Str "monotonic");
+        ("quota_s", J.Num 0.5);
+        ("quick", J.Bool quick);
+        ("domains", (match domains with None -> J.Null | Some n -> J.Int n));
+        ( "results",
+          J.Arr
+            (List.map
+               (fun (name, ns) ->
+                  J.Obj [ ("name", J.Str name); ("ns_per_run", J.Num ns) ])
+               rows) ) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d kernels)\n%!" path (List.length rows)
+
+let baseline_rows path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match J.of_string contents with
+  | Error msg -> failwith (Printf.sprintf "%s: JSON parse error: %s" path msg)
+  | Ok doc ->
+    (match J.member "results" doc with
+     | Some (J.Arr items) ->
+       List.filter_map
+         (fun item ->
+            match J.member "name" item, J.member "ns_per_run" item with
+            | Some (J.Str name), Some v ->
+              Option.map (fun ns -> (name, ns)) (J.to_float_opt v)
+            | _, _ -> None)
+         items
+     | Some _ | None ->
+       failwith (Printf.sprintf "%s: missing \"results\" array" path))
+
+(* The tier-1-covered kernels: the e1-e12 experiment pipelines, all of
+   which are exercised by `dune runtest`.  The substrate and sim micro-
+   benchmarks are too jittery for even a coarse CI gate. *)
+let guarded name =
+  let prefix = "prtb/e" in
+  String.length name > String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
+  && (match name.[String.length prefix] with '0' .. '9' -> true | _ -> false)
+
+let check_against ~path rows =
+  let baseline = baseline_rows path in
+  let failures = ref [] in
+  List.iter
+    (fun (name, ns) ->
+       if guarded name && Float.is_finite ns then
+         match List.assoc_opt name baseline with
+         | Some base when Float.is_finite base && base > 0.0 ->
+           let ratio = ns /. base in
+           if ratio > 3.0 then failures := (name, base, ns, ratio) :: !failures
+         | Some _ | None -> ())
+    rows;
+  match !failures with
+  | [] ->
+    Printf.printf "regression guard: all guarded kernels within 3x of %s\n%!"
+      path
+  | fs ->
+    Printf.printf "regression guard FAILED against %s:\n" path;
+    List.iter
+      (fun (name, base, ns, ratio) ->
+         Printf.printf "  %-45s %.0f ns -> %.0f ns (%.1fx)\n" name base ns
+           ratio)
+      (List.rev fs);
+    exit 1
+
+let arg_value argv flag =
+  let rec go = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go argv
 
 let () =
   let argv = Array.to_list Sys.argv in
   let quick = List.mem "--quick" argv in
   let tables_only = List.mem "--tables-only" argv in
   let bench_only = List.mem "--bench-only" argv in
+  let json_path = arg_value argv "--json" in
+  let check_path = arg_value argv "--check-against" in
+  let domains =
+    match arg_value argv "--domains" with
+    | None -> None
+    | Some v ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 -> Some n
+       | Some _ | None -> failwith "--domains expects a positive integer")
+  in
+  (match domains with
+   | None -> ()
+   | Some n ->
+     Parallel.Pool.set_default (Some (Parallel.Pool.create ~domains:n)));
   if not bench_only then begin
     let config =
       if quick then Experiments.Harness.quick else Experiments.Harness.default
     in
     Experiments.Harness.run_all (Experiments.Harness.make_ctx config)
   end;
-  if not tables_only then run_benchmarks ()
+  if not tables_only then begin
+    let rows = run_benchmarks () in
+    (match json_path with
+     | Some path -> emit_json ~path ~quick ~domains rows
+     | None -> ());
+    match check_path with
+    | Some path -> check_against ~path rows
+    | None -> ()
+  end

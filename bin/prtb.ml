@@ -14,6 +14,30 @@ module BO = Ben_or
 open Cmdliner
 
 (* ----------------------------------------------------------------- *)
+(* --domains: session-default worker pool *)
+
+let domains_arg =
+  let pos_int =
+    Arg.conv
+      ( (fun s ->
+           match int_of_string_opt s with
+           | Some n when n >= 1 -> Ok n
+           | Some _ | None -> Error (`Msg "DOMAINS must be a positive integer")),
+        Format.pp_print_int )
+  in
+  Arg.(value & opt (some pos_int) None
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Run the exact engines and Monte Carlo batches on a pool \
+                 of N domains.  Exact results and seeded estimates are \
+                 bit-identical for every N (including 1); omitting the \
+                 flag keeps the sequential legacy code path.  See \
+                 docs/PERFORMANCE.md.")
+
+let install_domains = function
+  | None -> ()
+  | Some n -> Parallel.Pool.set_default (Some (Parallel.Pool.create ~domains:n))
+
+(* ----------------------------------------------------------------- *)
 (* experiments *)
 
 let experiments_cmd =
@@ -39,7 +63,8 @@ let experiments_cmd =
          & info [] ~docv:"ID"
              ~doc:"Experiment ids to run (e1..e13); all when omitted.")
   in
-  let run config ids =
+  let run domains config ids =
+    install_domains domains;
     let ctx = Experiments.Harness.make_ctx config in
     let table =
       [ ("e1", Experiments.Harness.e1_arrows); ("e2", Experiments.Harness.e2_composed);
@@ -66,7 +91,7 @@ let experiments_cmd =
       in
       go ids
   in
-  let term = Term.(term_result (const run $ profile $ only)) in
+  let term = Term.(term_result (const run $ domains_arg $ profile $ only)) in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's result tables (see EXPERIMENTS.md).")
@@ -307,7 +332,8 @@ let check_seed_arg =
            ~doc:"PRNG seed for the Monte Carlo fallback.")
 
 let check_cmd =
-  let run system n g k topology bound cap faults budget release seed =
+  let run domains system n g k topology bound cap faults budget release seed =
+    install_domains domains;
     try
       Ok
         (match system with
@@ -351,14 +377,15 @@ let check_cmd =
              fault budget, falling back to simulation when --budget is \
              exceeded.")
     Term.(term_result
-            (const run $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg
-             $ topology_arg $ bound_arg $ cap_arg $ faults_arg $ budget_arg
-             $ release_arg $ check_seed_arg))
+            (const run $ domains_arg $ system_arg $ n_arg ~default:3 $ g_arg
+             $ k_arg $ topology_arg $ bound_arg $ cap_arg $ faults_arg
+             $ budget_arg $ release_arg $ check_seed_arg))
 
 (* ----------------------------------------------------------------- *)
 (* simulate *)
 
-let simulate system n scheduler trials seed within =
+let simulate domains system n scheduler trials seed within =
+  install_domains domains;
   match system with
   | `Lr ->
     let params = { LR.Automaton.n; g = 1; k = 1 } in
@@ -470,8 +497,8 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte Carlo estimation on large rings.")
-    Term.(const simulate $ system_arg $ n_arg ~default:8 $ scheduler $ trials
-          $ seed $ within)
+    Term.(const simulate $ domains_arg $ system_arg $ n_arg ~default:8
+          $ scheduler $ trials $ seed $ within)
 
 (* ----------------------------------------------------------------- *)
 (* export-dot *)

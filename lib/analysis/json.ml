@@ -2,6 +2,7 @@ type t =
   | Null
   | Bool of bool
   | Int of int
+  | Num of float
   | Str of string
   | Arr of t list
   | Obj of (string * t) list
@@ -26,6 +27,11 @@ let rec emit buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
+  | Num f ->
+    (* JSON has no NaN/Infinity; fall back to null like most emitters. *)
+    if Float.is_finite f then
+      Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    else Buffer.add_string buf "null"
   | Str s ->
     Buffer.add_char buf '"';
     escape buf s;
@@ -56,3 +62,190 @@ let to_string j =
   Buffer.contents buf
 
 let pp fmt j = Format.pp_print_string fmt (to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Parser.  Recursive descent over the same fragment the serializer
+   emits; numbers with a fraction or exponent parse as [Num], plain
+   integers as [Int].  Added for the bench regression guard, which must
+   read a committed BENCH_baseline.json back without growing a JSON
+   dependency. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> parse_error "expected %c at offset %d, got %c" c !pos d
+    | None -> parse_error "expected %c at offset %d, got end of input" c !pos
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else parse_error "invalid literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then parse_error "unterminated string"
+      else begin
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          (if !pos >= n then parse_error "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+             if !pos + 4 > n then parse_error "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | None -> parse_error "bad \\u escape %S" hex
+              | Some code when code < 0x80 ->
+                Buffer.add_char buf (Char.chr code)
+              | Some code when code < 0x800 ->
+                (* 2-byte UTF-8 *)
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              | Some code ->
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+           | e -> parse_error "unknown escape \\%c" e);
+          go ()
+        | c -> Buffer.add_char buf c; go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_int = ref true in
+    if peek () = Some '-' then advance ();
+    while
+      match peek () with
+      | Some ('0' .. '9') -> true
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+        is_int := false;
+        true
+      | Some _ | None -> false
+    do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if !is_int then
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> parse_error "bad number %S" tok
+    else
+      match float_of_string_opt tok with
+      | Some f -> Num f
+      | None -> parse_error "bad number %S" tok
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | Some c -> parse_error "expected , or ] got %c" c
+          | None -> parse_error "unterminated array"
+        in
+        Arr (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | Some c -> parse_error "expected , or } got %c" c
+          | None -> parse_error "unterminated object"
+        in
+        Obj (fields [])
+      end
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+    else Ok v
+  | exception Parse_error m -> Error m
+
+(* Convenience accessors for readers of parsed documents. *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Num _ | Str _ | Arr _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Num f -> Some f
+  | Null | Bool _ | Str _ | Arr _ | Obj _ -> None

@@ -1,16 +1,18 @@
-(** A minimal JSON tree and serializer.
+(** A minimal JSON tree, serializer and parser.
 
     The linter's machine-readable output ([prtb lint --format json])
-    must be consumable by CI pipelines without adding a JSON dependency
-    to the repository, so this module implements the small fragment we
-    need: construction and compact serialization with correct string
-    escaping.  No parser is provided (nothing in the system reads JSON
-    back). *)
+    and the bench baseline ([BENCH_baseline.json], read back by the CI
+    regression guard) must be producible and consumable without adding
+    a JSON dependency to the repository, so this module implements the
+    small fragment we need: construction, compact serialization with
+    correct string escaping, and a recursive-descent parser for the
+    same fragment. *)
 
 type t =
   | Null
   | Bool of bool
   | Int of int
+  | Num of float  (** non-integral numbers; NaN/inf serialize as null *)
   | Str of string
   | Arr of t list
   | Obj of (string * t) list
@@ -20,3 +22,13 @@ type t =
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** Parse a complete JSON document.  Numbers with a fraction or
+    exponent come back as {!Num}, plain integers as {!Int}. *)
+val of_string : string -> (t, string) result
+
+(** [member k j] is the value under key [k] when [j] is an object. *)
+val member : string -> t -> t option
+
+(** Numeric coercion: [Int] and [Num] only. *)
+val to_float_opt : t -> float option

@@ -50,6 +50,10 @@ let lift_pred p =
 
 let wrap ~hooks ~budget m =
   let lift w s = { w with base = s } in
+  let equal_state a b =
+    Core.Pa.equal_state m a.base b.base
+    && a.crashed = b.crashed && a.stuck = b.stuck && a.left = b.left
+  in
   let lost_step w i ~charge =
     match hooks.on_lost w.base i with
     | None -> None
@@ -75,7 +79,11 @@ let wrap ~hooks ~budget m =
            | Some _ | None ->
              Some
                { Core.Pa.action = Step st.Core.Pa.action;
-                 dist = D.map (lift w) st.Core.Pa.dist })
+                 (* Merge under the base automaton's state equality:
+                    with the default structural [equal], PA-equal but
+                    structurally distinct outcomes would stay split and
+                    bloat every downstream sweep. *)
+                 dist = D.map ~equal:equal_state (lift w) st.Core.Pa.dist })
         base_steps
     in
     let schedulable i =
@@ -149,10 +157,6 @@ let wrap ~hooks ~budget m =
     in
     surviving @ stalled_losses @ injected_losses @ crashes @ stalls
     @ resumes
-  in
-  let equal_state a b =
-    Core.Pa.equal_state m a.base b.base
-    && a.crashed = b.crashed && a.stuck = b.stuck && a.left = b.left
   in
   let hash_state w =
     Hashtbl.hash (Core.Pa.hash_state m w.base, w.crashed, w.stuck, w.left)

@@ -3,7 +3,26 @@ let expectation v outcomes =
     (fun acc (j, w) -> acc +. (Proba.Rational.to_float w *. v.(j)))
     0.0 outcomes
 
-let value_iterate expl ~is_tick ~finite ~target ~best ~epsilon ~max_sweeps =
+let state_value expl ~is_tick ~finite ~target ~best v i =
+  if target.(i) then 0.0
+  else if not finite.(i) then infinity
+  else begin
+    let steps = Explore.steps expl i in
+    if Array.length steps = 0 then infinity
+    else
+      Array.fold_left
+        (fun acc step ->
+           let cost = if is_tick step.Explore.action then 1.0 else 0.0 in
+           let e = cost +. expectation v step.Explore.outcomes in
+           match acc with
+           | None -> Some e
+           | Some cur -> Some (best cur e))
+        None steps
+      |> Option.get
+  end
+
+let value_iterate_seq expl ~is_tick ~finite ~target ~best ~epsilon
+    ~max_sweeps =
   let n = Explore.num_states expl in
   let v =
     Array.init n (fun i ->
@@ -17,17 +36,7 @@ let value_iterate expl ~is_tick ~finite ~target ~best ~epsilon ~max_sweeps =
       if (not target.(i)) && finite.(i) then begin
         let steps = Explore.steps expl i in
         if Array.length steps > 0 then begin
-          let fresh =
-            Array.fold_left
-              (fun acc step ->
-                 let cost = if is_tick step.Explore.action then 1.0 else 0.0 in
-                 let e = cost +. expectation v step.Explore.outcomes in
-                 match acc with
-                 | None -> Some e
-                 | Some cur -> Some (best cur e))
-              None steps
-            |> Option.get
-          in
+          let fresh = state_value expl ~is_tick ~finite ~target ~best v i in
           let d = Float.abs (fresh -. v.(i)) in
           if d > !delta then delta := d;
           v.(i) <- fresh
@@ -45,24 +54,79 @@ let value_iterate expl ~is_tick ~finite ~target ~best ~epsilon ~max_sweeps =
   go 0;
   v
 
-let max_expected_ticks expl ~is_tick ~target ?(epsilon = 1e-12)
+(* Pooled variant: double-buffered Jacobi sweeps.  Each state update
+   reads only the previous iterate and the per-sweep delta is combined
+   with [Float.max] (associative and order-independent), so the result
+   is bit-identical for any pool size. *)
+let value_iterate_par pool expl ~is_tick ~finite ~target ~best ~epsilon
+    ~max_sweeps =
+  let n = Explore.num_states expl in
+  let init i =
+    if target.(i) then 0.0 else if finite.(i) then 0.0 else infinity
+  in
+  let cur = ref (Array.init n init) in
+  let nxt = ref (Array.make n 0.0) in
+  let sweep () =
+    let cur = !cur and nxt = !nxt in
+    Parallel.Pool.map_reduce pool ~n ~init:0.0 ~combine:Float.max
+      (fun i ->
+         if (not target.(i)) && finite.(i)
+            && Array.length (Explore.steps expl i) > 0
+         then begin
+           let fresh = state_value expl ~is_tick ~finite ~target ~best cur i in
+           nxt.(i) <- fresh;
+           Float.abs (fresh -. cur.(i))
+         end
+         else begin
+           nxt.(i) <- init i;
+           0.0
+         end)
+  in
+  let rec go k =
+    if k > max_sweeps then
+      failwith "Expected_time: value iteration did not converge"
+    else if sweep () > epsilon then begin
+      let t = !cur in
+      cur := !nxt;
+      nxt := t;
+      go (k + 1)
+    end
+    else cur := !nxt
+  in
+  go 0;
+  !cur
+
+let value_iterate ?pool expl ~is_tick ~finite ~target ~best ~epsilon
+    ~max_sweeps =
+  let pool =
+    match pool with Some _ -> pool | None -> Parallel.Pool.get_default ()
+  in
+  match pool with
+  | Some p ->
+    value_iterate_par p expl ~is_tick ~finite ~target ~best ~epsilon
+      ~max_sweeps
+  | None ->
+    value_iterate_seq expl ~is_tick ~finite ~target ~best ~epsilon
+      ~max_sweeps
+
+let max_expected_ticks ?pool expl ~is_tick ~target ?(epsilon = 1e-12)
     ?(max_sweeps = 1_000_000) () =
   let finite = Qualitative.always_reaches expl ~target in
-  value_iterate expl ~is_tick ~finite ~target ~best:Float.max ~epsilon
+  value_iterate ?pool expl ~is_tick ~finite ~target ~best:Float.max ~epsilon
     ~max_sweeps
 
-let min_expected_ticks expl ~is_tick ~target ?(epsilon = 1e-12)
+let min_expected_ticks ?pool expl ~is_tick ~target ?(epsilon = 1e-12)
     ?(max_sweeps = 1_000_000) () =
   let finite = Qualitative.some_reaches_certainly expl ~target in
-  value_iterate expl ~is_tick ~finite ~target ~best:Float.min ~epsilon
+  value_iterate ?pool expl ~is_tick ~finite ~target ~best:Float.min ~epsilon
     ~max_sweeps
 
-let max_expected_ticks_with_policy expl ~is_tick ~target
+let max_expected_ticks_with_policy ?pool expl ~is_tick ~target
     ?(epsilon = 1e-12) ?(max_sweeps = 1_000_000) () =
   let finite = Qualitative.always_reaches expl ~target in
   let v =
-    value_iterate expl ~is_tick ~finite ~target ~best:Float.max ~epsilon
-      ~max_sweeps
+    value_iterate ?pool expl ~is_tick ~finite ~target ~best:Float.max
+      ~epsilon ~max_sweeps
   in
   let n = Explore.num_states expl in
   let policy =

@@ -10,7 +10,13 @@
     States from which some adversary avoids the target with positive
     probability have unbounded worst-case expected time; they are
     detected with {!Qualitative.always_reaches} and reported as
-    [infinity]. *)
+    [infinity].
+
+    With [?pool] (or the session default installed by [--domains]) the
+    sweeps run as double-buffered Jacobi iterations across the pool's
+    domains; results are bit-identical for any number of domains, but
+    may differ in low-order bits from the sequential in-place schedule
+    used when no pool is set. *)
 
 (** [max_expected_ticks expl ~is_tick ~target ()] returns per-state
     worst-case expected ticks-to-target ([infinity] where some adversary
@@ -19,6 +25,7 @@
     hit, whichever is first; raises [Failure] when the sweep budget runs
     out. *)
 val max_expected_ticks :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ?epsilon:float -> ?max_sweeps:int -> unit -> float array
 
@@ -26,6 +33,7 @@ val max_expected_ticks :
     even the best adversary cannot reach the target almost surely
     (detected by a max-probability qualitative check). *)
 val min_expected_ticks :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ?epsilon:float -> ?max_sweeps:int -> unit -> float array
 
@@ -37,5 +45,6 @@ val min_expected_ticks :
     can be replayed by the simulator to cross-validate the value
     iteration (experiment E8). *)
 val max_expected_ticks_with_policy :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ?epsilon:float -> ?max_sweeps:int -> unit -> float array * int array

@@ -62,6 +62,25 @@ let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
                  (fun (target, w) -> (intern target, w))
                  (Proba.Dist.support step.Core.Pa.dist)
              in
+             (* Distinct support states can intern to one index when the
+                PA's state equality is coarser than the equality the
+                distribution was merged under; coalesce them (keeping
+                first-occurrence order) so no downstream sweep pays for
+                split masses. *)
+             let rec coalesce acc = function
+               | [] -> List.rev acc
+               | (i, w) :: rest ->
+                 let same, rest =
+                   List.partition (fun (j, _) -> j = i) rest
+                 in
+                 let w =
+                   List.fold_left
+                     (fun w (_, w') -> Proba.Rational.add w w')
+                     w same
+                 in
+                 coalesce ((i, w) :: acc) rest
+             in
+             let outcomes = coalesce [] outcomes in
              { action = step.Core.Pa.action;
                outcomes = Array.of_list outcomes })
           (Core.Pa.enabled m s)

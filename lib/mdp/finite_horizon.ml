@@ -66,26 +66,44 @@ module Engine (N : NUM) = struct
     steps : (bool * (int * N.t) array) array array;
   }
 
-  let compact expl ~is_tick ~target =
+  (* Per-index parallel fill, or a plain loop when no pool is in
+     effect.  Writes go to distinct slots, so results never depend on
+     the pool size. *)
+  let pfor pool ~n f =
+    match pool with
+    | Some p -> Parallel.Pool.parallel_for p ~n f
+    | None ->
+      for i = 0 to n - 1 do
+        f i
+      done
+
+  let compact ?pool expl ~is_tick ~target =
     let n = Explore.num_states expl in
     if Array.length target <> n then
       invalid_arg "Finite_horizon: target array has wrong length";
-    let steps =
-      Array.init n (fun i ->
+    let steps = Array.make n [||] in
+    pfor pool ~n (fun i ->
+        steps.(i) <-
           Array.map
             (fun s ->
                ( is_tick s.Explore.action,
                  Array.map
                    (fun (j, w) -> (j, N.of_rational w))
                    s.Explore.outcomes ))
-            (Explore.steps expl i))
-    in
+            (Explore.steps expl i));
     { n; target; steps }
 
   let expectation v outcomes =
     Array.fold_left
       (fun acc (j, w) -> N.add acc (N.scale w v.(j)))
       N.zero outcomes
+
+  let no_convergence max_sweeps =
+    raise
+      (No_convergence
+         (Printf.sprintf
+            "tick layer did not close after %d sweeps: the automaton \
+             has probabilistic zero-time cycles" max_sweeps))
 
   (* One tick layer: given the value vector [v_next] for one tick less
      of budget, compute the fixpoint of
@@ -94,7 +112,7 @@ module Engine (N : NUM) = struct
             | best over steps:  tick s     -> E_{v_next}
                                 non-tick s -> E_v
      iterating Bellman sweeps in place from [init] until unchanged. *)
-  let layer c ~best ~init v_next =
+  let layer_seq c ~best ~init v_next =
     let tick_exp =
       Array.map
         (Array.map (fun (tick, outcomes) ->
@@ -134,16 +152,74 @@ module Engine (N : NUM) = struct
     in
     let max_sweeps = c.n + 2 in
     let rec go k =
-      if k > max_sweeps then
-        raise
-          (No_convergence
-             (Printf.sprintf
-                "tick layer did not close after %d sweeps: the automaton \
-                 has probabilistic zero-time cycles" max_sweeps))
+      if k > max_sweeps then no_convergence max_sweeps
       else if sweep () then go (k + 1)
     in
     go 0;
     v
+
+  (* The pooled layer runs Jacobi sweeps (double-buffered: each sweep
+     reads only the previous iterate), so every per-state slot is an
+     independent write and the result is bit-identical for any pool
+     size -- including 1.  Both schedules are Kleene iterations of the
+     same monotone layer operator from the same starting vector, so for
+     the exact numeric types they converge to the same fixpoint as the
+     sequential in-place schedule; Jacobi needs at most one sweep per
+     state on a zero-time chain, which stays within the same
+     [n + 2] cap. *)
+  let layer_par pool c ~best ~init v_next =
+    let tick_exp = Array.make c.n [||] in
+    Parallel.Pool.parallel_for pool ~n:c.n (fun s ->
+        tick_exp.(s) <-
+          Array.map
+            (fun (tick, outcomes) ->
+               if tick then Some (expectation v_next outcomes) else None)
+            c.steps.(s));
+    let cur = ref (Array.init c.n init) in
+    let nxt = ref (Array.make c.n N.zero) in
+    let sweep () =
+      let cur = !cur and nxt = !nxt in
+      Parallel.Pool.map_reduce pool ~n:c.n ~init:false ~combine:( || )
+        (fun s ->
+            if c.target.(s) || Array.length c.steps.(s) = 0 then begin
+              nxt.(s) <- cur.(s);
+              false
+            end
+            else begin
+              let value = ref None in
+              Array.iteri
+                (fun k (_tick, outcomes) ->
+                   let candidate =
+                     match tick_exp.(s).(k) with
+                     | Some e -> e
+                     | None -> expectation cur outcomes
+                   in
+                   match !value with
+                   | None -> value := Some candidate
+                   | Some acc -> value := Some (best acc candidate))
+                c.steps.(s);
+              let fresh = Option.get !value in
+              nxt.(s) <- fresh;
+              not (N.equal fresh cur.(s))
+            end)
+    in
+    let max_sweeps = c.n + 2 in
+    let rec go k =
+      if k > max_sweeps then no_convergence max_sweeps
+      else if sweep () then begin
+        let t = !cur in
+        cur := !nxt;
+        nxt := t;
+        go (k + 1)
+      end
+    in
+    go 0;
+    !cur
+
+  let layer pool c ~best ~init v_next =
+    match pool with
+    | Some p -> layer_par p c ~best ~init v_next
+    | None -> layer_seq c ~best ~init v_next
 
   let min_init c s =
     if c.target.(s) then N.one
@@ -152,20 +228,27 @@ module Engine (N : NUM) = struct
 
   let max_init c s = if c.target.(s) then N.one else N.zero
 
-  let run expl ~is_tick ~target ~ticks ~best ~init =
+  (* An explicit [?pool] wins; otherwise the session default installed
+     by [--domains] applies. *)
+  let resolve_pool = function
+    | Some _ as p -> p
+    | None -> Parallel.Pool.get_default ()
+
+  let run ?pool expl ~is_tick ~target ~ticks ~best ~init =
     if ticks < 0 then invalid_arg "Finite_horizon: negative tick horizon";
-    let c = compact expl ~is_tick ~target in
+    let pool = resolve_pool pool in
+    let c = compact ?pool expl ~is_tick ~target in
     let v = ref (Array.make c.n N.zero) in
     for _t = 0 to ticks do
-      v := layer c ~best ~init:(init c) !v
+      v := layer pool c ~best ~init:(init c) !v
     done;
     !v
 
-  let min_reach expl ~is_tick ~target ~ticks =
-    run expl ~is_tick ~target ~ticks ~best:N.min ~init:min_init
+  let min_reach ?pool expl ~is_tick ~target ~ticks =
+    run ?pool expl ~is_tick ~target ~ticks ~best:N.min ~init:min_init
 
-  let max_reach expl ~is_tick ~target ~ticks =
-    run expl ~is_tick ~target ~ticks ~best:N.max ~init:max_init
+  let max_reach ?pool expl ~is_tick ~target ~ticks =
+    run ?pool expl ~is_tick ~target ~ticks ~best:N.max ~init:max_init
 
   let argbest c ~best v_next v =
     Array.init c.n (fun s ->
@@ -189,55 +272,60 @@ module Engine (N : NUM) = struct
           !best_k
         end)
 
-  let min_reach_with_policy expl ~is_tick ~target ~ticks =
+  let min_reach_with_policy ?pool expl ~is_tick ~target ~ticks =
     if ticks < 0 then invalid_arg "Finite_horizon: negative tick horizon";
-    let c = compact expl ~is_tick ~target in
+    let pool = resolve_pool pool in
+    let c = compact ?pool expl ~is_tick ~target in
     let policy = Array.make (ticks + 1) [||] in
     let v = ref (Array.make c.n N.zero) in
     for t = 0 to ticks do
-      let fresh = layer c ~best:N.min ~init:(min_init c) !v in
+      let fresh = layer pool c ~best:N.min ~init:(min_init c) !v in
       policy.(t) <- argbest c ~best:N.min !v fresh;
       v := fresh
     done;
     (!v, policy)
 
   (* Step-bounded: every step consumes one unit of horizon, so plain
-     backward induction suffices. *)
-  let run_steps expl ~target ~steps ~best =
+     backward induction suffices.  Already double-buffered, so the
+     parallel fill is bit-identical to the sequential one. *)
+  let run_steps ?pool expl ~target ~steps ~best =
     if steps < 0 then invalid_arg "Finite_horizon: negative step horizon";
+    let pool = resolve_pool pool in
     let n = Explore.num_states expl in
     if Array.length target <> n then
       invalid_arg "Finite_horizon: target array has wrong length";
-    let c = compact expl ~is_tick:(fun _ -> false) ~target in
+    let c = compact ?pool expl ~is_tick:(fun _ -> false) ~target in
     let v =
       ref (Array.init n (fun s -> if target.(s) then N.one else N.zero))
     in
     for _k = 1 to steps do
       let prev = !v in
-      v :=
-        Array.init n (fun s ->
-            if target.(s) then N.one
-            else begin
-              let stps = c.steps.(s) in
-              if Array.length stps = 0 then N.zero
-              else
-                Array.fold_left
-                  (fun acc (_, outcomes) ->
-                     let e = expectation prev outcomes in
-                     match acc with
-                     | None -> Some e
-                     | Some cur -> Some (best cur e))
-                  None stps
-                |> Option.get
-            end)
+      let fresh = Array.make n N.zero in
+      pfor pool ~n (fun s ->
+          fresh.(s) <-
+            (if target.(s) then N.one
+             else begin
+               let stps = c.steps.(s) in
+               if Array.length stps = 0 then N.zero
+               else
+                 Array.fold_left
+                   (fun acc (_, outcomes) ->
+                      let e = expectation prev outcomes in
+                      match acc with
+                      | None -> Some e
+                      | Some cur -> Some (best cur e))
+                   None stps
+                 |> Option.get
+             end));
+      v := fresh
     done;
     !v
 
-  let min_reach_steps expl ~target ~steps =
-    run_steps expl ~target ~steps ~best:N.min
+  let min_reach_steps ?pool expl ~target ~steps =
+    run_steps ?pool expl ~target ~steps ~best:N.min
 
-  let max_reach_steps expl ~target ~steps =
-    run_steps expl ~target ~steps ~best:N.max
+  let max_reach_steps ?pool expl ~target ~steps =
+    run_steps ?pool expl ~target ~steps ~best:N.max
 end
 
 module Exact = Engine (Num_rational)
@@ -248,34 +336,35 @@ module Approx = Engine (Num_float)
    probabilities are dyadic and the shift-based arithmetic applies; the
    rational engine remains the fallback for automata with arbitrary
    probabilities.  Both are exact, so results are interchangeable. *)
-let exact_fast engine_dyadic engine_rational expl ~is_tick ~target ~ticks =
+let exact_fast engine_dyadic engine_rational ?pool expl ~is_tick ~target
+    ~ticks =
   match
-    engine_dyadic expl ~is_tick ~target ~ticks
+    engine_dyadic ?pool expl ~is_tick ~target ~ticks
   with
   | values -> Array.map Proba.Dyadic.to_rational values
   | exception Proba.Dyadic.Not_dyadic _ ->
-    engine_rational expl ~is_tick ~target ~ticks
+    engine_rational ?pool expl ~is_tick ~target ~ticks
 
-let min_reach expl ~is_tick ~target ~ticks =
-  exact_fast Exact_dyadic.min_reach Exact.min_reach expl ~is_tick ~target
-    ~ticks
+let min_reach ?pool expl ~is_tick ~target ~ticks =
+  exact_fast Exact_dyadic.min_reach Exact.min_reach ?pool expl ~is_tick
+    ~target ~ticks
 
-let max_reach expl ~is_tick ~target ~ticks =
-  exact_fast Exact_dyadic.max_reach Exact.max_reach expl ~is_tick ~target
-    ~ticks
+let max_reach ?pool expl ~is_tick ~target ~ticks =
+  exact_fast Exact_dyadic.max_reach Exact.max_reach ?pool expl ~is_tick
+    ~target ~ticks
 let min_reach_with_policy = Exact.min_reach_with_policy
 
-let min_reach_steps expl ~target ~steps =
-  match Exact_dyadic.min_reach_steps expl ~target ~steps with
+let min_reach_steps ?pool expl ~target ~steps =
+  match Exact_dyadic.min_reach_steps ?pool expl ~target ~steps with
   | values -> Array.map Proba.Dyadic.to_rational values
   | exception Proba.Dyadic.Not_dyadic _ ->
-    Exact.min_reach_steps expl ~target ~steps
+    Exact.min_reach_steps ?pool expl ~target ~steps
 
-let max_reach_steps expl ~target ~steps =
-  match Exact_dyadic.max_reach_steps expl ~target ~steps with
+let max_reach_steps ?pool expl ~target ~steps =
+  match Exact_dyadic.max_reach_steps ?pool expl ~target ~steps with
   | values -> Array.map Proba.Dyadic.to_rational values
   | exception Proba.Dyadic.Not_dyadic _ ->
-    Exact.max_reach_steps expl ~target ~steps
+    Exact.max_reach_steps ?pool expl ~target ~steps
 
 (** The rational-only engine, exposed for cross-checking. *)
 let min_reach_rational = Exact.min_reach

@@ -19,7 +19,15 @@
     Quantification is over all non-halting adversaries: the adversary
     must pick some enabled step when one exists.  Halting at will would
     make every minimum trivially zero; the timing schemas of the paper
-    (e.g. [Unit-Time]) likewise force time to keep flowing. *)
+    (e.g. [Unit-Time]) likewise force time to keep flowing.
+
+    Every entry point accepts [?pool].  With a pool (explicit or the
+    session default installed by [--domains]), layer sweeps run as
+    double-buffered Jacobi iterations split across the pool's domains;
+    the chunk grid depends only on the state count, so the results are
+    bit-identical for any number of domains.  Without a pool the legacy
+    sequential in-place schedule runs; for the exact numeric types both
+    schedules converge to the same fixpoint (see docs/PERFORMANCE.md). *)
 
 exception No_convergence of string
 
@@ -33,11 +41,13 @@ exception No_convergence of string
     arithmetic -- exactly the same results, several times faster than
     general rationals; otherwise it falls back transparently. *)
 val min_reach :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> Proba.Rational.t array
 
 (** Maximum over all adversaries (best-case scheduling). *)
 val max_reach :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> Proba.Rational.t array
 
@@ -46,6 +56,7 @@ val max_reach :
     minimizing adversary takes at state [s] with [t] ticks of budget
     remaining ([-1] when the state is in the target, or terminal). *)
 val min_reach_with_policy :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> Proba.Rational.t array * int array array
 
@@ -54,10 +65,12 @@ val min_reach_with_policy :
     Here the horizon counts steps, so no inner fixpoint is needed. *)
 
 val min_reach_steps :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> target:bool array -> steps:int ->
   Proba.Rational.t array
 
 val max_reach_steps :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> target:bool array -> steps:int ->
   Proba.Rational.t array
 
@@ -70,10 +83,12 @@ val max_reach_steps :
     discharged by the exact functions above. *)
 
 val min_reach_float :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> float array
 
 val max_reach_float :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> float array
 
@@ -83,9 +98,11 @@ val max_reach_float :
     and benches can compare the two exact implementations. *)
 
 val min_reach_rational :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> Proba.Rational.t array
 
 val max_reach_rational :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> Proba.Rational.t array

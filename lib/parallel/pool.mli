@@ -1,0 +1,82 @@
+(** A fixed pool of worker domains with deterministic parallel
+    iteration.
+
+    The pool exists so the exact engines can use every core without
+    giving up the certification story: work is split into a chunk grid
+    that depends only on the problem size (never on the number of
+    domains), chunks are claimed dynamically but their results are
+    combined in chunk order, and callers that need bit-identical output
+    across [~domains:1] and [~domains:n] get it for free as long as
+    their combine function is associative.
+
+    A pool of [n] domains spawns [n - 1] workers; the calling domain
+    always participates, so [create ~domains:1] is a valid (purely
+    sequential) pool and no deadlock is possible even if the workers
+    are busy elsewhere.
+
+    Cancellation is cooperative: a [?stop] probe is consulted between
+    chunk claims (never mid-chunk).  Chunks already claimed when the
+    probe fires run to completion, then {!Cancelled} is raised in the
+    caller.  This is how [Core.Budget] clocks plug in. *)
+
+type t
+
+(** Raised in the calling domain when a [?stop] probe returns
+    [Some reason]; the payload is that reason. *)
+exception Cancelled of string
+
+(** [create ~domains] spawns a pool of [domains - 1] worker domains.
+    Raises [Invalid_argument] when [domains < 1]. *)
+val create : domains:int -> t
+
+(** Number of domains participating in the pool (workers + caller). *)
+val domains : t -> int
+
+(** Shut the workers down and join them.  The pool must not be used
+    afterwards.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [parallel_for pool ?stop ?chunks ~n f] runs [f i] for every
+    [0 <= i < n], split into [chunks] contiguous ranges (default
+    {!default_chunks}, clamped to [n]) executed across the pool.  The
+    chunk grid depends only on [n] and [chunks], so side effects into
+    per-index slots are identical for any pool size.  Exceptions raised
+    by [f] are re-raised in the caller (first one wins); a firing
+    [?stop] probe raises {!Cancelled} after in-flight chunks drain. *)
+val parallel_for :
+  t ->
+  ?stop:(unit -> string option) ->
+  ?chunks:int ->
+  n:int ->
+  (int -> unit) ->
+  unit
+
+(** [map_reduce pool ?stop ?chunks ~n ~combine ~init map] is
+    [fold_left combine init (List.init n map)] computed in parallel.
+    [combine] must be associative; under that assumption the result is
+    exactly the sequential fold — independent of the number of domains —
+    because chunk-local folds run left to right and chunk results are
+    combined in chunk order. *)
+val map_reduce :
+  t ->
+  ?stop:(unit -> string option) ->
+  ?chunks:int ->
+  n:int ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  (int -> 'a) ->
+  'a
+
+(** Chunk count used when [?chunks] is omitted: fixed (independent of
+    the pool size) so that chunk-grid-determinism holds by default. *)
+val default_chunks : int
+
+(** {1 Session default}
+
+    The CLI installs a pool once per process ([--domains N]); engines
+    with no explicit [?pool] argument pick it up here.  [set_default]
+    shuts down any previously installed pool and registers an [at_exit]
+    shutdown so worker domains never outlive the main domain. *)
+
+val set_default : t option -> unit
+val get_default : unit -> t option

@@ -1,24 +1,71 @@
-(* Normalized m * 2^e with m odd (or m = 0, e = 0). *)
+(* Normalized m * 2^e with m odd (or m = 0, e = 0).
 
-type t = { m : Bigint.t; e : int }
+   Two-tier representation mirroring {!Rational}: mantissas that fit a
+   native [int] (as witnessed by [Bigint.to_int]) stay unboxed in [Sm]
+   and are added/multiplied with overflow-checked machine arithmetic;
+   wide mantissas fall back to the [Bigint] path.  The split is
+   canonical -- a mantissa representable as [Sm] is never stored as
+   [Bg], and [min_int] is excluded -- so structural equality and hashing
+   keep working on values embedding dyadics. *)
+
+type t =
+  | Sm of int * int  (* mantissa odd (or 0 with exponent 0), not min_int *)
+  | Bg of Bigint.t * int  (* mantissa odd, beyond the native range *)
 
 exception Not_dyadic of string
 
-let normalize m e =
-  if Bigint.is_zero m then { m = Bigint.zero; e = 0 }
+(* Same overflow checks as {!Rational}; see there for the reasoning. *)
+let add_checked a b =
+  let s = a + b in
+  if (a lxor s) land (b lxor s) < 0 then None else Some s
+
+let lim31 = 1 lsl 31
+
+let mul_checked a b =
+  if a > -lim31 && a < lim31 && b > -lim31 && b < lim31 then Some (a * b)
+  else if a = 0 || b = 0 then Some 0
+  else if a = min_int || b = min_int then None
   else begin
-    let tz = Bigint.trailing_zeros m in
-    if tz = 0 then { m; e }
-    else { m = Bigint.shift_right m tz; e = e + tz }
+    let p = a * b in
+    if p / b = a then Some p else None
   end
 
-let make m e = normalize m e
+(* Count of trailing zero bits; [m] nonzero and not [min_int].
+   Two's-complement [land]/[asr] make this sign-agnostic. *)
+let tz_int m =
+  let rec go m k = if m land 1 = 1 then k else go (m asr 1) (k + 1) in
+  go m 0
 
-let zero = { m = Bigint.zero; e = 0 }
-let one = { m = Bigint.one; e = 0 }
-let half = { m = Bigint.one; e = -1 }
+let zero = Sm (0, 0)
+let one = Sm (1, 0)
+let half = Sm (1, -1)
 
-let of_int n = normalize (Bigint.of_int n) 0
+let norm_big m e =
+  if Bigint.is_zero m then zero
+  else begin
+    let tz = Bigint.trailing_zeros m in
+    let m = if tz = 0 then m else Bigint.shift_right m tz in
+    match Bigint.to_int m with
+    | Some n -> Sm (n, e + tz)
+    | None -> Bg (m, e + tz)
+  end
+
+(* Normalize a native mantissa; [min_int] (magnitude beyond [max_int])
+   detours through the big path. *)
+let norm_small m e =
+  if m = 0 then zero
+  else if m = min_int then norm_big (Bigint.of_int m) e
+  else begin
+    let tz = tz_int m in
+    if tz = 0 then Sm (m, e) else Sm (m asr tz, e + tz)
+  end
+
+let make m e = norm_big m e
+
+let of_int n = norm_small n 0
+
+let mantissa = function Sm (m, _) -> Bigint.of_int m | Bg (m, _) -> m
+let exponent = function Sm (_, e) -> e | Bg (_, e) -> e
 
 let of_rational q =
   let den = Rational.den q in
@@ -26,40 +73,102 @@ let of_rational q =
   let odd_part = Bigint.shift_right den tz in
   if not (Bigint.equal odd_part Bigint.one) then
     raise (Not_dyadic (Rational.to_string q));
-  normalize (Rational.num q) (-tz)
+  norm_big (Rational.num q) (-tz)
 
-let to_rational x =
-  if x.e >= 0 then Rational.of_bigint (Bigint.shift_left x.m x.e)
-  else Rational.make x.m (Bigint.shift_left Bigint.one (-x.e))
+let to_rational = function
+  | Sm (m, 0) -> Rational.of_int m
+  | Sm (m, e) when e < 0 && e >= -61 -> Rational.of_ints m (1 lsl (-e))
+  | (Sm _ | Bg _) as x ->
+    let m = mantissa x and e = exponent x in
+    if e >= 0 then Rational.of_bigint (Bigint.shift_left m e)
+    else Rational.make m (Bigint.shift_left Bigint.one (-e))
 
-let to_float x = Bigint.to_float x.m *. Float.pow 2.0 (float_of_int x.e)
+let to_float = function
+  | Sm (m, e) -> Float.ldexp (float_of_int m) e
+  | Bg (m, e) -> Bigint.to_float m *. Float.pow 2.0 (float_of_int e)
 
-let mantissa x = x.m
-let exponent x = x.e
+let add_big a b =
+  let ma = mantissa a and ea = exponent a in
+  let mb = mantissa b and eb = exponent b in
+  if ea <= eb then norm_big (Bigint.add ma (Bigint.shift_left mb (eb - ea))) ea
+  else norm_big (Bigint.add (Bigint.shift_left ma (ea - eb)) mb) eb
 
 let add a b =
-  if Bigint.is_zero a.m then b
-  else if Bigint.is_zero b.m then a
-  else if a.e <= b.e then
-    normalize (Bigint.add a.m (Bigint.shift_left b.m (b.e - a.e))) a.e
-  else normalize (Bigint.add (Bigint.shift_left a.m (a.e - b.e)) b.m) b.e
+  match a, b with
+  | Sm (0, _), x | x, Sm (0, _) -> x
+  | Sm (ma, ea), Sm (mb, eb) ->
+    (* Align on the smaller exponent: shift the other mantissa left,
+       falling back to bigints if the shift or the sum overflows. *)
+    let mlo, elo, mhi, delta =
+      if ea <= eb then (ma, ea, mb, eb - ea) else (mb, eb, ma, ea - eb)
+    in
+    if delta <= 62 then begin
+      let shifted = mhi lsl delta in
+      if shifted asr delta = mhi then
+        match add_checked shifted mlo with
+        | Some s -> norm_small s elo
+        | None -> add_big a b
+      else add_big a b
+    end
+    else add_big a b
+  | (Sm _ | Bg _), _ -> add_big a b
 
-let neg a = { a with m = Bigint.neg a.m }
+let neg = function
+  | Sm (m, e) -> Sm (-m, e)
+  | Bg (m, e) -> Bg (Bigint.neg m, e)
+
 let sub a b = add a (neg b)
 
 let mul a b =
-  if Bigint.is_zero a.m || Bigint.is_zero b.m then zero
-  else { m = Bigint.mul a.m b.m; e = a.e + b.e }
+  match a, b with
+  | Sm (0, _), _ | _, Sm (0, _) -> zero
+  | Sm (ma, ea), Sm (mb, eb) ->
+    (* odd * odd is odd (so never min_int): the product needs no
+       renormalization. *)
+    (match mul_checked ma mb with
+     | Some m -> Sm (m, ea + eb)
+     | None -> Bg (Bigint.mul (Bigint.of_int ma) (Bigint.of_int mb), ea + eb))
+  | (Sm _ | Bg _), _ ->
+    (* A wide mantissa times an odd mantissa only grows: no demotion. *)
+    Bg (Bigint.mul (mantissa a) (mantissa b), exponent a + exponent b)
 
-let compare a b =
-  let sa = Bigint.sign a.m and sb = Bigint.sign b.m in
+let compare_big a b =
+  let ma = mantissa a and ea = exponent a in
+  let mb = mantissa b and eb = exponent b in
+  let sa = Bigint.sign ma and sb = Bigint.sign mb in
   if sa <> sb then Stdlib.compare sa sb
   else if sa = 0 then 0
-  else if a.e <= b.e then
-    Bigint.compare a.m (Bigint.shift_left b.m (b.e - a.e))
-  else Bigint.compare (Bigint.shift_left a.m (a.e - b.e)) b.m
+  else if ea <= eb then Bigint.compare ma (Bigint.shift_left mb (eb - ea))
+  else Bigint.compare (Bigint.shift_left ma (ea - eb)) mb
 
-let equal a b = Bigint.equal a.m b.m && (Bigint.is_zero a.m || a.e = b.e)
+let compare a b =
+  match a, b with
+  | Sm (ma, ea), Sm (mb, eb) ->
+    let sa = Stdlib.compare ma 0 and sb = Stdlib.compare mb 0 in
+    if sa <> sb then Stdlib.compare sa sb
+    else if sa = 0 then 0
+    else if ea = eb then Stdlib.compare ma mb
+    else if ea < eb then begin
+      (* compare ma against mb * 2^(eb-ea); if the shift overflows, the
+         shifted side dominates in magnitude and the common sign decides. *)
+      let delta = eb - ea in
+      if delta <= 62 && (mb lsl delta) asr delta = mb then
+        Stdlib.compare ma (mb lsl delta)
+      else -sa
+    end
+    else begin
+      let delta = ea - eb in
+      if delta <= 62 && (ma lsl delta) asr delta = ma then
+        Stdlib.compare (ma lsl delta) mb
+      else sa
+    end
+  | (Sm _ | Bg _), _ -> compare_big a b
+
+let equal a b =
+  match a, b with
+  | Sm (ma, ea), Sm (mb, eb) -> ma = mb && ea = eb
+  | Bg (ma, ea), Bg (mb, eb) -> ea = eb && Bigint.equal ma mb
+  | Sm _, Bg _ | Bg _, Sm _ -> false
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b

@@ -1,41 +1,156 @@
-(* Canonical rationals: positive denominator, coprime numerator. *)
+(* Canonical rationals: positive denominator, coprime numerator.
 
-type t = { num : Bigint.t; den : Bigint.t }
+   Two-tier representation.  Values whose canonical numerator and
+   denominator both fit in a native [int] (as witnessed by
+   [Bigint.to_int]) are carried unboxed as [S (num, den)] and computed
+   with overflow-checked native arithmetic; everything else lives on the
+   [Bigint] path.  The representation is itself canonical -- a value
+   representable as [S] is never built as [B], and [min_int] (whose
+   magnitude exceeds [max_int]) is banished to the big path -- so
+   structural equality, hashing and pattern matching on the constructor
+   all remain meaningful, and [equal]/[hash]/[compare] are
+   allocation-free whenever both operands are small.  Paper-sized
+   probabilities (1/2, 1/8, 7/4096, ...) never leave the small path. *)
 
-let make num den =
+type t =
+  | S of int * int  (* den > 0, gcd(|num|, den) = 1, neither is min_int *)
+  | B of Bigint.t * Bigint.t  (* canonical; some component exceeds int *)
+
+(* ------------------------------------------------------------------ *)
+(* Overflow-checked native arithmetic. *)
+
+(* [add_checked a b] is [Some (a + b)] unless the exact sum overflows:
+   overflow flips the result sign away from both same-signed operands. *)
+let add_checked a b =
+  let s = a + b in
+  if (a lxor s) land (b lxor s) < 0 then None else Some s
+
+let lim31 = 1 lsl 31
+
+(* [mul_checked a b] is [Some (a * b)] when the exact product is
+   representable.  Operands with magnitude below [2^31] multiply
+   directly; otherwise the wrapped product is validated by division,
+   which is exact because a wrapped product is off by a multiple of
+   [2^63], far more than [|b|].  [min_int] operands are rejected
+   outright (their magnitude breaks the division check). *)
+let mul_checked a b =
+  if a > -lim31 && a < lim31 && b > -lim31 && b < lim31 then Some (a * b)
+  else if a = 0 || b = 0 then Some 0
+  else if a = min_int || b = min_int then None
+  else begin
+    let p = a * b in
+    if p / b = a then Some p else None
+  end
+
+(* Positive-operand Euclid. *)
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* ------------------------------------------------------------------ *)
+(* Constructors.  All of them establish the canonical form and pick the
+   cheapest representation that holds it. *)
+
+(* Demote an already-canonical bigint fraction to the small tier when it
+   fits.  [Bigint.to_int] never returns [min_int], so [S] components are
+   always strictly above [min_int]. *)
+let demote num den =
+  match Bigint.to_int num, Bigint.to_int den with
+  | Some n, Some d -> S (n, d)
+  | (Some _ | None), _ -> B (num, den)
+
+let big num den =
   if Bigint.is_zero den then raise Division_by_zero;
-  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  if Bigint.is_zero num then S (0, 1)
   else begin
     let num, den =
       if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
       else (num, den)
     in
     let g = Bigint.gcd num den in
-    if Bigint.equal g Bigint.one then { num; den }
-    else { num = Bigint.div num g; den = Bigint.div den g }
+    if Bigint.equal g Bigint.one then demote num den
+    else demote (Bigint.div num g) (Bigint.div den g)
   end
 
-let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
-let of_int n = { num = Bigint.of_int n; den = Bigint.one }
-let of_bigint n = { num = n; den = Bigint.one }
+let make num den = big num den
 
-let zero = of_int 0
-let one = of_int 1
-let two = of_int 2
-let half = of_ints 1 2
+(* Canonicalize a native fraction; only [min_int] components need the
+   big path (their absolute value overflows). *)
+let small n d =
+  if d = 0 then raise Division_by_zero;
+  if n = 0 then S (0, 1)
+  else if n = min_int || d = min_int then
+    big (Bigint.of_int n) (Bigint.of_int d)
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = gcd_int d (abs n) in
+    if g = 1 then S (n, d) else S (n / g, d / g)
+  end
 
-let num x = x.num
-let den x = x.den
+(* A coprime pair with positive denominator, as produced by the
+   cross-reduced product: only the [min_int] corner needs rerouting. *)
+let small_coprime n d =
+  if n = min_int then B (Bigint.of_int n, Bigint.of_int d) else S (n, d)
 
-let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+let of_ints a b = small a b
+
+let of_int n = if n = min_int then B (Bigint.of_int n, Bigint.one) else S (n, 1)
+
+let of_bigint n = demote n Bigint.one
+
+let zero = S (0, 1)
+let one = S (1, 1)
+let two = S (2, 1)
+let half = S (1, 2)
+
+let num = function S (n, _) -> Bigint.of_int n | B (n, _) -> n
+let den = function S (_, d) -> Bigint.of_int d | B (_, d) -> d
+
+let to_bigints = function
+  | S (n, d) -> (Bigint.of_int n, Bigint.of_int d)
+  | B (n, d) -> (n, d)
+
+let to_float = function
+  | S (n, d) -> float_of_int n /. float_of_int d
+  | B (n, d) -> Bigint.to_float n /. Bigint.to_float d
+
+(* ------------------------------------------------------------------ *)
+(* Comparisons. *)
+
+let sign = function S (n, _) -> compare n 0 | B (n, _) -> Bigint.sign n
+
+let compare_big a b =
+  let an, ad = to_bigints a and bn, bd = to_bigints b in
+  if Bigint.equal ad bd then Bigint.compare an bn
+  else begin
+    let sa = Bigint.sign an and sb = Bigint.sign bn in
+    if sa <> sb then Stdlib.compare sa sb
+    else Bigint.compare (Bigint.mul an bd) (Bigint.mul bn ad)
+  end
 
 let compare a b =
-  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+  match a, b with
+  | S (an, ad), S (bn, bd) ->
+    if ad = bd then Stdlib.compare an bn
+    else begin
+      let sa = Stdlib.compare an 0 and sb = Stdlib.compare bn 0 in
+      if sa <> sb then Stdlib.compare sa sb
+      else
+        (match mul_checked an bd, mul_checked bn ad with
+         | Some x, Some y -> Stdlib.compare x y
+         | (Some _ | None), _ -> compare_big a b)
+    end
+  | (S _ | B _), _ -> compare_big a b
 
-let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
-let hash x = (Bigint.hash x.num * 65599) lxor Bigint.hash x.den
-let sign x = Bigint.sign x.num
-let is_zero x = Bigint.is_zero x.num
+let equal a b =
+  match a, b with
+  | S (an, ad), S (bn, bd) -> an = bn && ad = bd
+  | B (an, ad), B (bn, bd) -> Bigint.equal an bn && Bigint.equal ad bd
+  | S _, B _ | B _, S _ -> false
+
+let hash = function
+  | S (n, d) -> (n * 65599) lxor d
+  | B (n, d) -> (Bigint.hash n * 65599) lxor Bigint.hash d
+
+let is_zero = function S (n, _) -> n = 0 | B _ -> false
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 let leq a b = compare a b <= 0
@@ -43,26 +158,86 @@ let lt a b = compare a b < 0
 let geq a b = compare a b >= 0
 let gt a b = compare a b > 0
 
-let neg x = { x with num = Bigint.neg x.num }
-let abs x = { x with num = Bigint.abs x.num }
+(* ------------------------------------------------------------------ *)
+(* Arithmetic. *)
+
+let neg = function
+  | S (n, d) -> S (-n, d)
+  | B (n, d) -> B (Bigint.neg n, d)
+
+let abs = function
+  | S (n, d) -> S (Stdlib.abs n, d)
+  | B (n, d) -> B (Bigint.abs n, d)
+
+let add_big a b =
+  let an, ad = to_bigints a and bn, bd = to_bigints b in
+  big
+    (Bigint.add (Bigint.mul an bd) (Bigint.mul bn ad))
+    (Bigint.mul ad bd)
 
 let add a b =
-  make
-    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
-    (Bigint.mul a.den b.den)
+  match a, b with
+  | S (0, _), _ -> b
+  | _, S (0, _) -> a
+  | S (an, ad), S (bn, bd) ->
+    if ad = bd then
+      (match add_checked an bn with
+       | Some n -> small n ad
+       | None -> add_big a b)
+    else
+      (match mul_checked an bd, mul_checked bn ad, mul_checked ad bd with
+       | Some x, Some y, Some d ->
+         (match add_checked x y with
+          | Some n -> small n d
+          | None -> add_big a b)
+       | (Some _ | None), _, _ -> add_big a b)
+  | (S _ | B _), _ -> add_big a b
 
 let sub a b = add a (neg b)
-let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
 
-let inv x =
-  if is_zero x then raise Division_by_zero;
-  make x.den x.num
+let mul_big_reduced an ad bn bd =
+  big
+    (Bigint.mul (Bigint.of_int an) (Bigint.of_int bn))
+    (Bigint.mul (Bigint.of_int ad) (Bigint.of_int bd))
+
+let mul a b =
+  match a, b with
+  | S (0, _), _ | _, S (0, _) -> zero
+  | S (an, ad), S (bn, bd) ->
+    (* Cross-reduce before multiplying: with gcd(an,ad) = gcd(bn,bd) = 1,
+       dividing out gcd(an,bd) and gcd(bn,ad) leaves a coprime result,
+       so no gcd of full products is ever computed. *)
+    let g1 = gcd_int bd (Stdlib.abs an) in
+    let g2 = gcd_int ad (Stdlib.abs bn) in
+    let an = an / g1 and bd = bd / g1 in
+    let bn = bn / g2 and ad = ad / g2 in
+    (match mul_checked an bn, mul_checked ad bd with
+     | Some n, Some d -> small_coprime n d
+     | (Some _ | None), _ -> mul_big_reduced an ad bn bd)
+  | (S _ | B _), _ ->
+    let an, ad = to_bigints a and bn, bd = to_bigints b in
+    big (Bigint.mul an bn) (Bigint.mul ad bd)
+
+let inv = function
+  | S (0, _) -> raise Division_by_zero
+  | S (n, d) -> if n > 0 then S (d, n) else S (-d, -n)
+  | B (n, d) ->
+    if Bigint.sign n < 0 then demote (Bigint.neg d) (Bigint.neg n)
+    else demote d n
 
 let div a b = mul a (inv b)
 
+let rec pow_pos x n =
+  if n = 1 then x
+  else begin
+    let h = pow_pos (mul x x) (n / 2) in
+    if n land 1 = 1 then mul x h else h
+  end
+
 let pow x n =
-  if n >= 0 then { num = Bigint.pow x.num n; den = Bigint.pow x.den n }
-  else inv { num = Bigint.pow x.num (-n); den = Bigint.pow x.den (-n) }
+  if n = 0 then one
+  else if n > 0 then pow_pos x n
+  else inv (pow_pos x (-n))
 
 let mul_int x n = mul x (of_int n)
 
@@ -70,9 +245,15 @@ let is_probability x = sign x >= 0 && leq x one
 
 let sum xs = List.fold_left add zero xs
 
-let to_string x =
-  if Bigint.equal x.den Bigint.one then Bigint.to_string x.num
-  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+(* ------------------------------------------------------------------ *)
+(* Printing and parsing. *)
+
+let to_string = function
+  | S (n, 1) -> string_of_int n
+  | S (n, d) -> string_of_int n ^ "/" ^ string_of_int d
+  | B (n, d) ->
+    if Bigint.equal d Bigint.one then Bigint.to_string n
+    else Bigint.to_string n ^ "/" ^ Bigint.to_string d
 
 let of_string s =
   match String.index_opt s '/' with

@@ -41,6 +41,11 @@ module Proportion = struct
 
   let create () = { trials = 0; successes = 0 }
 
+  let of_counts ~trials ~successes =
+    if trials < 0 || successes < 0 || successes > trials then
+      invalid_arg "Proportion.of_counts";
+    { trials; successes }
+
   let add t success =
     t.trials <- t.trials + 1;
     if success then t.successes <- t.successes + 1

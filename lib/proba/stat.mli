@@ -34,6 +34,11 @@ module Proportion : sig
 
   val create : unit -> t
 
+  (** [of_counts ~trials ~successes] builds a proportion from tallies
+      accumulated elsewhere (e.g. per-domain batches).  Raises
+      [Invalid_argument] unless [0 <= successes <= trials]. *)
+  val of_counts : trials:int -> successes:int -> t
+
   (** [add p success] records one Bernoulli trial. *)
   val add : t -> bool -> unit
 

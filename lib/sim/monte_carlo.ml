@@ -5,18 +5,43 @@ type ('s, 'a) setup = {
   start : 's;
 }
 
-let estimate_reach setup ~target ~within ~trials ~seed =
+(* An explicit [?pool] wins; otherwise the session default installed by
+   [--domains] applies. *)
+let resolve_pool = function
+  | Some _ as p -> p
+  | None -> Parallel.Pool.get_default ()
+
+(* Reproducibility across pool sizes: per-trial generators are always
+   split off the root sequentially (exactly the streams the sequential
+   loop would draw), and only the trial *execution* is farmed out.
+   Success counts are order-independent, so the estimate is
+   bit-identical with and without a pool. *)
+let split_rngs root n = Array.init n (fun _ -> Proba.Rng.split root)
+
+let run_trial setup ~target ~within rng =
+  let outcome =
+    Engine.run setup.pa setup.scheduler ~rng ~stop:target
+      ~duration:setup.duration ~max_time:within setup.start
+  in
+  outcome.Engine.why = Engine.Reached
+
+let estimate_reach ?pool setup ~target ~within ~trials ~seed =
   let root = Proba.Rng.create ~seed in
-  let prop = Proba.Stat.Proportion.create () in
-  for _ = 1 to trials do
-    let rng = Proba.Rng.split root in
-    let outcome =
-      Engine.run setup.pa setup.scheduler ~rng ~stop:target
-        ~duration:setup.duration ~max_time:within setup.start
+  match resolve_pool pool with
+  | None ->
+    let prop = Proba.Stat.Proportion.create () in
+    for _ = 1 to trials do
+      let rng = Proba.Rng.split root in
+      Proba.Stat.Proportion.add prop (run_trial setup ~target ~within rng)
+    done;
+    prop
+  | Some p ->
+    let rngs = split_rngs root trials in
+    let successes =
+      Parallel.Pool.map_reduce p ~n:trials ~init:0 ~combine:( + ) (fun i ->
+          if run_trial setup ~target ~within rngs.(i) then 1 else 0)
     in
-    Proba.Stat.Proportion.add prop (outcome.Engine.why = Engine.Reached)
-  done;
-  prop
+    Proba.Stat.Proportion.of_counts ~trials ~successes
 
 type budgeted = {
   prop : Proba.Stat.Proportion.t;
@@ -25,73 +50,137 @@ type budgeted = {
   stopped : string option;
 }
 
-let estimate_reach_budgeted setup ~target ~within
+let estimate_reach_budgeted ?pool setup ~target ~within
     ?(budget = Core.Budget.unlimited) ?clock ?(initial_trials = 64) ~seed () =
   let clock =
     match clock with Some c -> c | None -> Core.Budget.start budget
   in
   let retries = max 1 (Core.Budget.budget clock).Core.Budget.retries in
   let root = Proba.Rng.create ~seed in
-  let prop = Proba.Stat.Proportion.create () in
   let trials_run = ref 0 in
   let batches = ref 0 in
   let stopped = ref None in
   let batch = ref (max 1 initial_trials) in
-  (try
-     for _round = 1 to retries do
-       for _ = 1 to !batch do
-         (* The first trial always runs, so even an already-expired
-            budget yields a (wide) interval rather than nothing. *)
-         if !trials_run > 0 then
-           (match Core.Budget.exhausted clock with
-            | Some reason ->
-              stopped := Some reason;
-              raise Exit
-            | None -> ());
-         let rng = Proba.Rng.split root in
-         let outcome =
-           Engine.run setup.pa setup.scheduler ~rng ~stop:target
-             ~duration:setup.duration ~max_time:within setup.start
-         in
-         Proba.Stat.Proportion.add prop
-           (outcome.Engine.why = Engine.Reached);
-         incr trials_run
-       done;
-       incr batches;
-       batch := !batch * 2
-     done
-   with Exit -> ());
-  { prop; trials_run = !trials_run; batches = !batches; stopped = !stopped }
+  let successes = ref 0 in
+  (match resolve_pool pool with
+   | None ->
+     (try
+        for _round = 1 to retries do
+          for _ = 1 to !batch do
+            (* The first trial always runs, so even an already-expired
+               budget yields a (wide) interval rather than nothing. *)
+            if !trials_run > 0 then
+              (match Core.Budget.exhausted clock with
+               | Some reason ->
+                 stopped := Some reason;
+                 raise Exit
+               | None -> ());
+            let rng = Proba.Rng.split root in
+            if run_trial setup ~target ~within rng then incr successes;
+            incr trials_run
+          done;
+          incr batches;
+          batch := !batch * 2
+        done
+      with Exit -> ());
+   | Some p ->
+     (* Pooled batches: the budget probe fires between chunks (never
+        mid-trial); chunks already claimed drain before the round stops,
+        and trials completed in a cancelled round still count.  The
+        first chunk is exempt from the probe, preserving the
+        at-least-one-trial guarantee. *)
+     let done_trials = Atomic.make 0 in
+     let stop () =
+       if Atomic.get done_trials = 0 then None
+       else Core.Budget.exhausted clock
+     in
+     (try
+        for _round = 1 to retries do
+          let n = !batch in
+          let rngs = split_rngs root n in
+          let ran = Array.make n false in
+          let succ = Array.make n false in
+          let tally () =
+            for i = 0 to n - 1 do
+              if ran.(i) then begin
+                incr trials_run;
+                if succ.(i) then incr successes
+              end
+            done
+          in
+          (try
+             Parallel.Pool.parallel_for p ~stop ~n (fun i ->
+                 succ.(i) <- run_trial setup ~target ~within rngs.(i);
+                 ran.(i) <- true;
+                 Atomic.incr done_trials);
+             tally ()
+           with Parallel.Pool.Cancelled reason ->
+             tally ();
+             stopped := Some reason;
+             raise Exit);
+          incr batches;
+          batch := !batch * 2
+        done
+      with Exit -> ()));
+  {
+    prop =
+      Proba.Stat.Proportion.of_counts ~trials:!trials_run
+        ~successes:!successes;
+    trials_run = !trials_run;
+    batches = !batches;
+    stopped = !stopped;
+  }
 
-let run_times setup ~target ~trials ~seed ~max_steps record =
+let time_trial setup ~target ~max_steps rng =
+  let outcome =
+    Engine.run setup.pa setup.scheduler ~rng ~stop:target
+      ~duration:setup.duration ~max_steps setup.start
+  in
+  if outcome.Engine.why = Engine.Reached then
+    Some (float_of_int outcome.Engine.elapsed)
+  else None
+
+(* Summaries are running (Welford) statistics, so [record] is replayed
+   in trial order even on the pooled path: identical floats either
+   way. *)
+let run_times ?pool setup ~target ~trials ~seed ~max_steps record =
   let root = Proba.Rng.create ~seed in
-  let missed = ref 0 in
-  for _ = 1 to trials do
-    let rng = Proba.Rng.split root in
-    let outcome =
-      Engine.run setup.pa setup.scheduler ~rng ~stop:target
-        ~duration:setup.duration ~max_steps setup.start
-    in
-    if outcome.Engine.why = Engine.Reached then
-      record (float_of_int outcome.Engine.elapsed)
-    else incr missed
-  done;
-  !missed
+  match resolve_pool pool with
+  | None ->
+    let missed = ref 0 in
+    for _ = 1 to trials do
+      let rng = Proba.Rng.split root in
+      match time_trial setup ~target ~max_steps rng with
+      | Some t -> record t
+      | None -> incr missed
+    done;
+    !missed
+  | Some p ->
+    let rngs = split_rngs root trials in
+    let times = Array.make trials None in
+    Parallel.Pool.parallel_for p ~n:trials (fun i ->
+        times.(i) <- time_trial setup ~target ~max_steps rngs.(i));
+    let missed = ref 0 in
+    Array.iter
+      (function Some t -> record t | None -> incr missed)
+      times;
+    !missed
 
-let estimate_time setup ~target ~trials ~seed ?(max_steps = 1_000_000) () =
+let estimate_time ?pool setup ~target ~trials ~seed ?(max_steps = 1_000_000)
+    () =
   let summary = Proba.Stat.Summary.create () in
   let missed =
-    run_times setup ~target ~trials ~seed ~max_steps
+    run_times ?pool setup ~target ~trials ~seed ~max_steps
       (Proba.Stat.Summary.add summary)
   in
   (summary, missed)
 
-let histogram_time setup ~target ~trials ~seed ?(max_steps = 1_000_000)
-    ~lo ~hi ~bins () =
+let histogram_time ?pool setup ~target ~trials ~seed
+    ?(max_steps = 1_000_000) ~lo ~hi ~bins () =
   let summary = Proba.Stat.Summary.create () in
   let hist = Proba.Stat.Histogram.create ~lo ~hi ~bins in
   let _missed =
-    run_times setup ~target ~trials ~seed ~max_steps (fun x ->
+    run_times ?pool setup ~target ~trials ~seed ~max_steps (fun x ->
         Proba.Stat.Summary.add summary x;
         Proba.Stat.Histogram.add hist x)
   in

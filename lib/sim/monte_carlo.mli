@@ -3,7 +3,14 @@
     Each trial gets an independent generator split off a root seed, so
     experiments are exactly reproducible and embarrassingly restartable.
     Probability estimates come back as Wilson-interval proportions; time
-    estimates as running summaries. *)
+    estimates as running summaries.
+
+    All estimators accept [?pool] (falling back to the session default
+    installed by [--domains]).  Trials then run across the pool's
+    domains, but per-trial generators are still split off the root
+    sequentially and results are reduced in trial order, so every
+    estimate is bit-identical to the sequential run with the same
+    [~seed] -- for any number of domains. *)
 
 type ('s, 'a) setup = {
   pa : ('s, 'a) Core.Pa.t;
@@ -15,6 +22,7 @@ type ('s, 'a) setup = {
 (** [estimate_reach setup ~target ~within ~trials ~seed] estimates
     [P(reach target within time)] ([within] in slots). *)
 val estimate_reach :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) setup -> target:('s -> bool) -> within:int -> trials:int ->
   seed:int -> Proba.Stat.Proportion.t
 
@@ -35,8 +43,13 @@ type budgeted = {
     still produce an interval and long budgets tighten it.  The clock
     is consulted between trials; pass [clock] to share an allowance
     already partly consumed by exploration.  At least one trial always
-    runs, and no exception escapes on exhaustion. *)
+    runs, and no exception escapes on exhaustion.  On the pooled path
+    the clock is consulted between chunks of trials instead of between
+    single trials, so exhaustion is detected slightly more coarsely;
+    when the budget never fires the result is bit-identical to the
+    sequential run. *)
 val estimate_reach_budgeted :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) setup -> target:('s -> bool) -> within:int ->
   ?budget:Core.Budget.t -> ?clock:Core.Budget.clock ->
   ?initial_trials:int -> seed:int -> unit -> budgeted
@@ -46,12 +59,14 @@ val estimate_reach_budgeted :
     the target within [max_steps] steps (default [1_000_000]) are
     reported separately in the second component. *)
 val estimate_time :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) setup -> target:('s -> bool) -> trials:int -> seed:int ->
   ?max_steps:int -> unit -> Proba.Stat.Summary.t * int
 
 (** [histogram_time] like {!estimate_time} but also bins the elapsed
     times. *)
 val histogram_time :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) setup -> target:('s -> bool) -> trials:int -> seed:int ->
   ?max_steps:int -> lo:float -> hi:float -> bins:int -> unit ->
   Proba.Stat.Histogram.t * Proba.Stat.Summary.t

@@ -151,6 +151,54 @@ let test_faults_schema () =
   Alcotest.(check bool) "execution closure inherited" true
     (Core.Schema.execution_closed sch)
 
+(* Regression: a base automaton whose state equality is coarser than
+   structural equality (here a tag field that [equal_state] ignores).
+   A coin flip with two PA-equal but structurally distinct outcomes
+   must reach downstream analyses as a single outcome of mass 1 -- the
+   Inject wrapper re-merges its lifted distributions under the base
+   equality, and [Explore] coalesces outcomes that intern to the same
+   index.  With the default structural merge only, both paths would
+   carry split masses and inflate every sweep. *)
+let test_inject_merges_pa_equal_outcomes () =
+  let equal_state (a, _) (b, _) = a = b in
+  let hash_state (a, _) = Hashtbl.hash a in
+  let enabled (level, _) =
+    if level >= 1 then []
+    else
+      [ { Core.Pa.action = "flip";
+          dist =
+            Proba.Dist.make
+              [ ((level + 1, "heads"), Q.half);
+                ((level + 1, "tails"), Q.half) ] } ]
+  in
+  let base =
+    Core.Pa.make ~equal_state ~hash_state ~start:[ (0, "init") ] ~enabled ()
+  in
+  (* Through the Inject wrapper. *)
+  let hooks =
+    { I.procs = (fun _ -> 1);
+      proc_of_action = (fun _ -> Some 0);
+      on_crash = (fun s _ -> s);
+      on_lost = (fun _ _ -> None);
+      on_wake = (fun s _ -> s) }
+  in
+  let pa = I.wrap ~hooks ~budget:(F.v ~crash:1 ()) base in
+  let w = List.hd (Core.Pa.start pa) in
+  let flip =
+    List.find (fun st -> not (I.is_injection st.Core.Pa.action))
+      (Core.Pa.enabled pa w)
+  in
+  Alcotest.(check int) "wrapper merges outcomes" 1
+    (Proba.Dist.size flip.Core.Pa.dist);
+  (* Through exploration of the bare base automaton. *)
+  let expl = Mdp.Explore.run base in
+  Alcotest.(check int) "two interned states" 2 (Mdp.Explore.num_states expl);
+  (match Mdp.Explore.steps expl 0 with
+   | [| { Mdp.Explore.outcomes = [| (_, weight) |]; _ } |] ->
+     Alcotest.(check bool) "full mass on one branch" true
+       (Q.equal Q.one weight)
+   | _ -> Alcotest.fail "explore should coalesce the split outcomes")
+
 (* ------------------------------------------------------------------ *)
 (* Budgeted exploration *)
 
@@ -322,7 +370,9 @@ let () =
           Alcotest.test_case "crash silences process" `Quick
             test_inject_crash_silences_process;
           Alcotest.test_case "helpers" `Quick test_inject_helpers;
-          Alcotest.test_case "schema" `Quick test_faults_schema ] );
+          Alcotest.test_case "schema" `Quick test_faults_schema;
+          Alcotest.test_case "merges PA-equal outcomes" `Quick
+            test_inject_merges_pa_equal_outcomes ] );
       ( "budgeted exploration",
         [ Alcotest.test_case "complete" `Quick test_run_budgeted_complete;
           Alcotest.test_case "partial" `Quick test_run_budgeted_partial ] );

@@ -297,6 +297,158 @@ let prop_rational_compare_antisym =
         Stdlib.compare (Q.compare a b) 0 = -Stdlib.compare (Q.compare b a) 0)
 
 (* ------------------------------------------------------------------ *)
+(* Differential tests for the small-word fast path: every operation is
+   replayed against a pure-Bigint reference, with operands sampled
+   around the native-int promotion boundary (the fast path's cutover
+   points: the 2^31 multiplication guard and max_int itself). *)
+
+(* Reference normal form computed entirely in Bigint arithmetic. *)
+let ref_normalize n d =
+  if B.is_zero d then raise Division_by_zero
+  else
+    let n, d =
+      if B.compare d B.zero < 0 then (B.neg n, B.neg d) else (n, d)
+    in
+    let g = B.gcd n d in
+    (B.div n g, B.div d g)
+
+let repr q = (Q.num q, Q.den q)
+let repr_equal (a, b) (c, d) = B.equal a c && B.equal b d
+
+let boundary_int =
+  QCheck.Gen.(
+    oneof
+      [ int_range (-6) 6;
+        int_range (-1000) 1000;
+        map (fun k -> (1 lsl 31) + k) (int_range (-3) 3);
+        map (fun k -> max_int - k) (int_range 0 3);
+        map (fun k -> k - max_int) (int_range 0 3);
+        map (fun e -> 1 lsl e) (int_range 0 62) ])
+
+(* Raw numerator/denominator pairs, kept unreduced so canonicalization
+   itself is under test. *)
+let boundary_pair_arb =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (n, d) -> (n, if d = 0 then 1 else d))
+        (pair boundary_int boundary_int))
+  in
+  QCheck.make ~print:(fun (n, d) -> Printf.sprintf "%d/%d" n d) gen
+
+let prop_rational_canonical_matches_reference =
+  QCheck.Test.make ~name:"rational canonical form matches bigint reference"
+    ~count:1000 boundary_pair_arb (fun (n, d) ->
+        repr_equal
+          (repr (Q.of_ints n d))
+          (ref_normalize (B.of_int n) (B.of_int d)))
+
+let prop_rational_add_matches_reference =
+  QCheck.Test.make ~name:"rational add/sub match bigint reference"
+    ~count:1000
+    (QCheck.pair boundary_pair_arb boundary_pair_arb)
+    (fun ((an, ad), (bn, bd)) ->
+       let a = Q.of_ints an ad and b = Q.of_ints bn bd in
+       let cross op =
+         ref_normalize
+           (op (B.mul (Q.num a) (Q.den b)) (B.mul (Q.num b) (Q.den a)))
+           (B.mul (Q.den a) (Q.den b))
+       in
+       repr_equal (repr (Q.add a b)) (cross B.add)
+       && repr_equal (repr (Q.sub a b)) (cross B.sub))
+
+let prop_rational_mul_matches_reference =
+  QCheck.Test.make ~name:"rational mul/div match bigint reference"
+    ~count:1000
+    (QCheck.pair boundary_pair_arb boundary_pair_arb)
+    (fun ((an, ad), (bn, bd)) ->
+       let a = Q.of_ints an ad and b = Q.of_ints bn bd in
+       repr_equal
+         (repr (Q.mul a b))
+         (ref_normalize (B.mul (Q.num a) (Q.num b))
+            (B.mul (Q.den a) (Q.den b)))
+       && (Q.is_zero b
+           || repr_equal
+                (repr (Q.div a b))
+                (ref_normalize (B.mul (Q.num a) (Q.den b))
+                   (B.mul (Q.den a) (Q.num b)))))
+
+let prop_rational_compare_matches_reference =
+  QCheck.Test.make ~name:"rational compare matches bigint cross product"
+    ~count:1000
+    (QCheck.pair boundary_pair_arb boundary_pair_arb)
+    (fun ((an, ad), (bn, bd)) ->
+       let a = Q.of_ints an ad and b = Q.of_ints bn bd in
+       let cross =
+         B.compare (B.mul (Q.num a) (Q.den b)) (B.mul (Q.num b) (Q.den a))
+       in
+       Stdlib.compare (Q.compare a b) 0 = Stdlib.compare cross 0)
+
+let prop_rational_results_canonical =
+  QCheck.Test.make ~name:"rational arithmetic preserves canonical form"
+    ~count:1000
+    (QCheck.pair boundary_pair_arb boundary_pair_arb)
+    (fun ((an, ad), (bn, bd)) ->
+       let a = Q.of_ints an ad and b = Q.of_ints bn bd in
+       let canonical q =
+         B.compare (Q.den q) B.zero > 0
+         && B.equal (B.gcd (Q.num q) (Q.den q)) B.one
+       in
+       List.for_all canonical
+         [ Q.add a b; Q.sub a b; Q.mul a b;
+           (if Q.is_zero b then Q.zero else Q.div a b) ])
+
+let prop_rational_representation_unique =
+  (* The two-tier representation must never produce distinct encodings
+     of the same value: equal values are structurally equal and hash
+     alike no matter how they were constructed. *)
+  QCheck.Test.make ~name:"rational representation is unique" ~count:500
+    boundary_pair_arb (fun (n, d) ->
+        let small = Q.of_ints n d in
+        let big = Q.make (B.of_int n) (B.of_int d) in
+        let scaled =
+          Q.make
+            (B.mul (B.of_int n) (B.of_int 7))
+            (B.mul (B.of_int d) (B.of_int 7))
+        in
+        Q.equal small big && Q.equal small scaled && small = big
+        && small = scaled
+        && Q.hash small = Q.hash big
+        && Q.hash small = Q.hash scaled)
+
+let test_rational_compare_shortcuts () =
+  (* Equal-denominator shortcut, small and big. *)
+  Alcotest.(check int) "equal small den" (-1)
+    (Q.compare (Q.of_ints 3 7) (Q.of_ints 5 7));
+  let huge = B.pow B.two 80 in
+  Alcotest.(check int) "equal big den" (-1)
+    (Q.compare (Q.make B.one huge) (Q.make (B.of_int 3) huge));
+  (* Sign shortcut across representations. *)
+  Alcotest.(check int) "neg < pos" (-1)
+    (Q.compare (Q.of_ints (-1) max_int) (Q.make B.one huge));
+  (* Cross products overflow native ints here, forcing the bigint
+     fallback: (M-1)(M-4) < (M-3)(M-2). *)
+  Alcotest.(check int) "cross-mul overflow" (-1)
+    (Q.compare
+       (Q.of_ints (max_int - 1) (max_int - 2))
+       (Q.of_ints (max_int - 3) (max_int - 4)))
+
+let test_rational_promotion_boundary () =
+  let m = Q.of_int max_int in
+  check_q "(max_int + 1) - 1" m (Q.sub (Q.add m Q.one) Q.one);
+  check_q "2 * (max_int/2)" m (Q.mul (Q.of_ints max_int 2) Q.two);
+  check_q "(x + x) / 2" (Q.of_ints max_int 2)
+    (Q.div (Q.add (Q.of_ints max_int 2) (Q.of_ints max_int 2)) Q.two);
+  (* min_int never fits the small representation; arithmetic must
+     round-trip through the big one. *)
+  let mn = Q.of_int min_int in
+  check_q "min_int negates" (Q.neg mn) (Q.sub Q.zero mn);
+  check_q "min_int/min_int" Q.one (Q.div mn mn);
+  check_q "of_ints min_int min_int" Q.one (Q.of_ints min_int min_int);
+  Alcotest.(check string) "min_int prints" (string_of_int min_int)
+    (Q.to_string mn)
+
+(* ------------------------------------------------------------------ *)
 (* Dist tests *)
 
 let test_dist_point () =
@@ -321,6 +473,22 @@ let test_dist_merge_duplicates () =
   let d = D.make [ (1, Q.half); (1, Q.of_ints 1 4); (2, Q.of_ints 1 4) ] in
   Alcotest.(check int) "merged size" 2 (D.size d);
   check_q "merged weight" (Q.of_ints 3 4) (D.prob_of d 1)
+
+let test_dist_custom_equal_merge () =
+  (* Outcomes that are structurally distinct but identified by a custom
+     [~equal] must coalesce rather than stay as split masses (the shape
+     fault injection produces when the base automaton's state equality
+     is coarser than structural equality). *)
+  let equal (a, _) (b, _) = a = b in
+  let d =
+    D.make ~equal
+      [ ((1, "x"), Q.half); ((1, "y"), Q.of_ints 1 4);
+        ((2, "z"), Q.of_ints 1 4) ]
+  in
+  Alcotest.(check int) "make coalesces" 2 (D.size d);
+  check_q "mass merged" (Q.of_ints 3 4) (D.prob_of ~equal d (1, "w"));
+  let mapped = D.map ~equal (fun ((i, _), tag) -> (i, tag)) (D.product d d) in
+  Alcotest.(check int) "map coalesces" 2 (D.size mapped)
 
 let test_dist_uniform () =
   let d = D.uniform [ 'a'; 'b'; 'c' ] in
@@ -606,6 +774,45 @@ let prop_dyadic_roundtrip =
     dyadic_arb (fun a ->
         Dy.equal a (Dy.of_rational (Dy.to_rational a)))
 
+(* Mantissas near the promotion boundary exercise the small-word fast
+   path's overflow checks (shifted alignment in [add], the 2^31 guard
+   in [mul], shift-compare in [compare]). *)
+let boundary_dyadic_arb =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (m, e) -> Dy.make (B.of_int m) e)
+        (pair boundary_int (int_range (-70) 70)))
+  in
+  QCheck.make ~print:(fun d -> Q.to_string (Dy.to_rational d)) gen
+
+let prop_dyadic_boundary_matches_rational =
+  QCheck.Test.make ~name:"dyadic boundary ops agree with rational oracle"
+    ~count:500
+    (QCheck.pair boundary_dyadic_arb boundary_dyadic_arb) (fun (a, b) ->
+        let qa = Dy.to_rational a and qb = Dy.to_rational b in
+        Q.equal (Dy.to_rational (Dy.add a b)) (Q.add qa qb)
+        && Q.equal (Dy.to_rational (Dy.sub a b)) (Q.sub qa qb)
+        && Q.equal (Dy.to_rational (Dy.mul a b)) (Q.mul qa qb)
+        && Stdlib.compare (Dy.compare a b) 0
+           = Stdlib.compare (Q.compare qa qb) 0)
+
+let prop_dyadic_boundary_canonical =
+  (* Canonical form: odd mantissa (or the zero/0 pair), and the same
+     value built from a pre-shifted mantissa is structurally equal. *)
+  QCheck.Test.make ~name:"dyadic boundary results canonical" ~count:500
+    (QCheck.pair boundary_dyadic_arb boundary_dyadic_arb) (fun (a, b) ->
+        let canonical d =
+          let m = Dy.mantissa d in
+          if B.is_zero m then Dy.exponent d = 0 else not (B.is_even m)
+        in
+        let shifted d =
+          Dy.make (B.shift_left (Dy.mantissa d) 5) (Dy.exponent d - 5)
+        in
+        List.for_all
+          (fun d -> canonical d && shifted d = d)
+          [ Dy.add a b; Dy.sub a b; Dy.mul a b ])
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
@@ -641,11 +848,17 @@ let () =
        [ Alcotest.test_case "basics" `Quick test_dyadic_basics;
          Alcotest.test_case "arith" `Quick test_dyadic_arith ]);
       qsuite "dyadic-props"
-        [ prop_dyadic_matches_rational; prop_dyadic_roundtrip ];
+        [ prop_dyadic_matches_rational; prop_dyadic_roundtrip;
+          prop_dyadic_boundary_matches_rational;
+          prop_dyadic_boundary_canonical ];
       ("rational",
        [ Alcotest.test_case "canonical" `Quick test_rational_canonical;
          Alcotest.test_case "arith" `Quick test_rational_arith;
          Alcotest.test_case "compare" `Quick test_rational_compare;
+         Alcotest.test_case "compare shortcuts" `Quick
+           test_rational_compare_shortcuts;
+         Alcotest.test_case "promotion boundary" `Quick
+           test_rational_promotion_boundary;
          Alcotest.test_case "of_string" `Quick test_rational_of_string;
          Alcotest.test_case "is_probability" `Quick
            test_rational_is_probability;
@@ -653,11 +866,20 @@ let () =
       qsuite "rational-props"
         [ prop_rational_field; prop_rational_inverse;
           prop_rational_compare_antisym ];
+      qsuite "rational-differential"
+        [ prop_rational_canonical_matches_reference;
+          prop_rational_add_matches_reference;
+          prop_rational_mul_matches_reference;
+          prop_rational_compare_matches_reference;
+          prop_rational_results_canonical;
+          prop_rational_representation_unique ];
       ("dist",
        [ Alcotest.test_case "point" `Quick test_dist_point;
          Alcotest.test_case "make validates" `Quick test_dist_make_validates;
          Alcotest.test_case "merge duplicates" `Quick
            test_dist_merge_duplicates;
+         Alcotest.test_case "custom equal merge" `Quick
+           test_dist_custom_equal_merge;
          Alcotest.test_case "uniform" `Quick test_dist_uniform;
          Alcotest.test_case "coin" `Quick test_dist_coin;
          Alcotest.test_case "map/bind" `Quick test_dist_map_bind;
