@@ -29,20 +29,19 @@ module BO = Ben_or
 (* ----------------------------------------------------------------- *)
 (* Kernels shared by the benchmarks (prepared once). *)
 
-let lr3 = lazy (LR.Proof.build ~n:3 ())
-let ir4 = lazy (IR.Proof.build ~n:4 ())
+let lr3 = lazy (Models.lr ~n:3 ())
+let ir4 = lazy (Models.election ~n:4 ())
 
 let bench_tests () =
   let lr3 = Lazy.force lr3 in
   let ir4 = Lazy.force ir4 in
-  let expl = lr3.LR.Proof.expl in
-  let lr3_target = Mdp.Explore.indicator expl LR.Regions.c in
+  let arena = lr3.LR.Proof.arena in
+  let lr3_target = Mdp.Arena.indicator arena LR.Regions.c in
   let e1 =
     Test.make ~name:"e1:arrow A.11 (G -5-> P, n=3)"
       (Staged.stage (fun () ->
-           let target = Mdp.Explore.indicator expl LR.Regions.p in
-           Mdp.Finite_horizon.min_reach expl ~is_tick:LR.Automaton.is_tick
-             ~target ~ticks:5))
+           let target = Mdp.Arena.indicator arena LR.Regions.p in
+           Mdp.Finite_horizon.min_reach arena ~target ~ticks:5))
   in
   let e2 =
     Test.make ~name:"e2:check+compose T -13->_1/8 C (n=3)"
@@ -51,8 +50,7 @@ let bench_tests () =
   let e3 =
     Test.make ~name:"e3:max expected time (VI, n=3)"
       (Staged.stage (fun () ->
-           Mdp.Expected_time.max_expected_ticks expl
-             ~is_tick:LR.Automaton.is_tick ~target:lr3_target ()))
+           Mdp.Expected_time.max_expected_ticks arena ~target:lr3_target ()))
   in
   let e4 =
     Test.make ~name:"e4:event schema evaluation (Example 4.1)"
@@ -73,12 +71,12 @@ let bench_tests () =
   in
   let e5 =
     Test.make ~name:"e5:Lemma 6.1 sweep (n=3, 8092 states)"
-      (Staged.stage (fun () -> LR.Invariant.check expl))
+      (Staged.stage (fun () -> LR.Invariant.check lr3.LR.Proof.expl))
   in
   let e6 =
     Test.make ~name:"e6:qualitative liveness (n=3)"
       (Staged.stage (fun () ->
-           Mdp.Qualitative.always_reaches expl ~target:lr3_target))
+           Mdp.Qualitative.always_reaches arena ~target:lr3_target))
   in
   let e7 =
     Test.make ~name:"e7:explore LR n=3"
@@ -93,19 +91,19 @@ let bench_tests () =
       (Staged.stage (fun () -> IR.Proof.arrows ir4))
   in
   let e10 =
-    let star = LR.Proof.build_topo ~topo:(LR.Topology.star 3) () in
+    let star = Models.lr_topo ~topo:(LR.Topology.star 3) () in
     Test.make ~name:"e10:star topology arrows"
       (Staged.stage (fun () -> LR.Proof.arrows_topo star))
   in
   let e11 =
-    let coin = SC.Proof.build ~n:2 ~bound:4 () in
+    let coin = Models.coin ~n:2 ~bound:4 () in
     Test.make ~name:"e11:shared coin pipeline (n=2, B=4)"
       (Staged.stage (fun () ->
            (SC.Proof.arrows coin, SC.Proof.expected_exact coin)))
   in
   let e12 =
     let consensus =
-      BO.Proof.build ~n:3 ~f:1 ~cap:2 ~initial:[| false; false; true |] ()
+      Models.consensus ~n:3 ~f:1 ~cap:2 ~initial:[| false; false; true |] ()
     in
     Test.make ~name:"e12:Ben-Or safety + 2-round bound (n=3)"
       (Staged.stage (fun () ->
@@ -115,17 +113,29 @@ let bench_tests () =
   let float_engine =
     Test.make ~name:"engine:min_reach_float (13 units, n=3)"
       (Staged.stage (fun () ->
-           Mdp.Finite_horizon.min_reach_float expl
-             ~is_tick:LR.Automaton.is_tick ~target:lr3_target ~ticks:13))
+           Mdp.Finite_horizon.min_reach_float arena ~target:lr3_target
+             ~ticks:13))
+  in
+  let arena_compile =
+    Test.make ~name:"arena:compile LR n=3"
+      (Staged.stage (fun () ->
+           Mdp.Arena.compile ~is_tick:LR.Automaton.is_tick
+             lr3.LR.Proof.expl))
+  in
+  let arena_sweep =
+    Test.make ~name:"arena:sweep max_reach_float (13 ticks, n=3)"
+      (Staged.stage (fun () ->
+           Mdp.Finite_horizon.max_reach_float arena ~target:lr3_target
+             ~ticks:13))
   in
   let bisim =
     let labels =
-      Array.init (Mdp.Explore.num_states expl) (fun i ->
-          if Core.Pred.mem LR.Regions.c (Mdp.Explore.state expl i) then 1
+      Array.init (Mdp.Arena.num_states arena) (fun i ->
+          if Core.Pred.mem LR.Regions.c (Mdp.Arena.state arena i) then 1
           else 0)
     in
     Test.make ~name:"engine:bisim refine (n=3)"
-      (Staged.stage (fun () -> Mdp.Bisim.refine expl ~labels ()))
+      (Staged.stage (fun () -> Mdp.Bisim.refine arena ~labels ()))
   in
   let sim =
     let params = { LR.Automaton.n = 8; g = 1; k = 1 } in
@@ -142,9 +152,8 @@ let bench_tests () =
   let rational_engine =
     Test.make ~name:"engine:A.11 with pure rationals (n=3)"
       (Staged.stage (fun () ->
-           let target = Mdp.Explore.indicator expl LR.Regions.p in
-           Mdp.Finite_horizon.min_reach_rational expl
-             ~is_tick:LR.Automaton.is_tick ~target ~ticks:5))
+           let target = Mdp.Arena.indicator arena LR.Regions.p in
+           Mdp.Finite_horizon.min_reach_rational arena ~target ~ticks:5))
   in
   let substrate =
     let a = Proba.Bigint.of_string "123456789123456789123456789" in
@@ -171,7 +180,7 @@ let bench_tests () =
   in
   Test.make_grouped ~name:"prtb"
     ([ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; float_engine;
-       rational_engine; bisim;
+       rational_engine; arena_compile; arena_sweep; bisim;
        sim ]
      @ substrate)
 

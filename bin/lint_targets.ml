@@ -1,186 +1,7 @@
-(* The registry of built-in lint targets for [prtb lint]: the four
-   case-study automata (plus the Lehmann-Rabin line/star topologies)
-   and the small example automata from examples/.
-
-   Each target couples the automaton with the model knowledge that
-   unlocks the deeper checks -- the tick classifier, which terminal
-   states are intended, and the finished claims whose derivations the
-   claim checks audit. *)
-
-module Q = Proba.Rational
-module D = Proba.Dist
-module LR = Lehmann_rabin
-module IR = Itai_rodeh
-module SC = Shared_coin
-module BO = Ben_or
-
-(* ------------------------------------------------------------------ *)
-(* The walker of examples/quickstart.ml, registered here so the lint
-   gate also covers the automaton shape the tutorial teaches. *)
-
-module Walker = struct
-  type state = Done | Walk of { c : int; b : int }
-  type action = Tick | Flip
-
-  let is_tick = function Tick -> true | Flip -> false
-
-  let enabled = function
-    | Done -> [ { Core.Pa.action = Tick; dist = D.point Done } ]
-    | Walk { c; b } ->
-      let tick =
-        if c > 0 then
-          [ { Core.Pa.action = Tick;
-              dist = D.point (Walk { c = c - 1; b = 1 }) } ]
-        else []
-      in
-      let flip =
-        if b > 0 then
-          [ { Core.Pa.action = Flip;
-              dist = D.coin Done (Walk { c = 1; b = b - 1 }) } ]
-        else []
-      in
-      tick @ flip
-
-  let pa =
-    Core.Pa.make
-      ~pp_state:(fun fmt -> function
-        | Done -> Format.pp_print_string fmt "done"
-        | Walk { c; b } -> Format.fprintf fmt "walk(c=%d,b=%d)" c b)
-      ~pp_action:(fun fmt a ->
-          Format.pp_print_string fmt
-            (match a with Tick -> "tick" | Flip -> "flip"))
-      ~start:[ Walk { c = 1; b = 1 } ]
-      ~enabled ()
-end
-
-(* ------------------------------------------------------------------ *)
-(* Claim extraction from the proof modules *)
-
-let lr_claims inst =
-  let arrows =
-    List.filter_map
-      (fun a ->
-         Option.map (fun c -> (a.LR.Proof.label, c)) a.LR.Proof.claim)
-      (LR.Proof.arrows inst)
-  in
-  match LR.Proof.composed inst with
-  | Ok c -> arrows @ [ ("composed", c) ]
-  | Error _ -> arrows
-
-let lr_topo_claims inst =
-  let arrows =
-    List.filter_map
-      (fun a ->
-         Option.map (fun c -> (a.LR.Proof.label, c)) a.LR.Proof.claim)
-      (LR.Proof.arrows_topo inst)
-  in
-  match LR.Proof.composed_topo inst with
-  | Ok c -> arrows @ [ ("composed", c) ]
-  | Error _ -> arrows
-
-let ir_claims inst =
-  let arrows =
-    List.filter_map
-      (fun a ->
-         Option.map (fun c -> (a.IR.Proof.label, c)) a.IR.Proof.claim)
-      (IR.Proof.arrows inst)
-  in
-  match IR.Proof.composed inst with
-  | Ok c -> arrows @ [ ("composed", c) ]
-  | Error _ -> arrows
-
-let sc_claims inst =
-  let arrows =
-    List.filter_map
-      (fun a ->
-         Option.map (fun c -> (a.SC.Proof.label, c)) a.SC.Proof.claim)
-      (SC.Proof.arrows inst)
-  in
-  match SC.Proof.composed inst with
-  | Ok c -> arrows @ [ ("composed", c) ]
-  | Error _ -> arrows
-
-(* ------------------------------------------------------------------ *)
-(* Target table *)
-
-let lint_lr ~max_states () =
-  let inst = LR.Proof.build ~max_states ~n:3 () in
-  Analysis.run_explored
-    (Analysis.config ~name:"lr" ~is_tick:LR.Automaton.is_tick
-       ~claims:(lr_claims inst) ~max_states
-       (Mdp.Explore.automaton inst.LR.Proof.expl))
-    inst.LR.Proof.expl
-
-let lint_lr_topo name topo ~max_states () =
-  let inst = LR.Proof.build_topo ~max_states ~topo () in
-  Analysis.run_explored
-    (Analysis.config ~name ~is_tick:LR.Automaton.is_tick
-       ~claims:(lr_topo_claims inst) ~max_states
-       (Mdp.Explore.automaton inst.LR.Proof.texpl))
-    inst.LR.Proof.texpl
-
-let lint_election ~max_states () =
-  let inst = IR.Proof.build ~max_states ~n:3 () in
-  Analysis.run_explored
-    (Analysis.config ~name:"election" ~is_tick:IR.Automaton.is_tick
-       ~claims:(ir_claims inst) ~max_states
-       (Mdp.Explore.automaton inst.IR.Proof.expl))
-    inst.IR.Proof.expl
-
-let lint_coin ~max_states () =
-  let inst = SC.Proof.build ~max_states ~n:2 ~bound:3 () in
-  Analysis.run_explored
-    (Analysis.config ~name:"coin" ~is_tick:SC.Automaton.is_tick
-       ~claims:(sc_claims inst) ~max_states
-       (Mdp.Explore.automaton inst.SC.Proof.expl))
-    inst.SC.Proof.expl
-
-let lint_consensus ~max_states () =
-  let n = 3 and f = 1 and cap = 2 in
-  let initial = Array.init n (fun i -> i = n - 1) in
-  let inst = BO.Proof.build ~max_states ~n ~f ~cap ~initial () in
-  let arrow =
-    BO.Proof.decision_arrow inst ~rounds:cap ~prob:(Q.pow Q.half n)
-  in
-  let claims =
-    match arrow.BO.Proof.claim with
-    | Some c -> [ (arrow.BO.Proof.label, c) ]
-    | None -> []
-  in
-  Analysis.run_explored
-    (Analysis.config ~name:"consensus" ~is_tick:BO.Automaton.is_tick
-       ~claims ~max_states
-       (Mdp.Explore.automaton inst.BO.Proof.expl))
-    inst.BO.Proof.expl
-
-let lint_walker ~max_states () =
-  Analysis.run
-    (Analysis.config ~name:"example:walker" ~is_tick:Walker.is_tick
-       ~max_states Walker.pa)
-
-let lint_lr_crash ~max_states () =
-  let config =
-    { Faults.Lr.params = { LR.Automaton.n = 3; g = 1; k = 1 };
-      faults = Faults.Fault.v ~crash:1 ();
-      release = true }
-  in
-  let d = Faults.Lr.derive ~max_states config in
-  let claims =
-    List.filter_map
-      (fun (a : Faults.Lr.arrow) ->
-         Option.map (fun c -> (a.Faults.Lr.label, c)) a.Faults.Lr.claim)
-      [ d.Faults.Lr.arrow1; d.Faults.Lr.arrow2 ]
-    @ (match d.Faults.Lr.composed with
-       | Ok c -> [ ("composed", c) ]
-       | Error _ -> [])
-  in
-  Analysis.run
-    (Analysis.config ~name:"lr-crash" ~is_tick:Faults.Lr.is_tick ~claims
-       ~fault_view:
-         (Faults.Inject.faulted,
-          Faults.Inject.effective_proc Faults.Lr.proc_of_action)
-       ~max_states
-       (Faults.Lr.make config))
+(* The lint-target table for [prtb lint]: the registry's built-in
+   targets plus [example:race], which lives here because the Race
+   automaton belongs to the experiments library (which depends on the
+   registry, so the registry cannot reference it). *)
 
 let lint_race ~max_states () =
   Analysis.run
@@ -190,42 +11,9 @@ let lint_race ~max_states () =
            && s.Experiments.Race.q <> Experiments.Race.Unflipped)
        ~max_states Experiments.Race.pa)
 
-(* The proof-module builders explore eagerly, so a tight state budget
-   surfaces as [Too_many_states] before [Analysis.run_explored] can
-   shield it; report it as PA000 like the library does instead of
-   letting the exception escape to the CLI. *)
-let guard name runner ~max_states () =
-  try runner ~max_states () with
-  | Mdp.Explore.Too_many_states n ->
-    (* At raise time exactly [n] states had been interned, so [n] is
-       the partial state count, not just the configured ceiling. *)
-    Analysis.Report.make
-      { Analysis.Report.model = name; states = n; choices = 0;
-        branches = 0;
-        skipped = [ "all checks (exploration exceeded the state budget)" ] }
-      [ Analysis.Diagnostic.v Analysis.Diagnostic.PA000
-          Analysis.Diagnostic.Warning ~model:name
-          (Printf.sprintf
-             "exploration stopped after interning %d states while building \
-              the model; all checks skipped (raise --max-states)"
-             n) ]
-
 (* Name, what it covers, runner. *)
 let all : (string * string * (max_states:int -> unit -> Analysis.Report.t)) list =
-  List.map (fun (name, doc, runner) -> (name, doc, guard name runner))
-  @@
-  [ ("lr", "Lehmann-Rabin ring (n=3) + Section 6.2 claims", lint_lr);
-    ("lr-line", "Lehmann-Rabin line topology (n=3)",
-     lint_lr_topo "lr-line" (LR.Topology.line 3));
-    ("lr-star", "Lehmann-Rabin star topology (n=3)",
-     lint_lr_topo "lr-star" (LR.Topology.star 3));
-    ("election", "Itai-Rodeh leader election (n=3) + ladder claims",
-     lint_election);
-    ("coin", "shared coin (n=2, barrier 3) + ladder claims", lint_coin);
-    ("consensus", "Ben-Or (n=3, f=1, 2 rounds) + decision claim",
-     lint_consensus);
-    ("lr-crash",
-     "Lehmann-Rabin ring (n=3) under one crash + degraded claims",
-     lint_lr_crash);
-    ("example:walker", "the quickstart walker automaton", lint_walker);
-    ("example:race", "the Example 4.1 two-coin automaton", lint_race) ]
+  List.map (fun e -> (e.Models.name, e.Models.doc, e.Models.lint))
+    Models.entries
+  @ [ ("example:race", "the Example 4.1 two-coin automaton",
+       Models.guard "example:race" lint_race) ]

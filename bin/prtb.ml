@@ -38,6 +38,18 @@ let install_domains = function
   | Some n -> Parallel.Pool.set_default (Some (Parallel.Pool.create ~domains:n))
 
 (* ----------------------------------------------------------------- *)
+(* --stats: registry work accounting *)
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"After the command, print how much exploration and                  compilation work the model registry actually performed                  (CI asserts [prtb check lr --stats] reports one                  exploration and one arena compile).")
+
+let report_stats enabled =
+  if enabled then
+    Format.printf "%a@." Models.pp_stats (Models.stats ())
+
+(* ----------------------------------------------------------------- *)
 (* experiments *)
 
 let experiments_cmd =
@@ -117,9 +129,9 @@ let k_arg =
 let check_lr_topo topo g k =
   Printf.printf "Lehmann-Rabin on %s, g=%d k=%d\n%!"
     (LR.Topology.name topo) g k;
-  let inst = LR.Proof.build_topo ~topo ~g ~k () in
+  let inst = Models.lr_topo ~topo ~g ~k () in
   Printf.printf "reachable states: %d\n%!"
-    (Mdp.Explore.num_states inst.LR.Proof.texpl);
+    (Mdp.Arena.num_states inst.LR.Proof.tarena);
   (match LR.Proof.invariant_topo inst with
    | None ->
      Printf.printf "Lemma 6.1 (generalized): holds on every reachable state\n%!"
@@ -139,9 +151,9 @@ let check_lr_topo topo g k =
 
 let check_lr n g k =
   Printf.printf "Lehmann-Rabin, n=%d g=%d k=%d\n%!" n g k;
-  let inst = LR.Proof.build ~n ~g ~k () in
+  let inst = Models.lr ~n ~g ~k () in
   Printf.printf "reachable states: %d\n%!"
-    (Mdp.Explore.num_states inst.LR.Proof.expl);
+    (Mdp.Arena.num_states inst.LR.Proof.arena);
   (match LR.Invariant.check inst.LR.Proof.expl with
    | None -> Printf.printf "Lemma 6.1: holds on every reachable state\n%!"
    | Some s ->
@@ -169,9 +181,9 @@ let check_lr n g k =
 let check_election n g k =
   ignore g; ignore k;
   Printf.printf "Leader election, n=%d\n%!" n;
-  let inst = IR.Proof.build ~n () in
+  let inst = Models.election ~n () in
   Printf.printf "reachable states: %d\n%!"
-    (Mdp.Explore.num_states inst.IR.Proof.expl);
+    (Mdp.Arena.num_states inst.IR.Proof.arena);
   List.iter
     (fun a ->
        Format.printf "%-4s attained %s (%s)@." a.IR.Proof.label
@@ -187,9 +199,9 @@ let check_election n g k =
 
 let check_coin n bound =
   Printf.printf "Shared coin, n=%d barrier=±%d\n%!" n bound;
-  let inst = SC.Proof.build ~n ~bound () in
+  let inst = Models.coin ~n ~bound () in
   Printf.printf "reachable states: %d\n%!"
-    (Mdp.Explore.num_states inst.SC.Proof.expl);
+    (Mdp.Arena.num_states inst.SC.Proof.arena);
   List.iter
     (fun a ->
        Format.printf "%-4s attained %s (%s)@." a.SC.Proof.label
@@ -332,11 +344,12 @@ let check_seed_arg =
            ~doc:"PRNG seed for the Monte Carlo fallback.")
 
 let check_cmd =
-  let run domains system n g k topology bound cap faults budget release seed =
+  let run domains stats system n g k topology bound cap faults budget release
+      seed =
     install_domains domains;
     try
       Ok
-        (match system with
+        ((match system with
          | `Lr ->
            (match faults, topology with
             | Some f, (None | Some "ring") ->
@@ -358,7 +371,8 @@ let check_cmd =
              "fault injection is currently modelled for the lr system only"
          | `Election -> check_election n g k
          | `Coin -> check_coin n bound
-         | `Consensus -> check_consensus n cap)
+         | `Consensus -> check_consensus n cap);
+         report_stats stats)
     with
     | Failure msg -> Error (`Msg msg)
     | Mdp.Explore.Too_many_states m ->
@@ -377,9 +391,10 @@ let check_cmd =
              fault budget, falling back to simulation when --budget is \
              exceeded.")
     Term.(term_result
-            (const run $ domains_arg $ system_arg $ n_arg ~default:3 $ g_arg
-             $ k_arg $ topology_arg $ bound_arg $ cap_arg $ faults_arg
-             $ budget_arg $ release_arg $ check_seed_arg))
+            (const run $ domains_arg $ stats_arg $ system_arg
+             $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg $ bound_arg
+             $ cap_arg $ faults_arg $ budget_arg $ release_arg
+             $ check_seed_arg))
 
 (* ----------------------------------------------------------------- *)
 (* simulate *)
@@ -458,8 +473,7 @@ let simulate domains system n scheduler trials seed within =
       "E[decision time] ~ %.3f  (%d trials, %d missed; B^2/n = %.3f)\n"
       (Proba.Stat.Summary.mean summary)
       trials missed
-      (SC.Proof.expected_theory
-         { SC.Proof.params; expl = Mdp.Explore.run pa })
+      (SC.Proof.theory params)
   | `Election ->
     let params = { IR.Automaton.n; g = 1; k = 1 } in
     let pa = IR.Automaton.make params in
@@ -504,8 +518,8 @@ let simulate_cmd =
 (* export-dot *)
 
 let export_dot system n bound output =
-  let write expl highlight =
-    let dot = Mdp.Dot.to_string expl ~max_states:2000 ~highlight () in
+  let write arena highlight =
+    let dot = Mdp.Dot.to_string arena ~max_states:2000 ~highlight () in
     match output with
     | None -> print_string dot
     | Some path ->
@@ -513,24 +527,24 @@ let export_dot system n bound output =
       output_string oc dot;
       close_out oc;
       Printf.printf "wrote %s (%d states)\n" path
-        (Mdp.Explore.num_states expl)
+        (Mdp.Arena.num_states arena)
   in
   match system with
   | `Lr ->
-    let inst = LR.Proof.build ~n () in
-    write inst.LR.Proof.expl (Core.Pred.mem LR.Regions.c)
+    let inst = Models.lr ~n () in
+    write inst.LR.Proof.arena (Core.Pred.mem LR.Regions.c)
   | `Election ->
-    let inst = IR.Proof.build ~n () in
-    write inst.IR.Proof.expl IR.Automaton.leader_elected
+    let inst = Models.election ~n () in
+    write inst.IR.Proof.arena IR.Automaton.leader_elected
   | `Coin ->
-    let inst = SC.Proof.build ~n ~bound () in
-    write inst.SC.Proof.expl (SC.Automaton.decided inst.SC.Proof.params)
+    let inst = Models.coin ~n ~bound () in
+    write inst.SC.Proof.arena (SC.Automaton.decided inst.SC.Proof.params)
   | `Consensus ->
     let f = (n - 1) / 2 in
     let inst =
-      BO.Proof.build ~n ~f ~cap:1 ~initial:(Array.make n false) ()
+      Models.consensus ~n ~f ~cap:1 ~initial:(Array.make n false) ()
     in
-    write inst.BO.Proof.expl BO.Automaton.some_decided
+    write inst.BO.Proof.arena BO.Automaton.some_decided
 
 let export_dot_cmd =
   let output =
@@ -548,7 +562,7 @@ let export_dot_cmd =
 (* ----------------------------------------------------------------- *)
 (* lint *)
 
-let lint models format strict max_states =
+let lint stats models format strict max_states =
   let targets =
     match models with
     | [] -> Ok Lint_targets.all
@@ -583,6 +597,7 @@ let lint models format strict max_states =
      | `Text -> Format.printf "@[<v>%a@]@." Analysis.Report.pp_text report
      | `Json ->
        print_endline (Analysis.Json.to_string (Analysis.Report.to_json report)));
+    report_stats stats;
     exit (Analysis.Report.exit_code ~strict report)
 
 let lint_cmd =
@@ -617,7 +632,8 @@ let lint_cmd =
              zero-time cycles, tick divergence, and claim-composition \
              premises.  Exit status is nonzero when any error-severity \
              diagnostic fires (see docs/LINTS.md for the code catalogue).")
-    Term.(term_result (const lint $ models $ format $ strict $ max_states))
+    Term.(term_result
+            (const lint $ stats_arg $ models $ format $ strict $ max_states))
 
 (* ----------------------------------------------------------------- *)
 

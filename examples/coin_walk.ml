@@ -54,20 +54,19 @@ let () =
     (SC.Proof.liveness_holds inst);
 
   (* The adversary cannot bias the outcome, only the speed. *)
-  let expl = inst.SC.Proof.expl in
+  let arena = inst.SC.Proof.arena in
   let plus = Core.Pred.make "+" (fun s -> s.SC.Automaton.counter >= bound) in
-  let target = Mdp.Explore.indicator expl plus in
+  let target = Mdp.Arena.indicator arena plus in
   let horizon = 20 * bound * bound in
   let vmin =
-    Mdp.Finite_horizon.min_reach_float expl ~is_tick:SC.Automaton.is_tick
-      ~target ~ticks:horizon
+    Mdp.Finite_horizon.min_reach_float arena ~target ~ticks:horizon
   in
   let vmax =
-    Mdp.Finite_horizon.max_reach_float expl ~is_tick:SC.Automaton.is_tick
-      ~target ~ticks:horizon
+    Mdp.Finite_horizon.max_reach_float arena ~target ~ticks:horizon
   in
   let i =
-    Option.get (Mdp.Explore.index expl (SC.Automaton.start inst.SC.Proof.params))
+    Option.get
+      (Mdp.Arena.index arena (SC.Automaton.start inst.SC.Proof.params))
   in
   Printf.printf
     "\nP[decide +%d] across all adversaries: min %.6f, max %.6f\n" bound

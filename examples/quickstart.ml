@@ -60,12 +60,13 @@ let walking = Core.Pred.make "Walking" (fun s -> s <> Done)
 let done_ = Core.Pred.make "Done" (fun s -> s = Done)
 
 let () =
-  (* 4. Explore the reachable states and check the statement against
+  (* 4. Explore the reachable states, compile them into an arena (the
+     substrate every engine reads), and check the statement against
      every adversary at once (exact rational arithmetic). *)
-  let expl = Mdp.Explore.run pa in
-  Printf.printf "reachable states: %d\n" (Mdp.Explore.num_states expl);
+  let arena = Mdp.Arena.of_pa ~is_tick pa in
+  Printf.printf "reachable states: %d\n" (Mdp.Arena.num_states arena);
   let result =
-    Mdp.Checker.check_arrow expl ~is_tick ~granularity:1
+    Mdp.Checker.check_arrow arena ~granularity:1
       ~schema:Core.Schema.unit_time ~pre:walking ~post:done_
       ~time:(Q.of_int 2) ~prob:(Q.of_ints 3 4)
   in
@@ -86,7 +87,7 @@ let () =
       (* Walking -2-> Done and (trivially) Done -0-> Done give, by
          Theorem 3.4 applied to the weakened first claim, a 4-unit
          claim with probability 15/16 checked directly: *)
-      Mdp.Checker.check_arrow expl ~is_tick ~granularity:1
+      Mdp.Checker.check_arrow arena ~granularity:1
         ~schema:Core.Schema.unit_time ~pre:walking ~post:done_
         ~time:(Q.of_int 4) ~prob:(Q.of_ints 15 16)
     in

@@ -23,8 +23,17 @@ let config ?is_tick ?accept_terminal ?(claims = []) ?(plan = [])
   { name; pa; is_tick; accept_terminal; claims; plan; fault_view;
     max_states; max_equal_pairs }
 
-let run_explored cfg expl =
+let run_explored ?arena cfg expl =
   let model = cfg.name in
+  (* One compiled substrate feeds every state-space check; a caller
+     holding an arena already (e.g. a proof instance) passes it in and
+     nothing is recompiled.  A caller-provided arena must have been
+     compiled from [expl] with this config's [is_tick]. *)
+  let arena =
+    match arena with
+    | Some a -> a
+    | None -> Mdp.Arena.compile ?is_tick:cfg.is_tick expl
+  in
   let skipped = ref [] in
   let time_diags =
     match cfg.is_tick with
@@ -33,7 +42,7 @@ let run_explored cfg expl =
         [ "PA020/PA021 (no is_tick classifier for this model)" ];
       []
     | Some is_tick ->
-      let zeno = Time_checks.zero_time_cycles ~model ~is_tick cfg.pa expl in
+      let zeno = Time_checks.zero_time_cycles ~model cfg.pa arena in
       let divergence =
         (* the derived exploration re-traverses the (possibly broken)
            distributions, so shield it *)
@@ -56,26 +65,26 @@ let run_explored cfg expl =
       zeno @ divergence
   in
   let diags =
-    Pa_checks.stochasticity ~model cfg.pa expl
+    Pa_checks.stochasticity ~model cfg.pa arena
     @ Pa_checks.equality_coherence ~model ~max_pairs:cfg.max_equal_pairs
-        cfg.pa expl
+        cfg.pa arena
     @ Pa_checks.deadlocks ~model ~accept_terminal:cfg.accept_terminal cfg.pa
-        expl
-    @ Pa_checks.signature ~model cfg.pa expl
+        arena
+    @ Pa_checks.signature ~model cfg.pa arena
     @ (match cfg.fault_view with
        | None -> []
        | Some (faulted, effective_proc) ->
          Pa_checks.fault_isolation ~model ~faulted ~effective_proc cfg.pa
-           expl)
+           arena)
     @ time_diags
     @ Claim_checks.composition ~model ~claims:cfg.claims ~plan:cfg.plan
-    @ Claim_checks.satisfiability ~model ~claims:cfg.claims expl
+    @ Claim_checks.satisfiability ~model ~claims:cfg.claims arena
   in
   Report.make
     { Report.model;
-      states = Mdp.Explore.num_states expl;
-      choices = Mdp.Explore.num_choices expl;
-      branches = Mdp.Explore.num_branches expl;
+      states = Mdp.Arena.num_states arena;
+      choices = Mdp.Arena.num_choices arena;
+      branches = Mdp.Arena.num_branches arena;
       skipped = !skipped }
     diags
 

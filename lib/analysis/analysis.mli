@@ -63,5 +63,10 @@ val run : ('s, 'a) config -> Report.t
 
 (** Run the battery against an exploration already at hand (e.g. a
     proof instance's); the config's [max_states] still bounds the
-    derived exploration PA021 performs. *)
-val run_explored : ('s, 'a) config -> ('s, 'a) Mdp.Explore.t -> Report.t
+    derived exploration PA021 performs.  Pass [?arena] to reuse an
+    existing compilation of the same fragment (it must have been
+    compiled with this config's [is_tick]); omitted, the fragment is
+    compiled once here. *)
+val run_explored :
+  ?arena:('s, 'a) Mdp.Arena.t ->
+  ('s, 'a) config -> ('s, 'a) Mdp.Explore.t -> Report.t

@@ -1,6 +1,6 @@
 module Q = Proba.Rational
 module C = Core.Claim
-module E = Mdp.Explore
+module A = Mdp.Arena
 
 let witness_limit = 8
 
@@ -62,8 +62,8 @@ let composition ~model ~claims ~plan =
 (* ------------------------------------------------------------------ *)
 (* CL002 *)
 
-let satisfiability ~model ~claims expl =
-  let n = E.num_states expl in
+let satisfiability ~model ~claims arena =
+  let n = A.num_states arena in
   let satisfiable =
     (* one verdict per predicate name: names are the identity the proof
        rules compose by *)
@@ -75,7 +75,7 @@ let satisfiability ~model ~claims expl =
       | None ->
         let rec scan i =
           if i >= n then false
-          else Core.Pred.mem pred (E.state expl i) || scan (i + 1)
+          else Core.Pred.mem pred (A.state arena i) || scan (i + 1)
         in
         let b = scan 0 in
         Hashtbl.add memo name b;

@@ -30,5 +30,5 @@ val composition :
 val satisfiability :
   model:string ->
   claims:(string * 's Core.Claim.t) list ->
-  ('s, 'a) Mdp.Explore.t ->
+  ('s, 'a) Mdp.Arena.t ->
   Diagnostic.t list

@@ -1,6 +1,6 @@
 module Q = Proba.Rational
 module D = Proba.Dist
-module E = Mdp.Explore
+module A = Mdp.Arena
 
 let witness_limit = 8
 
@@ -10,11 +10,11 @@ let show_action pa a = Format.asprintf "%a" (Core.Pa.pp_action pa) a
 (* ------------------------------------------------------------------ *)
 (* PA001 / PA002 *)
 
-let stochasticity ~model pa expl =
+let stochasticity ~model pa arena =
   let pa001 = ref [] and pa002 = ref [] in
-  let n = E.num_states expl in
+  let n = A.num_states arena in
   for i = 0 to n - 1 do
-    let s = E.state expl i in
+    let s = A.state arena i in
     List.iter
       (fun { Core.Pa.action; dist } ->
          let support = D.support dist in
@@ -67,8 +67,8 @@ let stochasticity ~model pa expl =
 (* ------------------------------------------------------------------ *)
 (* PA003 *)
 
-let equality_coherence ~model ~max_pairs pa expl =
-  let n = E.num_states expl in
+let equality_coherence ~model ~max_pairs pa arena =
+  let n = A.num_states arena in
   let budget = ref max_pairs in
   let found = ref None in
   (try
@@ -76,7 +76,8 @@ let equality_coherence ~model ~max_pairs pa expl =
        for j = i + 1 to n - 1 do
          if !budget <= 0 then raise Exit;
          decr budget;
-         if Core.Pa.equal_state pa (E.state expl i) (E.state expl j) then begin
+         if Core.Pa.equal_state pa (A.state arena i) (A.state arena j)
+         then begin
            found := Some (i, j);
            raise Exit
          end
@@ -100,9 +101,9 @@ let equality_coherence ~model ~max_pairs pa expl =
      [ Diagnostic.v PA003 Error ~model
          ~witness:
            (Printf.sprintf "state #%d = %s vs state #%d = %s" i
-              (show_state pa (E.state expl i))
+              (show_state pa (A.state arena i))
               j
-              (show_state pa (E.state expl j)))
+              (show_state pa (A.state arena j)))
          "two reachable states are identified by equal_state yet were \
           interned separately: hash_state disagrees with equal_state, so \
           explored state counts and probabilities are unreliable" ])
@@ -111,12 +112,12 @@ let equality_coherence ~model ~max_pairs pa expl =
 (* ------------------------------------------------------------------ *)
 (* PA010 *)
 
-let deadlocks ~model ~accept_terminal pa expl =
+let deadlocks ~model ~accept_terminal pa arena =
   let diags = ref [] in
-  let n = E.num_states expl in
+  let n = A.num_states arena in
   for i = 0 to n - 1 do
-    if Array.length (E.steps expl i) = 0 then begin
-      let s = E.state expl i in
+    if A.num_steps_of arena i = 0 then begin
+      let s = A.state arena i in
       match accept_terminal with
       | Some ok when ok s -> ()
       | Some _ ->
@@ -138,30 +139,30 @@ let deadlocks ~model ~accept_terminal pa expl =
 (* ------------------------------------------------------------------ *)
 (* PA012 *)
 
-let fault_isolation ~model ~faulted ~effective_proc pa expl =
+let fault_isolation ~model ~faulted ~effective_proc pa arena =
   let diags = ref [] in
-  let n = E.num_states expl in
+  let n = A.num_states arena in
   for i = 0 to n - 1 do
-    let s = E.state expl i in
+    let s = A.state arena i in
     match faulted s with
     | [] -> ()
     | down ->
-      Array.iter
-        (fun { E.action; _ } ->
-           match effective_proc action with
-           | Some p when List.mem p down ->
-             diags :=
-               Diagnostic.v PA012 Error ~model
-                 ~witness:
-                   (Printf.sprintf "step %s of process %d in state %s"
-                      (show_action pa action) p (show_state pa s))
-                 (Printf.sprintf
-                    "process %d is crashed or stalled here, yet one of its \
-                     original steps is still enabled: the fault wrapper \
-                     leaks base behaviour" p)
-               :: !diags
-           | Some _ | None -> ())
-        (E.steps expl i)
+      for k = arena.A.step_off.(i) to arena.A.step_off.(i + 1) - 1 do
+        let action = arena.A.actions.(k) in
+        match effective_proc action with
+        | Some p when List.mem p down ->
+          diags :=
+            Diagnostic.v PA012 Error ~model
+              ~witness:
+                (Printf.sprintf "step %s of process %d in state %s"
+                   (show_action pa action) p (show_state pa s))
+              (Printf.sprintf
+                 "process %d is crashed or stalled here, yet one of its \
+                  original steps is still enabled: the fault wrapper \
+                  leaks base behaviour" p)
+            :: !diags
+        | Some _ | None -> ()
+      done
   done;
   Diagnostic.cap ~limit:witness_limit (List.rev !diags)
 
@@ -170,17 +171,17 @@ let fault_isolation ~model ~faulted ~effective_proc pa expl =
 
 let max_distinct_actions = 4096
 
-let signature ~model pa expl =
+let signature ~model pa arena =
   let diags = ref [] in
   (* (representative, classification, already reported) per
      equal_action class, in occurrence order *)
   let reps : ('a * bool * bool ref) list ref = ref [] in
-  let n = E.num_states expl in
+  let n = A.num_states arena in
   (try
      for i = 0 to n - 1 do
-       Array.iter
-         (fun { E.action; _ } ->
-            match
+       for k = arena.A.step_off.(i) to arena.A.step_off.(i + 1) - 1 do
+         let action = arena.A.actions.(k) in
+         (match
               List.find_opt
                 (fun (b, _, _) -> Core.Pa.equal_action pa action b)
                 !reps
@@ -206,7 +207,7 @@ let signature ~model pa expl =
                      not a partition (Definition 2.1)"
                   :: !diags
               end)
-         (E.steps expl i)
+       done
      done
    with Exit -> ());
   Diagnostic.cap ~limit:witness_limit (List.rev !diags)

@@ -1,5 +1,5 @@
 (** Static well-formedness checks over a probabilistic automaton and
-    its explored reachable fragment.
+    its compiled reachable fragment (the {!Mdp.Arena}).
 
     Each check returns the diagnostics it found (already capped to a
     readable number per code); {!Analysis.run} orchestrates them.  The
@@ -18,15 +18,15 @@
     - {!signature} (PA011): [is_external] classifies [equal_action]-
       identified actions consistently. *)
 
-(** [stochasticity ~model pa expl] checks every enabled step of every
+(** [stochasticity ~model pa arena] checks every enabled step of every
     reachable state.  PA001 ([Error]): weights negative or not summing
     to 1.  PA002 ([Warning]): zero-weight outcomes, or outcomes
     duplicated up to [equal_state]. *)
 val stochasticity :
   model:string ->
-  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Arena.t -> Diagnostic.t list
 
-(** [equality_coherence ~model ~max_pairs pa expl] samples up to
+(** [equality_coherence ~model ~max_pairs pa arena] samples up to
     [max_pairs] pairs of distinct reachable state indices; finding a
     pair that [equal_state] identifies is a PA003 [Error] (the
     exploration table separated them, so [hash_state] must have
@@ -34,17 +34,17 @@ val stochasticity :
     scan. *)
 val equality_coherence :
   model:string -> max_pairs:int ->
-  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Arena.t -> Diagnostic.t list
 
-(** [deadlocks ~model ~accept_terminal pa expl]: reachable states with
+(** [deadlocks ~model ~accept_terminal pa arena]: reachable states with
     no enabled step are PA010 [Error]s when [accept_terminal] is
     provided and rejects them, PA010 [Warning]s when no classifier was
     provided (the model may or may not intend them). *)
 val deadlocks :
   model:string -> accept_terminal:('s -> bool) option ->
-  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Arena.t -> Diagnostic.t list
 
-(** [fault_isolation ~model ~faulted ~effective_proc pa expl]: for
+(** [fault_isolation ~model ~faulted ~effective_proc pa arena]: for
     fault-wrapped automata.  [faulted s] lists the processes the
     wrapper considers crashed or stalled in [s]; [effective_proc a]
     names the process whose {e original} (base-automaton) step [a] is
@@ -56,11 +56,11 @@ val deadlocks :
 val fault_isolation :
   model:string -> faulted:('s -> int list) ->
   effective_proc:('a -> int option) ->
-  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Arena.t -> Diagnostic.t list
 
-(** [signature ~model pa expl]: PA011 [Warning] when two actions
+(** [signature ~model pa arena]: PA011 [Warning] when two actions
     occurring on reachable steps are identified by [equal_action] but
     classified differently by [is_external]. *)
 val signature :
   model:string ->
-  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Arena.t -> Diagnostic.t list

@@ -1,5 +1,5 @@
 module D = Proba.Dist
-module E = Mdp.Explore
+module A = Mdp.Arena
 
 let witness_limit = 5
 
@@ -8,13 +8,13 @@ let show_state pa s = Format.asprintf "%a" (Core.Pa.pp_state pa) s
 (* ------------------------------------------------------------------ *)
 (* PA020 *)
 
-let zero_time_cycles ~model ~is_tick pa expl =
-  match Mdp.Zeno.check expl ~is_tick with
+let zero_time_cycles ~model pa arena =
+  match Mdp.Zeno.check arena with
   | Mdp.Zeno.Ok -> []
   | Mdp.Zeno.Probabilistic_zero_time_cycle component ->
     let shown =
       List.filteri (fun k _ -> k < witness_limit) component
-      |> List.map (fun i -> show_state pa (E.state expl i))
+      |> List.map (fun i -> show_state pa (A.state arena i))
       |> String.concat ", "
     in
     let extra = List.length component - witness_limit in
@@ -71,16 +71,16 @@ let tick_divergence ~model ~is_tick ~max_states pa =
                steps))
       ()
   in
-  let wexpl = E.run ~max_states wrapped in
+  let warena = A.of_pa ~max_states wrapped in
   let target =
-    Array.init (E.num_states wexpl) (fun i ->
-        match E.state wexpl i with Sink -> true | St _ -> false)
+    Array.init (A.num_states warena) (fun i ->
+        match A.state warena i with Sink -> true | St _ -> false)
   in
-  let always = Mdp.Qualitative.always_reaches wexpl ~target in
+  let always = Mdp.Qualitative.always_reaches warena ~target in
   let diags = ref [] in
   for i = Array.length always - 1 downto 0 do
     if not always.(i) then
-      match E.state wexpl i with
+      match A.state warena i with
       | Sink -> ()
       | St s ->
         diags :=

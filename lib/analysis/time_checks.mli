@@ -8,7 +8,7 @@
 
     - {!zero_time_cycles} (PA020): a cycle of non-tick steps carrying
       probabilistic branching, which makes the finite-horizon layer
-      fixpoint asymptotic (wraps {!Mdp.Zeno} as a diagnostic);
+      fixpoint asymptotic (wraps {!Mdp.Zeno} as a diagnostic; the arena must carry the model's tick mask);
     - {!tick_divergence} (PA021): some adversary can, with positive
       probability, avoid scheduling a [tick] forever -- i.e. the
       minimum probability of ever ticking is below 1 somewhere
@@ -22,8 +22,8 @@
 (** PA020 ([Error]): wraps {!Mdp.Zeno.check}; the witness lists the
     offending strongly connected component. *)
 val zero_time_cycles :
-  model:string -> is_tick:('a -> bool) ->
-  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Explore.t -> Diagnostic.t list
+  model:string ->
+  ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Arena.t -> Diagnostic.t list
 
 (** PA021 ([Error]): one diagnostic per reachable state (capped) from
     which some adversary avoids ticking forever with positive

@@ -4,12 +4,15 @@ type instance = {
   params : Automaton.params;
   initial : Automaton.bit array;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+  arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
 }
 
 let build ?max_states ?(g = 1) ?(k = 1) ~n ~f ~cap ~initial () =
   let params = { Automaton.n; f; cap; g; k } in
   let pa = Automaton.make ~initial params in
-  { params; initial; expl = Mdp.Explore.run ?max_states pa }
+  let expl = Mdp.Explore.run ?max_states pa in
+  { params; initial; expl;
+    arena = Mdp.Arena.compile ~is_tick:Automaton.is_tick expl }
 
 let agreement_violation inst =
   Mdp.Explore.check_invariant inst.expl Automaton.agreement
@@ -40,7 +43,7 @@ let decided_pred =
 let decision_arrow inst ~rounds ~prob =
   let time = Q.of_int (3 * rounds) in
   let result =
-    Mdp.Checker.check_arrow inst.expl ~is_tick:Automaton.is_tick
+    Mdp.Checker.check_arrow inst.arena
       ~granularity:inst.params.Automaton.g ~schema:Core.Schema.unit_time
       ~pre:(init_pred inst) ~post:decided_pred ~time ~prob
   in
@@ -50,22 +53,19 @@ let decision_arrow inst ~rounds ~prob =
     claim = result.Mdp.Checker.claim }
 
 let decision_curve inst ~rounds =
-  let target = Mdp.Explore.indicator inst.expl decided_pred in
-  let i = List.hd (Mdp.Explore.start_indices inst.expl) in
+  let target = Mdp.Arena.indicator inst.arena decided_pred in
+  let i = List.hd (Mdp.Arena.start_indices inst.arena) in
   List.map
     (fun r ->
        let ticks =
          Core.Timed.within ~granularity:inst.params.Automaton.g
            ~time:(Q.of_int (3 * r))
        in
-       let v =
-         Mdp.Finite_horizon.min_reach inst.expl ~is_tick:Automaton.is_tick
-           ~target ~ticks
-       in
+       let v = Mdp.Finite_horizon.min_reach inst.arena ~target ~ticks in
        v.(i))
     rounds
 
 let capped_liveness inst =
-  let target = Mdp.Explore.indicator inst.expl decided_pred in
-  let always = Mdp.Qualitative.always_reaches inst.expl ~target in
-  always.(List.hd (Mdp.Explore.start_indices inst.expl))
+  let target = Mdp.Arena.indicator inst.arena decided_pred in
+  let always = Mdp.Qualitative.always_reaches inst.arena ~target in
+  always.(List.hd (Mdp.Arena.start_indices inst.arena))

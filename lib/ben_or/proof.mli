@@ -27,6 +27,8 @@ type instance = {
   params : Automaton.params;
   initial : Automaton.bit array;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+  arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
+      (** [expl] compiled once with the model's tick mask. *)
 }
 
 val build :

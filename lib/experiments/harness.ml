@@ -32,30 +32,20 @@ let full =
                  coin_cases = [ (2, 2); (2, 4); (3, 3); (5, 4); (4, 6) ];
                  sim_ns = [ 4; 6; 8; 12; 16; 24 ]; sim_trials = 5000 }
 
-type ctx = {
-  config : config;
-  lr_cache : (int * int * int, LR.Proof.instance) Hashtbl.t;
-  ir_cache : (int, IR.Proof.instance) Hashtbl.t;
-}
+(* Instances come from the model registry, whose process-wide memo
+   table plays the role the harness's private caches used to: repeated
+   experiments in one run share explorations and compiled arenas. *)
+type ctx = { config : config }
 
-let make_ctx config =
-  { config; lr_cache = Hashtbl.create 8; ir_cache = Hashtbl.create 8 }
+let make_ctx config = { config }
 
 let lr_instance ctx ~n ~g ~k =
-  match Hashtbl.find_opt ctx.lr_cache (n, g, k) with
-  | Some inst -> inst
-  | None ->
-    let inst = LR.Proof.build ~n ~g ~k () in
-    Hashtbl.add ctx.lr_cache (n, g, k) inst;
-    inst
+  ignore ctx;
+  Models.lr ~n ~g ~k ()
 
 let ir_instance ctx ~n =
-  match Hashtbl.find_opt ctx.ir_cache n with
-  | Some inst -> inst
-  | None ->
-    let inst = IR.Proof.build ~n () in
-    Hashtbl.add ctx.ir_cache n inst;
-    inst
+  ignore ctx;
+  Models.election ~n ()
 
 let banner id title claim =
   Printf.printf "\n=== %s: %s ===\n" id title;
@@ -498,7 +488,7 @@ let e10_topologies ctx =
   in
   List.iter
     (fun topo ->
-       let inst = LR.Proof.build_topo ~topo () in
+       let inst = Models.lr_topo ~topo () in
        let arrows = LR.Proof.arrows_topo inst in
        let attained label =
          match List.find_opt (fun a -> a.LR.Proof.label = label) arrows with
@@ -540,7 +530,7 @@ let e11_shared_coin ctx =
   in
   List.iter
     (fun (n, bound) ->
-       let inst = SC.Proof.build ~n ~bound () in
+       let inst = Models.coin ~n ~bound () in
        let arrows = SC.Proof.arrows inst in
        let ok = List.length (List.filter (fun a -> a.SC.Proof.claim <> None) arrows) in
        let composed =
@@ -596,10 +586,10 @@ let e12_consensus ctx =
         verdict (BO.Proof.capped_liveness inst) ]
   in
   let unanimous =
-    BO.Proof.build ~n:3 ~f:1 ~cap:1 ~initial:[| false; false; false |] ()
+    Models.consensus ~n:3 ~f:1 ~cap:1 ~initial:[| false; false; false |] ()
   in
   let mixed =
-    BO.Proof.build ~n:3 ~f:1 ~cap:2 ~initial:[| false; false; true |] ()
+    Models.consensus ~n:3 ~f:1 ~cap:2 ~initial:[| false; false; true |] ()
   in
   row "n=3 f=1 unanimous (cap 1)" unanimous false;
   row "n=3 f=1 mixed (cap 2)" mixed true;
@@ -672,7 +662,7 @@ let e13_faults ctx =
     (fun f ->
        let n = 3 in
        let initial = Array.init n (fun i -> i = n - 1) in
-       let inst = BO.Proof.build ~n ~f ~cap:2 ~initial () in
+       let inst = Models.consensus ~n ~f ~cap:2 ~initial () in
        let curve = BO.Proof.decision_curve inst ~rounds:[ 1; 2 ] in
        Table.row t2
          [ Printf.sprintf "n=%d f=%d mixed" n f;

@@ -135,11 +135,12 @@ type derivation = {
 let derive ?max_states config =
   let pa = make config in
   let expl = Mdp.Explore.run ?max_states pa in
+  let arena = Mdp.Arena.compile ~is_tick expl in
   let granularity = config.params.LA.g in
   let sch = schema config.faults in
   let check ~pre ~post ~time ~prob =
-    Mdp.Checker.check_arrow expl ~is_tick ~granularity ~schema:sch ~pre
-      ~post ~time ~prob
+    Mdp.Checker.check_arrow arena ~granularity ~schema:sch ~pre ~post
+      ~time ~prob
   in
   (* Two passes: learn the exact attained minimum, then certify the
      claim at exactly that bound (the "degraded" constant). *)

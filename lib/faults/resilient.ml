@@ -26,9 +26,10 @@ let check_arrow ?(budget = Core.Budget.unlimited) ?fallback ~pa ~is_tick
   let part = Mdp.Explore.run_budgeted ~clock pa in
   if part.Mdp.Explore.complete then begin
     let expl = part.Mdp.Explore.fragment in
+    let arena = Mdp.Arena.compile ~is_tick expl in
     let r =
-      Mdp.Checker.check_arrow expl ~is_tick ~granularity ~schema ~pre
-        ~post ~time ~prob
+      Mdp.Checker.check_arrow arena ~granularity ~schema ~pre ~post
+        ~time ~prob
     in
     Exact
       { attained = r.Mdp.Checker.attained;

@@ -3,11 +3,14 @@ module Q = Proba.Rational
 type instance = {
   params : Automaton.params;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+  arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
 }
 
 let build ?max_states ?(g = 1) ?(k = 1) ~n () =
   let params = { Automaton.n; g; k } in
-  { params; expl = Mdp.Explore.run ?max_states (Automaton.make params) }
+  let expl = Mdp.Explore.run ?max_states (Automaton.make params) in
+  { params; expl;
+    arena = Mdp.Arena.compile ~is_tick:Automaton.is_tick expl }
 
 type arrow = {
   label : string;
@@ -22,7 +25,7 @@ let schema = Core.Schema.unit_time
 
 let rung inst k =
   let result =
-    Mdp.Checker.check_arrow inst.expl ~is_tick:Automaton.is_tick
+    Mdp.Checker.check_arrow inst.arena
       ~granularity:inst.params.Automaton.g ~schema
       ~pre:(Automaton.at_most k)
       ~post:(Automaton.at_most (k - 1))
@@ -66,17 +69,14 @@ let composed inst =
 let leader_pred = Automaton.at_most 1
 
 let direct_bound inst =
-  let target = Mdp.Explore.indicator inst.expl leader_pred in
+  let target = Mdp.Arena.indicator inst.arena leader_pred in
   let ticks =
     Core.Timed.within ~granularity:inst.params.Automaton.g
       ~time:(Q.of_int (inst.params.Automaton.n - 1))
   in
-  let values =
-    Mdp.Finite_horizon.min_reach inst.expl ~is_tick:Automaton.is_tick ~target
-      ~ticks
-  in
+  let values = Mdp.Finite_horizon.min_reach inst.arena ~target ~ticks in
   let best, _, _ =
-    Mdp.Checker.min_prob_over inst.expl values
+    Mdp.Checker.min_prob_over inst.arena values
       (Automaton.at_most inst.params.Automaton.n)
   in
   best
@@ -90,15 +90,14 @@ let expected_bound ~n =
   Core.Expected.sum ~label:"E[election]" (List.map per_rung (downfrom n))
 
 let max_expected_time inst =
-  let target = Mdp.Explore.indicator inst.expl leader_pred in
+  let target = Mdp.Arena.indicator inst.arena leader_pred in
   let values =
-    Mdp.Expected_time.max_expected_ticks inst.expl ~is_tick:Automaton.is_tick
-      ~target ()
+    Mdp.Expected_time.max_expected_ticks inst.arena ~target ()
   in
   let worst = Array.fold_left Float.max 0.0 values in
   worst /. float_of_int inst.params.Automaton.g
 
 let liveness_holds inst =
-  let target = Mdp.Explore.indicator inst.expl leader_pred in
-  let always = Mdp.Qualitative.always_reaches inst.expl ~target in
+  let target = Mdp.Arena.indicator inst.arena leader_pred in
+  let always = Mdp.Qualitative.always_reaches inst.arena ~target in
   Array.for_all (fun b -> b) always

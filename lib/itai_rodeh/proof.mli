@@ -16,6 +16,8 @@
 type instance = {
   params : Automaton.params;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+  arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
+      (** [expl] compiled once with the model's tick mask. *)
 }
 
 val build : ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit -> instance

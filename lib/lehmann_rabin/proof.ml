@@ -3,12 +3,15 @@ module Q = Proba.Rational
 type instance = {
   params : Automaton.params;
   expl : (State.t, Automaton.action) Mdp.Explore.t;
+  arena : (State.t, Automaton.action) Mdp.Arena.t;
 }
 
 let build ?max_states ?(g = 1) ?(k = 1) ~n () =
   let params = { Automaton.n; g; k } in
   let pa = Automaton.make params in
-  { params; expl = Mdp.Explore.run ?max_states pa }
+  let expl = Mdp.Explore.run ?max_states pa in
+  { params; expl;
+    arena = Mdp.Arena.compile ~is_tick:Automaton.is_tick expl }
 
 type arrow = {
   label : string;
@@ -24,47 +27,47 @@ type arrow = {
 let schema = Core.Schema.unit_time
 
 (* ----------------------------------------------------------------- *)
-(* The five arrows and their composition, over any exploration and any
-   goodness predicate (the ring and the generalized topologies differ
-   only in [G]). *)
+(* The five arrows and their composition, over any compiled arena and
+   any goodness predicate (the ring and the generalized topologies
+   differ only in [G]). *)
 
-let check_on expl ~granularity ~label ~pre ~post ~time ~prob =
+let check_on arena ~granularity ~label ~pre ~post ~time ~prob =
   let result =
-    Mdp.Checker.check_arrow expl ~is_tick:Automaton.is_tick ~granularity
-      ~schema ~pre ~post ~time ~prob
+    Mdp.Checker.check_arrow arena ~granularity ~schema ~pre ~post ~time
+      ~prob
   in
   { label; pre; post; time; prob;
     attained = result.Mdp.Checker.attained;
     pre_states = result.Mdp.Checker.pre_states;
     claim = result.Mdp.Checker.claim }
 
-let spec_on expl ~granularity ~g_pred = function
+let spec_on arena ~granularity ~g_pred = function
   | `P_to_C ->
-    check_on expl ~granularity ~label:"A.1" ~pre:Regions.p ~post:Regions.c
+    check_on arena ~granularity ~label:"A.1" ~pre:Regions.p ~post:Regions.c
       ~time:Q.one ~prob:Q.one
   | `T_to_RTC ->
-    check_on expl ~granularity ~label:"A.3" ~pre:Regions.t
+    check_on arena ~granularity ~label:"A.3" ~pre:Regions.t
       ~post:Regions.rt_or_c ~time:(Q.of_int 2) ~prob:Q.one
   | `RT_to_FGP ->
-    check_on expl ~granularity ~label:"A.15" ~pre:Regions.rt
+    check_on arena ~granularity ~label:"A.15" ~pre:Regions.rt
       ~post:(Core.Pred.union_all [ Regions.f; g_pred; Regions.p ])
       ~time:(Q.of_int 3) ~prob:Q.one
   | `F_to_GP ->
-    check_on expl ~granularity ~label:"A.14" ~pre:Regions.f
+    check_on arena ~granularity ~label:"A.14" ~pre:Regions.f
       ~post:(Core.Pred.union g_pred Regions.p) ~time:(Q.of_int 2)
       ~prob:Q.half
   | `G_to_P ->
-    check_on expl ~granularity ~label:"A.11" ~pre:g_pred ~post:Regions.p
+    check_on arena ~granularity ~label:"A.11" ~pre:g_pred ~post:Regions.p
       ~time:(Q.of_int 5) ~prob:(Q.of_ints 1 4)
 
 let all_specs = [ `P_to_C; `T_to_RTC; `RT_to_FGP; `F_to_GP; `G_to_P ]
 
-let arrows_on expl ~granularity ~g_pred =
-  List.map (spec_on expl ~granularity ~g_pred) all_specs
+let arrows_on arena ~granularity ~g_pred =
+  List.map (spec_on arena ~granularity ~g_pred) all_specs
 
 (* Rename a claim's pre/post to set-equal predicates, certifying both
    inclusions over the reachable states. *)
-let canonicalize expl claim ~pre ~post =
+let canonicalize arena claim ~pre ~post =
   let need name = function
     | Some incl -> incl
     | None ->
@@ -73,17 +76,17 @@ let canonicalize expl claim ~pre ~post =
   in
   let to_pre =
     need (Core.Pred.name pre)
-      (Mdp.Checker.verify_inclusion expl pre (Core.Claim.pre claim))
+      (Mdp.Checker.verify_inclusion arena pre (Core.Claim.pre claim))
   in
   let to_post =
     need (Core.Pred.name post)
-      (Mdp.Checker.verify_inclusion expl (Core.Claim.post claim) post)
+      (Mdp.Checker.verify_inclusion arena (Core.Claim.post claim) post)
   in
   Core.Claim.weaken_post (Core.Claim.strengthen_pre claim to_pre) to_post
 
-let composed_on expl ~granularity ~g_pred =
+let composed_on arena ~granularity ~g_pred =
   let get spec =
-    let a = spec_on expl ~granularity ~g_pred spec in
+    let a = spec_on arena ~granularity ~g_pred spec in
     match a.claim with
     | Some c -> Ok (a, c)
     | None ->
@@ -109,56 +112,50 @@ let composed_on expl ~granularity ~g_pred =
   try
     let step1 = a3 in
     let step2 =
-      canonicalize expl
+      canonicalize arena
         (Core.Claim.union a15 Regions.c)
         ~pre:Regions.rt_or_c ~post:fgp_or_c
     in
     let step3 =
-      canonicalize expl
+      canonicalize arena
         (Core.Claim.union a14 gp_or_c)
         ~pre:fgp_or_c ~post:gp_or_c
     in
     let step4 =
-      canonicalize expl
+      canonicalize arena
         (Core.Claim.union a11 Regions.p_or_c)
         ~pre:gp_or_c ~post:Regions.p_or_c
     in
     let step5 =
-      canonicalize expl (Core.Claim.union a1 Regions.c) ~pre:Regions.p_or_c
+      canonicalize arena (Core.Claim.union a1 Regions.c) ~pre:Regions.p_or_c
         ~post:Regions.c
     in
     Ok (Core.Claim.compose_all [ step1; step2; step3; step4; step5 ])
   with Failure msg | Core.Claim.Rule_violation msg -> Error msg
 
-let direct_bound_on expl ~granularity =
-  let target = Mdp.Explore.indicator expl Regions.c in
+let direct_bound_on arena ~granularity =
+  let target = Mdp.Arena.indicator arena Regions.c in
   let ticks = Core.Timed.within ~granularity ~time:(Q.of_int 13) in
-  let values =
-    Mdp.Finite_horizon.min_reach expl ~is_tick:Automaton.is_tick ~target
-      ~ticks
-  in
-  let best, _, _ = Mdp.Checker.min_prob_over expl values Regions.t in
+  let values = Mdp.Finite_horizon.min_reach arena ~target ~ticks in
+  let best, _, _ = Mdp.Checker.min_prob_over arena values Regions.t in
   best
 
-let max_expected_time_on expl ~granularity =
-  let target = Mdp.Explore.indicator expl Regions.c in
-  let values =
-    Mdp.Expected_time.max_expected_ticks expl ~is_tick:Automaton.is_tick
-      ~target ()
-  in
+let max_expected_time_on arena ~granularity =
+  let target = Mdp.Arena.indicator arena Regions.c in
+  let values = Mdp.Expected_time.max_expected_ticks arena ~target () in
   let worst = ref 0.0 in
-  for i = 0 to Mdp.Explore.num_states expl - 1 do
-    if Core.Pred.mem Regions.t (Mdp.Explore.state expl i) then
+  for i = 0 to Mdp.Arena.num_states arena - 1 do
+    if Core.Pred.mem Regions.t (Mdp.Arena.state arena i) then
       if values.(i) > !worst then worst := values.(i)
   done;
   !worst /. float_of_int granularity
 
-let liveness_on expl =
-  let target = Mdp.Explore.indicator expl Regions.c in
-  let always = Mdp.Qualitative.always_reaches expl ~target in
+let liveness_on arena =
+  let target = Mdp.Arena.indicator arena Regions.c in
+  let always = Mdp.Qualitative.always_reaches arena ~target in
   let ok = ref true in
-  for i = 0 to Mdp.Explore.num_states expl - 1 do
-    if Core.Pred.mem Regions.t (Mdp.Explore.state expl i)
+  for i = 0 to Mdp.Arena.num_states arena - 1 do
+    if Core.Pred.mem Regions.t (Mdp.Arena.state arena i)
     && not always.(i) then ok := false
   done;
   !ok
@@ -167,15 +164,15 @@ let liveness_on expl =
 (* Ring interface. *)
 
 let arrows inst =
-  arrows_on inst.expl ~granularity:inst.params.Automaton.g
+  arrows_on inst.arena ~granularity:inst.params.Automaton.g
     ~g_pred:Regions.g
 
 let composed inst =
-  composed_on inst.expl ~granularity:inst.params.Automaton.g
+  composed_on inst.arena ~granularity:inst.params.Automaton.g
     ~g_pred:Regions.g
 
 let direct_bound inst =
-  direct_bound_on inst.expl ~granularity:inst.params.Automaton.g
+  direct_bound_on inst.arena ~granularity:inst.params.Automaton.g
 
 let expected_bound () =
   let b prob time loops =
@@ -193,30 +190,29 @@ let expected_bound () =
       Core.Expected.constant ~label:"P to C (Prop A.1)" Q.one ]
 
 let max_expected_time inst =
-  max_expected_time_on inst.expl ~granularity:inst.params.Automaton.g
+  max_expected_time_on inst.arena ~granularity:inst.params.Automaton.g
 
 let worst_adversary inst =
-  let expl = inst.expl in
-  let target = Mdp.Explore.indicator expl Regions.c in
+  let arena = inst.arena in
+  let target = Mdp.Arena.indicator arena Regions.c in
   let values, policy =
-    Mdp.Expected_time.max_expected_ticks_with_policy expl
-      ~is_tick:Automaton.is_tick ~target ()
+    Mdp.Expected_time.max_expected_ticks_with_policy arena ~target ()
   in
   let { Automaton.n; g; k } = inst.params in
   let start = State.all_trying ~n ~g ~k in
   let value =
-    match Mdp.Explore.index expl start with
+    match Mdp.Arena.index arena start with
     | Some i -> values.(i) /. float_of_int g
     | None -> nan
   in
   let choose s =
-    match Mdp.Explore.index expl s with
+    match Mdp.Arena.index arena s with
     | Some i -> Some policy.(i)
     | None -> None
   in
-  (value, Sim.Scheduler.of_choice choose (Mdp.Explore.automaton expl))
+  (value, Sim.Scheduler.of_choice choose (Mdp.Arena.automaton arena))
 
-let liveness_holds inst = liveness_on inst.expl
+let liveness_holds inst = liveness_on inst.arena
 
 (* ----------------------------------------------------------------- *)
 (* Generalized topologies (the paper's "more general than rings"). *)
@@ -226,22 +222,25 @@ type topo_instance = {
   tg : int;
   tk : int;
   texpl : (State.t, Automaton.action) Mdp.Explore.t;
+  tarena : (State.t, Automaton.action) Mdp.Arena.t;
 }
 
 let build_topo ?max_states ?(g = 1) ?(k = 1) ~topo () =
   let pa = Automaton.make_general ~topo ~g ~k in
-  { topo; tg = g; tk = k; texpl = Mdp.Explore.run ?max_states pa }
+  let texpl = Mdp.Explore.run ?max_states pa in
+  { topo; tg = g; tk = k; texpl;
+    tarena = Mdp.Arena.compile ~is_tick:Automaton.is_tick texpl }
 
 let arrows_topo inst =
-  arrows_on inst.texpl ~granularity:inst.tg
+  arrows_on inst.tarena ~granularity:inst.tg
     ~g_pred:(Regions.g_of inst.topo)
 
 let composed_topo inst =
-  composed_on inst.texpl ~granularity:inst.tg
+  composed_on inst.tarena ~granularity:inst.tg
     ~g_pred:(Regions.g_of inst.topo)
 
-let direct_bound_topo inst = direct_bound_on inst.texpl ~granularity:inst.tg
+let direct_bound_topo inst = direct_bound_on inst.tarena ~granularity:inst.tg
 let max_expected_time_topo inst =
-  max_expected_time_on inst.texpl ~granularity:inst.tg
-let liveness_topo inst = liveness_on inst.texpl
+  max_expected_time_on inst.tarena ~granularity:inst.tg
+let liveness_topo inst = liveness_on inst.tarena
 let invariant_topo inst = Invariant.check_general inst.topo inst.texpl

@@ -13,6 +13,9 @@
 type instance = {
   params : Automaton.params;
   expl : (State.t, Automaton.action) Mdp.Explore.t;
+  arena : (State.t, Automaton.action) Mdp.Arena.t;
+      (** [expl] compiled once, with the model's tick mask; every
+          engine call below reads this. *)
 }
 
 (** [build ~n ()] constructs and explores the ring instance
@@ -84,6 +87,7 @@ type topo_instance = {
   tg : int;
   tk : int;
   texpl : (State.t, Automaton.action) Mdp.Explore.t;
+  tarena : (State.t, Automaton.action) Mdp.Arena.t;
 }
 
 val build_topo :

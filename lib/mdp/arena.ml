@@ -1,0 +1,102 @@
+module Q = Proba.Rational
+
+type ('s, 'a) t = {
+  expl : ('s, 'a) Explore.t;
+  n : int;
+  expanded : int;
+  step_off : int array;
+  out_off : int array;
+  tgt : int array;
+  prob_q : Q.t array;
+  prob_f : float array;
+  tick : bool array;
+  actions : 'a array;
+  mutable dyadic : Proba.Dyadic.t array option;
+}
+
+(* Process-wide count of compilations, surfaced through [Models.stats]
+   alongside [Explore.explorations]. *)
+let compiles_counter = ref 0
+let compiles () = !compiles_counter
+
+let compile ?is_tick expl =
+  incr compiles_counter;
+  let n = Explore.num_states expl in
+  let num_steps = Explore.num_choices expl in
+  let num_branches = Explore.num_branches expl in
+  let step_off = Array.make (n + 1) 0 in
+  let out_off = Array.make (num_steps + 1) 0 in
+  let tgt = Array.make num_branches 0 in
+  let prob_q = Array.make num_branches Q.zero in
+  let prob_f = Array.make num_branches 0.0 in
+  let tick = Array.make num_steps false in
+  let actions_rev = ref [] in
+  let k = ref 0 in
+  let o = ref 0 in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun (step : _ Explore.step) ->
+         out_off.(!k) <- !o;
+         (match is_tick with
+          | Some f -> tick.(!k) <- f step.Explore.action
+          | None -> ());
+         actions_rev := step.Explore.action :: !actions_rev;
+         Array.iter
+           (fun (j, w) ->
+              tgt.(!o) <- j;
+              prob_q.(!o) <- w;
+              prob_f.(!o) <- Q.to_float w;
+              incr o)
+           step.Explore.outcomes;
+         incr k)
+      (Explore.steps expl i);
+    step_off.(i + 1) <- !k
+  done;
+  out_off.(num_steps) <- !o;
+  { expl;
+    n;
+    expanded = Explore.num_expanded expl;
+    step_off;
+    out_off;
+    tgt;
+    prob_q;
+    prob_f;
+    tick;
+    actions = Array.of_list (List.rev !actions_rev);
+    dyadic = None }
+
+let of_pa ?max_states ?is_tick pa =
+  compile ?is_tick (Explore.run ?max_states pa)
+
+(* The dyadic plane is derived on demand and memoized; [of_rational]
+   raises [Not_dyadic] before anything is cached, so a failed
+   conversion leaves the arena unchanged and every later caller
+   re-raises consistently. *)
+let dyadic_plane a =
+  match a.dyadic with
+  | Some plane -> plane
+  | None ->
+    let plane = Array.map Proba.Dyadic.of_rational a.prob_q in
+    a.dyadic <- Some plane;
+    plane
+
+let explored a = a.expl
+let automaton a = Explore.automaton a.expl
+let num_states a = a.n
+let num_expanded a = a.expanded
+let is_expanded a i = i < a.expanded
+let is_complete a = a.expanded = a.n
+let num_choices a = Array.length a.tick
+let num_branches a = Array.length a.tgt
+let state a i = Explore.state a.expl i
+let index a s = Explore.index a.expl s
+let start_indices a = Explore.start_indices a.expl
+let states_where a pred = Explore.states_where a.expl pred
+let indicator a pred = Explore.indicator a.expl pred
+
+let num_steps_of a i = a.step_off.(i + 1) - a.step_off.(i)
+
+let action a ~step = a.actions.(step)
+let is_tick_step a ~step = a.tick.(step)
+
+let has_tick_mask a = Array.exists (fun b -> b) a.tick

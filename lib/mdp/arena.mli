@@ -1,0 +1,94 @@
+(** Compiled CSR (compressed-sparse-row) form of an explored fragment.
+
+    {!Explore.t} is the discovery structure: pointer-heavy
+    [step array array] rows of boxed [(index, rational)] tuples, built
+    incrementally by BFS.  Every engine question -- backward induction,
+    value iteration, qualitative fixpoints, SCCs, bisimulation, export
+    -- is a traversal of that same transition structure, so the arena
+    flattens it once into dense parallel arrays and every engine reads
+    the flat form:
+
+    - [step_off.(i) .. step_off.(i+1) - 1] are the step indices of
+      state [i] (CSR row pointers; length [num_states + 1]);
+    - [out_off.(k) .. out_off.(k+1) - 1] are the branch indices of
+      step [k] (length [num_choices + 1]);
+    - [tgt.(o)] is the target state of branch [o], with its
+      probability stored once per plane: exact in [prob_q.(o)], as an
+      IEEE double in [prob_f.(o)] (the float plane is
+      [Rational.to_float] of the exact plane, precomputed so
+      float sweeps never convert in the inner loop);
+    - [tick.(k)] is the precomputed tick mask -- this replaces the
+      [~is_tick] closure formerly threaded through every engine
+      signature;
+    - [actions.(k)] is the original action of step [k].
+
+    Step and branch order is exactly the {!Explore} order, so
+    arithmetic performed in branch order is bit-identical to the
+    pre-compiled path.
+
+    Budgeted partial fragments compile unchanged: frontier states
+    (indices [>= num_expanded]) have empty step rows, which downstream
+    sweeps treat as stuck -- the same under-approximation semantics as
+    {!Explore.partial}. *)
+
+type ('s, 'a) t = private {
+  expl : ('s, 'a) Explore.t;  (** the fragment this was compiled from *)
+  n : int;  (** number of states *)
+  expanded : int;  (** states whose steps were computed *)
+  step_off : int array;  (** state -> step range; length [n + 1] *)
+  out_off : int array;  (** step -> branch range; length [num_choices + 1] *)
+  tgt : int array;  (** branch -> target state; length [num_branches] *)
+  prob_q : Proba.Rational.t array;  (** exact probability plane *)
+  prob_f : float array;  (** float probability plane (same order) *)
+  tick : bool array;  (** per-step tick mask *)
+  actions : 'a array;  (** per-step original action *)
+  mutable dyadic : Proba.Dyadic.t array option;
+      (** memoized dyadic plane; use {!dyadic_plane} *)
+}
+
+(** [compile ?is_tick expl] flattens a fragment.  Without [is_tick] the
+    tick mask is all-[false] (every step is zero-time), which is what
+    the untimed step-bounded engines use. *)
+val compile : ?is_tick:('a -> bool) -> ('s, 'a) Explore.t -> ('s, 'a) t
+
+(** [of_pa ?max_states ?is_tick pa] = explore then compile. *)
+val of_pa :
+  ?max_states:int -> ?is_tick:('a -> bool) -> ('s, 'a) Core.Pa.t ->
+  ('s, 'a) t
+
+(** The dyadic probability plane, converted from [prob_q] on first use
+    and memoized.  Raises {!Proba.Dyadic.Not_dyadic} (caching nothing)
+    when some probability is not a dyadic rational. *)
+val dyadic_plane : ('s, 'a) t -> Proba.Dyadic.t array
+
+(** {1 Mirrored fragment accessors} *)
+
+val explored : ('s, 'a) t -> ('s, 'a) Explore.t
+val automaton : ('s, 'a) t -> ('s, 'a) Core.Pa.t
+val num_states : ('s, 'a) t -> int
+val num_expanded : ('s, 'a) t -> int
+val is_expanded : ('s, 'a) t -> int -> bool
+val is_complete : ('s, 'a) t -> bool
+val num_choices : ('s, 'a) t -> int
+val num_branches : ('s, 'a) t -> int
+val state : ('s, 'a) t -> int -> 's
+val index : ('s, 'a) t -> 's -> int option
+val start_indices : ('s, 'a) t -> int list
+val states_where : ('s, 'a) t -> ('s -> bool) -> int list
+val indicator : ('s, 'a) t -> 's Core.Pred.t -> bool array
+
+(** {1 Step helpers} *)
+
+(** Number of steps enabled at a state (zero on the frontier). *)
+val num_steps_of : ('s, 'a) t -> int -> int
+
+val action : ('s, 'a) t -> step:int -> 'a
+val is_tick_step : ('s, 'a) t -> step:int -> bool
+
+(** [true] iff at least one step is a tick (i.e. the arena was
+    compiled with a meaningful [is_tick]). *)
+val has_tick_mask : ('s, 'a) t -> bool
+
+(** Process-wide count of {!compile} calls (including {!of_pa}); read
+    by [Models.stats]. *)
+val compiles : unit -> int

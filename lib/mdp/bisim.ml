@@ -1,31 +1,31 @@
 module Q = Proba.Rational
 
 (* A step signature: its (collapsed) action key together with the
-   probability it assigns to each block, in canonical order. *)
+   probability it assigns to each block, in canonical order.  Reads
+   the arena's CSR rows and exact plane. *)
 type signature = (string * (int * Q.t) list) list
 
-let step_signature ~action_key blocks (step : 'a Explore.step) =
+let step_signature ~action_key blocks (a : _ Arena.t) k =
   let tally = Hashtbl.create 8 in
-  Array.iter
-    (fun (j, w) ->
-       let b = blocks.(j) in
-       let cur = try Hashtbl.find tally b with Not_found -> Q.zero in
-       Hashtbl.replace tally b (Q.add cur w))
-    step.Explore.outcomes;
+  for o = a.Arena.out_off.(k) to a.Arena.out_off.(k + 1) - 1 do
+    let b = blocks.(a.Arena.tgt.(o)) in
+    let cur = try Hashtbl.find tally b with Not_found -> Q.zero in
+    Hashtbl.replace tally b (Q.add cur a.Arena.prob_q.(o))
+  done;
   let entries = Hashtbl.fold (fun b w acc -> (b, w) :: acc) tally [] in
-  ( action_key step.Explore.action,
+  ( action_key a.Arena.actions.(k),
     List.sort (fun (a, _) (b, _) -> compare a b) entries )
 
-let state_signature ~action_key blocks expl i : signature =
-  let sigs =
-    Array.to_list
-      (Array.map (step_signature ~action_key blocks) (Explore.steps expl i))
-  in
-  List.sort_uniq compare sigs
+let state_signature ~action_key blocks (a : _ Arena.t) i : signature =
+  let sigs = ref [] in
+  for k = a.Arena.step_off.(i + 1) - 1 downto a.Arena.step_off.(i) do
+    sigs := step_signature ~action_key blocks a k :: !sigs
+  done;
+  List.sort_uniq compare !sigs
 
-let refine expl ~labels ?(action_key = fun a -> Marshal.to_string a [])
-    () =
-  let n = Explore.num_states expl in
+let refine (a : _ Arena.t) ~labels
+    ?(action_key = fun x -> Marshal.to_string x []) () =
+  let n = a.Arena.n in
   if Array.length labels <> n then
     invalid_arg "Bisim.refine: labels array has wrong length";
   (* Current partition as block ids; refine until stable. *)
@@ -36,7 +36,7 @@ let refine expl ~labels ?(action_key = fun a -> Marshal.to_string a [])
     let fresh = ref 0 in
     let next = Array.make n 0 in
     for i = 0 to n - 1 do
-      let key = (blocks.(i), state_signature ~action_key blocks expl i) in
+      let key = (blocks.(i), state_signature ~action_key blocks a i) in
       let b =
         match Hashtbl.find_opt keys key with
         | Some b -> b
@@ -58,9 +58,9 @@ let num_blocks partition =
   Array.iter (fun b -> Hashtbl.replace seen b ()) partition;
   Hashtbl.length seen
 
-let quotient expl partition ?(action_key = fun a -> Marshal.to_string a [])
-    () =
-  let n = Explore.num_states expl in
+let quotient (a : _ Arena.t) partition
+    ?(action_key = fun x -> Marshal.to_string x []) () =
+  let n = a.Arena.n in
   if Array.length partition <> n then
     invalid_arg "Bisim.quotient: partition array has wrong length";
   (* One representative per block. *)
@@ -72,17 +72,14 @@ let quotient expl partition ?(action_key = fun a -> Marshal.to_string a [])
     match Hashtbl.find_opt rep b with
     | None -> []
     | Some i ->
-      let sigs =
-        state_signature ~action_key partition expl i
-      in
+      let sigs = state_signature ~action_key partition a i in
       List.map
         (fun (key, entries) ->
-           { Core.Pa.action = key;
-             dist = Proba.Dist.make entries })
+           { Core.Pa.action = key; dist = Proba.Dist.make entries })
         sigs
   in
   let start =
-    match Explore.start_indices expl with
+    match Arena.start_indices a with
     | i :: _ -> partition.(i)
     | [] -> invalid_arg "Bisim.quotient: no start states"
   in

@@ -1,5 +1,5 @@
 (** Strong probabilistic bisimulation minimization (Larsen-Skou style),
-    by partition refinement on the explored MDP.
+    by partition refinement over the compiled arena.
 
     Two states are bisimilar when they carry the same label, and for
     every step of one there is an equally-labelled step of the other
@@ -13,7 +13,7 @@
     instances of the dining philosophers are invariant under rotation,
     and the quotient factors that symmetry out automatically. *)
 
-(** [refine expl ~labels ?action_key ()] computes the coarsest
+(** [refine arena ~labels ?action_key ()] computes the coarsest
     bisimulation partition refining the [labels] partition (an
     arbitrary integer labelling of states -- e.g. 1 for target states
     and 0 elsewhere).  [action_key] collapses actions before matching
@@ -22,15 +22,15 @@
     lets rotations of the ring fall into the same class.  Returns the
     block index of every state. *)
 val refine :
-  ('s, 'a) Explore.t -> labels:int array -> ?action_key:('a -> string) ->
+  ('s, 'a) Arena.t -> labels:int array -> ?action_key:('a -> string) ->
   unit -> int array
 
 val num_blocks : int array -> int
 
-(** [quotient expl partition ?action_key ()] builds the quotient
+(** [quotient arena partition ?action_key ()] builds the quotient
     automaton over block indices: each block's steps are the
     (deduplicated) class-distributions of any representative.  The
     start state is the block of the first start state. *)
 val quotient :
-  ('s, 'a) Explore.t -> int array -> ?action_key:('a -> string) -> unit ->
+  ('s, 'a) Arena.t -> int array -> ?action_key:('a -> string) -> unit ->
   (int, string) Core.Pa.t

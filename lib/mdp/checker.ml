@@ -7,13 +7,13 @@ type ('s, 'a) result = {
   pre_states : int;
 }
 
-let min_prob_over expl values pred =
-  let n = Explore.num_states expl in
+let min_prob_over a values pred =
+  let n = Arena.num_states a in
   let best = ref Q.one in
   let witness = ref None in
   let count = ref 0 in
   for i = 0 to n - 1 do
-    let s = Explore.state expl i in
+    let s = Arena.state a i in
     if Core.Pred.mem pred s then begin
       incr count;
       if !witness = None || Q.lt values.(i) !best then begin
@@ -24,11 +24,11 @@ let min_prob_over expl values pred =
   done;
   (!best, !witness, !count)
 
-let check_arrow expl ~is_tick ~granularity ~schema ~pre ~post ~time ~prob =
+let check_arrow a ~granularity ~schema ~pre ~post ~time ~prob =
   let ticks = Core.Timed.within ~granularity ~time in
-  let target = Explore.indicator expl post in
-  let values = Finite_horizon.min_reach expl ~is_tick ~target ~ticks in
-  let attained, witness, pre_states = min_prob_over expl values pre in
+  let target = Arena.indicator a post in
+  let values = Finite_horizon.min_reach a ~target ~ticks in
+  let attained, witness, pre_states = min_prob_over a values pre in
   let claim =
     if Q.geq attained prob then
       Some
@@ -39,13 +39,21 @@ let check_arrow expl ~is_tick ~granularity ~schema ~pre ~post ~time ~prob =
                  over %d reachable %s-states (%d states total, g=%d)"
                 (Core.Pred.name post) (Q.to_string time)
                 (Q.to_string attained) pre_states (Core.Pred.name pre)
-                (Explore.num_states expl) granularity)
+                (Arena.num_states a) granularity)
            ~schema ~pre ~post ~time ~prob ())
     else None
   in
   { claim; attained; witness; pre_states }
 
-let verify_inclusion expl sub sup =
-  let states = Array.to_list (Array.init (Explore.num_states expl)
-                                (Explore.state expl)) in
+let verify_inclusion a sub sup =
+  let states =
+    Array.to_list (Array.init (Arena.num_states a) (Arena.state a))
+  in
   Core.Inclusion.verify ~states sub sup
+
+(* Deprecated compat shim (see the .mli): compile a throwaway arena
+   per call. *)
+let check_arrow_explored expl ~is_tick ~granularity ~schema ~pre ~post
+    ~time ~prob =
+  check_arrow (Arena.compile ~is_tick expl) ~granularity ~schema ~pre ~post
+    ~time ~prob

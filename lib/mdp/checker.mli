@@ -19,25 +19,37 @@ type ('s, 'a) result = {
   pre_states : int;  (** number of reachable pre-states checked *)
 }
 
-(** [check_arrow expl ~is_tick ~granularity ~schema ~pre ~post ~time
-    ~prob] verifies the statement [pre -time->_prob post] by exact
-    backward induction over [Core.Timed.within ~granularity ~time]
-    ticks.  [granularity] is the number of ticks per paper time unit.
-    Raises [Invalid_argument] if [time * granularity] is not integral. *)
+(** [check_arrow arena ~granularity ~schema ~pre ~post ~time ~prob]
+    verifies the statement [pre -time->_prob post] by exact backward
+    induction over [Core.Timed.within ~granularity ~time] ticks.
+    [granularity] is the number of ticks per paper time unit; tick
+    structure comes from the arena's precomputed mask.  Raises
+    [Invalid_argument] if [time * granularity] is not integral. *)
 val check_arrow :
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> granularity:int ->
+  ('s, 'a) Arena.t -> granularity:int ->
   schema:Core.Schema.t -> pre:'s Core.Pred.t -> post:'s Core.Pred.t ->
   time:Proba.Rational.t -> prob:Proba.Rational.t -> ('s, 'a) result
 
-(** [min_prob_over expl values pred] folds a value vector over the
+(** [min_prob_over arena values pred] folds a value vector over the
     states satisfying [pred]: the minimum and a witness. *)
 val min_prob_over :
-  ('s, 'a) Explore.t -> Proba.Rational.t array -> 's Core.Pred.t ->
+  ('s, 'a) Arena.t -> Proba.Rational.t array -> 's Core.Pred.t ->
   Proba.Rational.t * 's option * int
 
-(** [verify_inclusion expl sub sup] checks [sub ⊆ sup] over the
+(** [verify_inclusion arena sub sup] checks [sub ⊆ sup] over the
     reachable states, yielding a certificate for
     {!Core.Claim.strengthen_pre} / {!Core.Claim.weaken_post}. *)
 val verify_inclusion :
-  ('s, 'a) Explore.t -> 's Core.Pred.t -> 's Core.Pred.t ->
+  ('s, 'a) Arena.t -> 's Core.Pred.t -> 's Core.Pred.t ->
   's Core.Inclusion.t option
+
+(** {1 Deprecated fragment entry point}
+
+    Compat shim for the pre-arena API; compiles a throwaway arena per
+    call.  Compile once with {!Arena.compile} and reuse instead. *)
+
+val check_arrow_explored :
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> granularity:int ->
+  schema:Core.Schema.t -> pre:'s Core.Pred.t -> post:'s Core.Pred.t ->
+  time:Proba.Rational.t -> prob:Proba.Rational.t -> ('s, 'a) result
+[@@deprecated "compile an Arena.t once and use check_arrow"]

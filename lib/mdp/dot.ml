@@ -10,25 +10,26 @@ let escape s =
     s;
   Buffer.contents buf
 
-let write expl ?(name = "mdp") ?(max_states = 500)
+let write (a : _ Arena.t) ?(name = "mdp") ?(max_states = 500)
     ?(highlight = fun _ -> false) buf =
-  let n = Explore.num_states expl in
+  let n = a.Arena.n in
   if n > max_states then
     invalid_arg
       (Printf.sprintf "Dot: %d states exceed the %d-state limit" n
          max_states);
-  let pa = Explore.automaton expl in
+  let pa = Arena.automaton a in
   let state_label i =
-    escape (Format.asprintf "%a" (Core.Pa.pp_state pa) (Explore.state expl i))
+    escape (Format.asprintf "%a" (Core.Pa.pp_state pa) (Arena.state a i))
   in
-  let action_label a =
-    escape (Format.asprintf "%a" (Core.Pa.pp_action pa) a)
+  let action_label k =
+    escape
+      (Format.asprintf "%a" (Core.Pa.pp_action pa) a.Arena.actions.(k))
   in
   Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
   Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=10];\n";
   for i = 0 to n - 1 do
     let extra =
-      if highlight (Explore.state expl i) then
+      if highlight (Arena.state a i) then
         ", style=filled, fillcolor=lightgray"
       else ""
     in
@@ -37,37 +38,37 @@ let write expl ?(name = "mdp") ?(max_states = 500)
          (state_label i) extra)
   done;
   for i = 0 to n - 1 do
-    Array.iteri
-      (fun k step ->
-         match step.Explore.outcomes with
-         | [| (j, _) |] ->
-           (* Dirac steps go straight to the target. *)
-           Buffer.add_string buf
-             (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" i j
-                (action_label step.Explore.action))
-         | outcomes ->
-           let choice = Printf.sprintf "c%d_%d" i k in
-           Buffer.add_string buf
-             (Printf.sprintf
-                "  %s [label=\"%s\", shape=point];\n  s%d -> %s \
-                 [arrowhead=none];\n"
-                choice
-                (action_label step.Explore.action)
-                i choice);
-           Array.iter
-             (fun (j, w) ->
-                Buffer.add_string buf
-                  (Printf.sprintf "  %s -> s%d [label=\"%s\"];\n" choice j
-                     (escape (Proba.Rational.to_string w))))
-             outcomes)
-      (Explore.steps expl i)
+    for k = a.Arena.step_off.(i) to a.Arena.step_off.(i + 1) - 1 do
+      let lo = a.Arena.out_off.(k) and hi = a.Arena.out_off.(k + 1) in
+      if hi - lo = 1 then
+        (* Dirac steps go straight to the target. *)
+        Buffer.add_string buf
+          (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" i
+             a.Arena.tgt.(lo) (action_label k))
+      else begin
+        (* The choice point keeps the historical [c<state>_<local step>]
+           id so emitted graphs are textually unchanged. *)
+        let choice = Printf.sprintf "c%d_%d" i (k - a.Arena.step_off.(i)) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %s [label=\"%s\", shape=point];\n  s%d -> %s \
+              [arrowhead=none];\n"
+             choice (action_label k) i choice);
+        for o = lo to hi - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> s%d [label=\"%s\"];\n" choice
+               a.Arena.tgt.(o)
+               (escape (Proba.Rational.to_string a.Arena.prob_q.(o))))
+        done
+      end
+    done
   done;
   Buffer.add_string buf "}\n"
 
-let to_string expl ?name ?max_states ?highlight () =
+let to_string a ?name ?max_states ?highlight () =
   let buf = Buffer.create 4096 in
-  write expl ?name ?max_states ?highlight buf;
+  write a ?name ?max_states ?highlight buf;
   Buffer.contents buf
 
-let to_channel expl ?name ?max_states ?highlight out =
-  output_string out (to_string expl ?name ?max_states ?highlight ())
+let to_channel a ?name ?max_states ?highlight out =
+  output_string out (to_string a ?name ?max_states ?highlight ())

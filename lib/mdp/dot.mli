@@ -1,20 +1,20 @@
-(** Graphviz (DOT) export of explored automata.
+(** Graphviz (DOT) export of compiled arenas.
 
     Each state becomes a node; each nondeterministic step becomes a
     small choice point labelled by its action, fanning out to its
     probabilistic outcomes with their weights.  Intended for inspecting
     small instances and for documentation figures. *)
 
-(** [to_channel expl ?name ?max_states ?highlight out] writes the
-    explored MDP in DOT syntax.  States satisfying [highlight] are
+(** [to_channel arena ?name ?max_states ?highlight out] writes the
+    compiled MDP in DOT syntax.  States satisfying [highlight] are
     drawn filled.  If the automaton has more than [max_states] states
     (default 500), raises [Invalid_argument] -- large graphs are not
     viewable anyway. *)
 val to_channel :
-  ('s, 'a) Explore.t -> ?name:string -> ?max_states:int ->
+  ('s, 'a) Arena.t -> ?name:string -> ?max_states:int ->
   ?highlight:('s -> bool) -> out_channel -> unit
 
-(** [to_string expl ...] renders to a string. *)
+(** [to_string arena ...] renders to a string. *)
 val to_string :
-  ('s, 'a) Explore.t -> ?name:string -> ?max_states:int ->
+  ('s, 'a) Arena.t -> ?name:string -> ?max_states:int ->
   ?highlight:('s -> bool) -> unit -> string

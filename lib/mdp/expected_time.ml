@@ -1,29 +1,39 @@
-let expectation v outcomes =
-  Array.fold_left
-    (fun acc (j, w) -> acc +. (Proba.Rational.to_float w *. v.(j)))
-    0.0 outcomes
+(* Value iteration over the arena's float plane.  The historical code
+   converted each rational weight with [Q.to_float] on every access in
+   the inner loop; the arena precomputes exactly that conversion into
+   [prob_f], so the sums below see the same doubles in the same order
+   and the fixpoints are bit-identical -- just without the per-access
+   conversion cost. *)
 
-let state_value expl ~is_tick ~finite ~target ~best v i =
+let expectation (a : _ Arena.t) v k =
+  let acc = ref 0.0 in
+  for o = a.Arena.out_off.(k) to a.Arena.out_off.(k + 1) - 1 do
+    acc := !acc +. (a.Arena.prob_f.(o) *. v.(a.Arena.tgt.(o)))
+  done;
+  !acc
+
+let state_value (a : _ Arena.t) ~finite ~target ~best v i =
   if target.(i) then 0.0
   else if not finite.(i) then infinity
   else begin
-    let steps = Explore.steps expl i in
-    if Array.length steps = 0 then infinity
-    else
-      Array.fold_left
-        (fun acc step ->
-           let cost = if is_tick step.Explore.action then 1.0 else 0.0 in
-           let e = cost +. expectation v step.Explore.outcomes in
-           match acc with
-           | None -> Some e
-           | Some cur -> Some (best cur e))
-        None steps
-      |> Option.get
+    let lo = a.Arena.step_off.(i) and hi = a.Arena.step_off.(i + 1) in
+    if hi = lo then infinity
+    else begin
+      let acc = ref None in
+      for k = lo to hi - 1 do
+        let cost = if a.Arena.tick.(k) then 1.0 else 0.0 in
+        let e = cost +. expectation a v k in
+        match !acc with
+        | None -> acc := Some e
+        | Some cur -> acc := Some (best cur e)
+      done;
+      Option.get !acc
+    end
   end
 
-let value_iterate_seq expl ~is_tick ~finite ~target ~best ~epsilon
+let value_iterate_seq (a : _ Arena.t) ~finite ~target ~best ~epsilon
     ~max_sweeps =
-  let n = Explore.num_states expl in
+  let n = a.Arena.n in
   let v =
     Array.init n (fun i ->
         if target.(i) then 0.0
@@ -34,9 +44,8 @@ let value_iterate_seq expl ~is_tick ~finite ~target ~best ~epsilon
     let delta = ref 0.0 in
     for i = 0 to n - 1 do
       if (not target.(i)) && finite.(i) then begin
-        let steps = Explore.steps expl i in
-        if Array.length steps > 0 then begin
-          let fresh = state_value expl ~is_tick ~finite ~target ~best v i in
+        if a.Arena.step_off.(i + 1) > a.Arena.step_off.(i) then begin
+          let fresh = state_value a ~finite ~target ~best v i in
           let d = Float.abs (fresh -. v.(i)) in
           if d > !delta then delta := d;
           v.(i) <- fresh
@@ -58,9 +67,9 @@ let value_iterate_seq expl ~is_tick ~finite ~target ~best ~epsilon
    reads only the previous iterate and the per-sweep delta is combined
    with [Float.max] (associative and order-independent), so the result
    is bit-identical for any pool size. *)
-let value_iterate_par pool expl ~is_tick ~finite ~target ~best ~epsilon
+let value_iterate_par pool (a : _ Arena.t) ~finite ~target ~best ~epsilon
     ~max_sweeps =
-  let n = Explore.num_states expl in
+  let n = a.Arena.n in
   let init i =
     if target.(i) then 0.0 else if finite.(i) then 0.0 else infinity
   in
@@ -71,9 +80,9 @@ let value_iterate_par pool expl ~is_tick ~finite ~target ~best ~epsilon
     Parallel.Pool.map_reduce pool ~n ~init:0.0 ~combine:Float.max
       (fun i ->
          if (not target.(i)) && finite.(i)
-            && Array.length (Explore.steps expl i) > 0
+            && a.Arena.step_off.(i + 1) > a.Arena.step_off.(i)
          then begin
-           let fresh = state_value expl ~is_tick ~finite ~target ~best cur i in
+           let fresh = state_value a ~finite ~target ~best cur i in
            nxt.(i) <- fresh;
            Float.abs (fresh -. cur.(i))
          end
@@ -96,60 +105,63 @@ let value_iterate_par pool expl ~is_tick ~finite ~target ~best ~epsilon
   go 0;
   !cur
 
-let value_iterate ?pool expl ~is_tick ~finite ~target ~best ~epsilon
-    ~max_sweeps =
+let value_iterate ?pool a ~finite ~target ~best ~epsilon ~max_sweeps =
   let pool =
     match pool with Some _ -> pool | None -> Parallel.Pool.get_default ()
   in
   match pool with
   | Some p ->
-    value_iterate_par p expl ~is_tick ~finite ~target ~best ~epsilon
-      ~max_sweeps
-  | None ->
-    value_iterate_seq expl ~is_tick ~finite ~target ~best ~epsilon
-      ~max_sweeps
+    value_iterate_par p a ~finite ~target ~best ~epsilon ~max_sweeps
+  | None -> value_iterate_seq a ~finite ~target ~best ~epsilon ~max_sweeps
 
-let max_expected_ticks ?pool expl ~is_tick ~target ?(epsilon = 1e-12)
+let max_expected_ticks ?pool a ~target ?(epsilon = 1e-12)
     ?(max_sweeps = 1_000_000) () =
-  let finite = Qualitative.always_reaches expl ~target in
-  value_iterate ?pool expl ~is_tick ~finite ~target ~best:Float.max ~epsilon
-    ~max_sweeps
+  let finite = Qualitative.always_reaches a ~target in
+  value_iterate ?pool a ~finite ~target ~best:Float.max ~epsilon ~max_sweeps
 
-let min_expected_ticks ?pool expl ~is_tick ~target ?(epsilon = 1e-12)
+let min_expected_ticks ?pool a ~target ?(epsilon = 1e-12)
     ?(max_sweeps = 1_000_000) () =
-  let finite = Qualitative.some_reaches_certainly expl ~target in
-  value_iterate ?pool expl ~is_tick ~finite ~target ~best:Float.min ~epsilon
-    ~max_sweeps
+  let finite = Qualitative.some_reaches_certainly a ~target in
+  value_iterate ?pool a ~finite ~target ~best:Float.min ~epsilon ~max_sweeps
 
-let max_expected_ticks_with_policy ?pool expl ~is_tick ~target
+let max_expected_ticks_with_policy ?pool (a : _ Arena.t) ~target
     ?(epsilon = 1e-12) ?(max_sweeps = 1_000_000) () =
-  let finite = Qualitative.always_reaches expl ~target in
+  let finite = Qualitative.always_reaches a ~target in
   let v =
-    value_iterate ?pool expl ~is_tick ~finite ~target ~best:Float.max
-      ~epsilon ~max_sweeps
+    value_iterate ?pool a ~finite ~target ~best:Float.max ~epsilon
+      ~max_sweeps
   in
-  let n = Explore.num_states expl in
+  let n = a.Arena.n in
   let policy =
     Array.init n (fun i ->
         if target.(i) || not finite.(i) then -1
         else begin
-          let steps = Explore.steps expl i in
-          if Array.length steps = 0 then -1
+          let lo = a.Arena.step_off.(i) and hi = a.Arena.step_off.(i + 1) in
+          if hi = lo then -1
           else begin
             let best_k = ref 0 and best_v = ref neg_infinity in
-            Array.iteri
-              (fun k step ->
-                 let cost =
-                   if is_tick step.Explore.action then 1.0 else 0.0
-                 in
-                 let e = cost +. expectation v step.Explore.outcomes in
-                 if e > !best_v then begin
-                   best_v := e;
-                   best_k := k
-                 end)
-              steps;
+            for k = lo to hi - 1 do
+              let cost = if a.Arena.tick.(k) then 1.0 else 0.0 in
+              let e = cost +. expectation a v k in
+              if e > !best_v then begin
+                best_v := e;
+                best_k := k - lo
+              end
+            done;
             !best_k
           end
         end)
   in
   (v, policy)
+
+(* Deprecated compat shims (see the .mli): compile a throwaway arena
+   per call. *)
+let max_expected_ticks_explored ?pool expl ~is_tick ~target ?epsilon
+    ?max_sweeps () =
+  max_expected_ticks ?pool (Arena.compile ~is_tick expl) ~target ?epsilon
+    ?max_sweeps ()
+
+let min_expected_ticks_explored ?pool expl ~is_tick ~target ?epsilon
+    ?max_sweeps () =
+  min_expected_ticks ?pool (Arena.compile ~is_tick expl) ~target ?epsilon
+    ?max_sweeps ()

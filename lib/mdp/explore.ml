@@ -18,12 +18,19 @@ type ('s, 'a) partial = {
   stopped : string option;
 }
 
+(* Process-wide count of BFS explorations, surfaced through
+   [Models.stats] so the CLI can assert that memoization collapses
+   repeated model uses into one exploration. *)
+let explorations_counter = ref 0
+let explorations () = !explorations_counter
+
 (* Shared BFS.  Interning order is FIFO visitation order, so states are
    expanded in index order and an incomplete run's frontier is exactly
    the index suffix [expanded ..].  [stop] is consulted before each
    expansion; [hard_max] reproduces the legacy contract of {!run}
    (raise the moment a state beyond the bound would be interned). *)
 let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
+  incr explorations_counter;
   let table =
     Funtbl.create ~equal:(Core.Pa.equal_state m) ~hash:(Core.Pa.hash_state m)
       1024
@@ -32,18 +39,17 @@ let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
   let count = ref 0 in
   let queue = Queue.create () in
   let intern s =
-    match Funtbl.find table s with
-    | Some i -> i
-    | None ->
-      (match hard_max with
-       | Some bound when !count >= bound -> raise (Too_many_states bound)
-       | Some _ | None -> ());
-      let i = !count in
-      incr count;
-      Funtbl.add table s i;
-      states := s :: !states;
-      Queue.add s queue;
-      i
+    (* [find_or_add] interns with a single hash-and-probe; a raised
+       [Too_many_states] leaves the table untouched. *)
+    Funtbl.find_or_add table s (fun () ->
+        (match hard_max with
+         | Some bound when !count >= bound -> raise (Too_many_states bound)
+         | Some _ | None -> ());
+        let i = !count in
+        incr count;
+        states := s :: !states;
+        Queue.add s queue;
+        i)
   in
   let start_indices = List.map intern (Core.Pa.start m) in
   let steps_acc = ref [] in

@@ -87,3 +87,9 @@ val indicator : ('s, 'a) t -> 's Core.Pred.t -> bool array
 (** [check_invariant expl pred] returns the first violating state, if
     any.  Used for exhaustive invariant checking (Lemma 6.1). *)
 val check_invariant : ('s, 'a) t -> ('s -> bool) -> 's option
+
+(** Process-wide count of explorations performed ({!run} and
+    {!run_budgeted} both count).  Read by [Models.stats] so surfaces
+    can assert that the registry cache collapses repeated model uses
+    into a single exploration. *)
+val explorations : unit -> int

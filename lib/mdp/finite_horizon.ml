@@ -5,13 +5,15 @@ exception No_convergence of string
 (* The backward induction is shared between exact rationals (used for
    certified claims) and floats (used for fast exploration at sizes the
    exact engine cannot reach): the layer algorithm is a functor over
-   the value semiring. *)
+   the value semiring.  Each instantiation reads one of the arena's
+   probability planes -- the branch order is the arena's, which is the
+   exploration order, so results are bit-identical to the historical
+   per-engine conversion path. *)
 module type NUM = sig
   type t
 
   val zero : t
   val one : t
-  val of_rational : Q.t -> t
   val add : t -> t -> t
   val scale : t -> t -> t  (* weight * value *)
   val equal : t -> t -> bool
@@ -24,7 +26,6 @@ module Num_rational : NUM with type t = Q.t = struct
 
   let zero = Q.zero
   let one = Q.one
-  let of_rational q = q
   let add = Q.add
   let scale = Q.mul
   let equal = Q.equal
@@ -37,7 +38,6 @@ module Num_dyadic : NUM with type t = Proba.Dyadic.t = struct
 
   let zero = Proba.Dyadic.zero
   let one = Proba.Dyadic.one
-  let of_rational = Proba.Dyadic.of_rational
   let add = Proba.Dyadic.add
   let scale = Proba.Dyadic.mul
   let equal = Proba.Dyadic.equal
@@ -50,7 +50,6 @@ module Num_float : NUM with type t = float = struct
 
   let zero = 0.0
   let one = 1.0
-  let of_rational = Q.to_float
   let add = ( +. )
   let scale = ( *. )
   let equal a b = Float.equal a b
@@ -59,12 +58,29 @@ module Num_float : NUM with type t = float = struct
 end
 
 module Engine (N : NUM) = struct
+  (* The compact form is now just the arena's CSR arrays plus the
+     caller-selected probability plane: building it is O(1), no
+     per-call conversion or copying. *)
   type compact = {
     n : int;
     target : bool array;
-    (* per state: per step: (is_tick, outcomes with converted weights) *)
-    steps : (bool * (int * N.t) array) array array;
+    step_off : int array;
+    out_off : int array;
+    tgt : int array;
+    tick : bool array;
+    plane : N.t array;
   }
+
+  let compact (a : _ Arena.t) ~plane ~target =
+    if Array.length target <> a.Arena.n then
+      invalid_arg "Finite_horizon: target array has wrong length";
+    { n = a.Arena.n;
+      target;
+      step_off = a.Arena.step_off;
+      out_off = a.Arena.out_off;
+      tgt = a.Arena.tgt;
+      tick = a.Arena.tick;
+      plane }
 
   (* Per-index parallel fill, or a plain loop when no pool is in
      effect.  Writes go to distinct slots, so results never depend on
@@ -77,26 +93,15 @@ module Engine (N : NUM) = struct
         f i
       done
 
-  let compact ?pool expl ~is_tick ~target =
-    let n = Explore.num_states expl in
-    if Array.length target <> n then
-      invalid_arg "Finite_horizon: target array has wrong length";
-    let steps = Array.make n [||] in
-    pfor pool ~n (fun i ->
-        steps.(i) <-
-          Array.map
-            (fun s ->
-               ( is_tick s.Explore.action,
-                 Array.map
-                   (fun (j, w) -> (j, N.of_rational w))
-                   s.Explore.outcomes ))
-            (Explore.steps expl i));
-    { n; target; steps }
-
-  let expectation v outcomes =
-    Array.fold_left
-      (fun acc (j, w) -> N.add acc (N.scale w v.(j)))
-      N.zero outcomes
+  (* Expectation of step [k] under value vector [v]: a left fold over
+     the step's branch range, the same association order as the
+     historical per-step outcome arrays. *)
+  let expectation c v k =
+    let acc = ref N.zero in
+    for o = c.out_off.(k) to c.out_off.(k + 1) - 1 do
+      acc := N.add !acc (N.scale c.plane.(o) v.(c.tgt.(o)))
+    done;
+    !acc
 
   let no_convergence max_sweeps =
     raise
@@ -104,6 +109,13 @@ module Engine (N : NUM) = struct
          (Printf.sprintf
             "tick layer did not close after %d sweeps: the automaton \
              has probabilistic zero-time cycles" max_sweeps))
+
+  (* Precompute the expectations of tick steps against [v_next]; slots
+     for non-tick steps stay [N.zero] and are never read. *)
+  let fill_tick_exp c tick_exp v_next lo hi =
+    for k = lo to hi - 1 do
+      if c.tick.(k) then tick_exp.(k) <- expectation c v_next k
+    done
 
   (* One tick layer: given the value vector [v_next] for one tick less
      of budget, compute the fixpoint of
@@ -113,31 +125,25 @@ module Engine (N : NUM) = struct
                                 non-tick s -> E_v
      iterating Bellman sweeps in place from [init] until unchanged. *)
   let layer_seq c ~best ~init v_next =
-    let tick_exp =
-      Array.map
-        (Array.map (fun (tick, outcomes) ->
-             if tick then Some (expectation v_next outcomes) else None))
-        c.steps
-    in
+    let num_steps = Array.length c.tick in
+    let tick_exp = Array.make num_steps N.zero in
+    fill_tick_exp c tick_exp v_next 0 num_steps;
     let v = Array.init c.n init in
     let sweep () =
       let changed = ref false in
       for s = 0 to c.n - 1 do
         if not c.target.(s) then begin
-          let stps = c.steps.(s) in
-          if Array.length stps > 0 then begin
+          let lo = c.step_off.(s) and hi = c.step_off.(s + 1) in
+          if hi > lo then begin
             let value = ref None in
-            Array.iteri
-              (fun k (_tick, outcomes) ->
-                 let candidate =
-                   match tick_exp.(s).(k) with
-                   | Some e -> e
-                   | None -> expectation v outcomes
-                 in
-                 match !value with
-                 | None -> value := Some candidate
-                 | Some cur -> value := Some (best cur candidate))
-              stps;
+            for k = lo to hi - 1 do
+              let candidate =
+                if c.tick.(k) then tick_exp.(k) else expectation c v k
+              in
+              match !value with
+              | None -> value := Some candidate
+              | Some cur -> value := Some (best cur candidate)
+            done;
             match !value with
             | None -> ()
             | Some fresh ->
@@ -168,36 +174,30 @@ module Engine (N : NUM) = struct
      state on a zero-time chain, which stays within the same
      [n + 2] cap. *)
   let layer_par pool c ~best ~init v_next =
-    let tick_exp = Array.make c.n [||] in
+    let tick_exp = Array.make (Array.length c.tick) N.zero in
     Parallel.Pool.parallel_for pool ~n:c.n (fun s ->
-        tick_exp.(s) <-
-          Array.map
-            (fun (tick, outcomes) ->
-               if tick then Some (expectation v_next outcomes) else None)
-            c.steps.(s));
+        fill_tick_exp c tick_exp v_next c.step_off.(s) c.step_off.(s + 1));
     let cur = ref (Array.init c.n init) in
     let nxt = ref (Array.make c.n N.zero) in
     let sweep () =
       let cur = !cur and nxt = !nxt in
       Parallel.Pool.map_reduce pool ~n:c.n ~init:false ~combine:( || )
         (fun s ->
-            if c.target.(s) || Array.length c.steps.(s) = 0 then begin
+            let lo = c.step_off.(s) and hi = c.step_off.(s + 1) in
+            if c.target.(s) || hi = lo then begin
               nxt.(s) <- cur.(s);
               false
             end
             else begin
               let value = ref None in
-              Array.iteri
-                (fun k (_tick, outcomes) ->
-                   let candidate =
-                     match tick_exp.(s).(k) with
-                     | Some e -> e
-                     | None -> expectation cur outcomes
-                   in
-                   match !value with
-                   | None -> value := Some candidate
-                   | Some acc -> value := Some (best acc candidate))
-                c.steps.(s);
+              for k = lo to hi - 1 do
+                let candidate =
+                  if c.tick.(k) then tick_exp.(k) else expectation c cur k
+                in
+                match !value with
+                | None -> value := Some candidate
+                | Some acc -> value := Some (best acc candidate)
+              done;
               let fresh = Option.get !value in
               nxt.(s) <- fresh;
               not (N.equal fresh cur.(s))
@@ -223,7 +223,7 @@ module Engine (N : NUM) = struct
 
   let min_init c s =
     if c.target.(s) then N.one
-    else if Array.length c.steps.(s) = 0 then N.zero
+    else if c.step_off.(s + 1) = c.step_off.(s) then N.zero
     else N.one
 
   let max_init c s = if c.target.(s) then N.one else N.zero
@@ -234,48 +234,50 @@ module Engine (N : NUM) = struct
     | Some _ as p -> p
     | None -> Parallel.Pool.get_default ()
 
-  let run ?pool expl ~is_tick ~target ~ticks ~best ~init =
+  let run ?pool arena ~plane ~target ~ticks ~best ~init =
     if ticks < 0 then invalid_arg "Finite_horizon: negative tick horizon";
     let pool = resolve_pool pool in
-    let c = compact ?pool expl ~is_tick ~target in
+    let c = compact arena ~plane ~target in
     let v = ref (Array.make c.n N.zero) in
     for _t = 0 to ticks do
       v := layer pool c ~best ~init:(init c) !v
     done;
     !v
 
-  let min_reach ?pool expl ~is_tick ~target ~ticks =
-    run ?pool expl ~is_tick ~target ~ticks ~best:N.min ~init:min_init
+  let min_reach ?pool arena ~plane ~target ~ticks =
+    run ?pool arena ~plane ~target ~ticks ~best:N.min ~init:min_init
 
-  let max_reach ?pool expl ~is_tick ~target ~ticks =
-    run ?pool expl ~is_tick ~target ~ticks ~best:N.max ~init:max_init
+  let max_reach ?pool arena ~plane ~target ~ticks =
+    run ?pool arena ~plane ~target ~ticks ~best:N.max ~init:max_init
 
   let argbest c ~best v_next v =
     Array.init c.n (fun s ->
-        if c.target.(s) || Array.length c.steps.(s) = 0 then -1
+        let lo = c.step_off.(s) and hi = c.step_off.(s + 1) in
+        if c.target.(s) || hi = lo then -1
         else begin
           let best_k = ref 0 in
           let best_v = ref None in
-          Array.iteri
-            (fun k (tick, outcomes) ->
-               let candidate =
-                 expectation (if tick then v_next else v) outcomes
-               in
-               match !best_v with
-               | None -> best_v := Some candidate; best_k := k
-               | Some cur ->
-                 if not (N.equal (best cur candidate) cur) then begin
-                   best_v := Some candidate;
-                   best_k := k
-                 end)
-            c.steps.(s);
+          for k = lo to hi - 1 do
+            let candidate =
+              expectation c (if c.tick.(k) then v_next else v) k
+            in
+            match !best_v with
+            | None ->
+              best_v := Some candidate;
+              best_k := k - lo
+            | Some cur ->
+              if not (N.equal (best cur candidate) cur) then begin
+                best_v := Some candidate;
+                best_k := k - lo
+              end
+          done;
           !best_k
         end)
 
-  let min_reach_with_policy ?pool expl ~is_tick ~target ~ticks =
+  let min_reach_with_policy ?pool arena ~plane ~target ~ticks =
     if ticks < 0 then invalid_arg "Finite_horizon: negative tick horizon";
     let pool = resolve_pool pool in
-    let c = compact ?pool expl ~is_tick ~target in
+    let c = compact arena ~plane ~target in
     let policy = Array.make (ticks + 1) [||] in
     let v = ref (Array.make c.n N.zero) in
     for t = 0 to ticks do
@@ -286,15 +288,14 @@ module Engine (N : NUM) = struct
     (!v, policy)
 
   (* Step-bounded: every step consumes one unit of horizon, so plain
-     backward induction suffices.  Already double-buffered, so the
-     parallel fill is bit-identical to the sequential one. *)
-  let run_steps ?pool expl ~target ~steps ~best =
+     backward induction suffices; the tick mask is ignored.  Already
+     double-buffered, so the parallel fill is bit-identical to the
+     sequential one. *)
+  let run_steps ?pool arena ~plane ~target ~steps ~best =
     if steps < 0 then invalid_arg "Finite_horizon: negative step horizon";
     let pool = resolve_pool pool in
-    let n = Explore.num_states expl in
-    if Array.length target <> n then
-      invalid_arg "Finite_horizon: target array has wrong length";
-    let c = compact ?pool expl ~is_tick:(fun _ -> false) ~target in
+    let c = compact arena ~plane ~target in
+    let n = c.n in
     let v =
       ref (Array.init n (fun s -> if target.(s) then N.one else N.zero))
     in
@@ -305,27 +306,28 @@ module Engine (N : NUM) = struct
           fresh.(s) <-
             (if target.(s) then N.one
              else begin
-               let stps = c.steps.(s) in
-               if Array.length stps = 0 then N.zero
-               else
-                 Array.fold_left
-                   (fun acc (_, outcomes) ->
-                      let e = expectation prev outcomes in
-                      match acc with
-                      | None -> Some e
-                      | Some cur -> Some (best cur e))
-                   None stps
-                 |> Option.get
+               let lo = c.step_off.(s) and hi = c.step_off.(s + 1) in
+               if hi = lo then N.zero
+               else begin
+                 let acc = ref None in
+                 for k = lo to hi - 1 do
+                   let e = expectation c prev k in
+                   match !acc with
+                   | None -> acc := Some e
+                   | Some cur -> acc := Some (best cur e)
+                 done;
+                 Option.get !acc
+               end
              end));
       v := fresh
     done;
     !v
 
-  let min_reach_steps ?pool expl ~target ~steps =
-    run_steps ?pool expl ~target ~steps ~best:N.min
+  let min_reach_steps ?pool arena ~plane ~target ~steps =
+    run_steps ?pool arena ~plane ~target ~steps ~best:N.min
 
-  let max_reach_steps ?pool expl ~target ~steps =
-    run_steps ?pool expl ~target ~steps ~best:N.max
+  let max_reach_steps ?pool arena ~plane ~target ~steps =
+    run_steps ?pool arena ~plane ~target ~steps ~best:N.max
 end
 
 module Exact = Engine (Num_rational)
@@ -335,39 +337,67 @@ module Approx = Engine (Num_float)
 (* All shipped case studies only flip fair coins, so their transition
    probabilities are dyadic and the shift-based arithmetic applies; the
    rational engine remains the fallback for automata with arbitrary
-   probabilities.  Both are exact, so results are interchangeable. *)
-let exact_fast engine_dyadic engine_rational ?pool expl ~is_tick ~target
-    ~ticks =
-  match
-    engine_dyadic ?pool expl ~is_tick ~target ~ticks
-  with
-  | values -> Array.map Proba.Dyadic.to_rational values
+   probabilities.  Both are exact, so results are interchangeable.
+   [Arena.dyadic_plane] raises before caching when some probability is
+   not dyadic, so the fallback triggers exactly as it did when the
+   conversion lived inside the engine. *)
+let exact_fast engine_dyadic engine_rational ?pool a ~target ~ticks =
+  match Arena.dyadic_plane a with
+  | plane ->
+    Array.map Proba.Dyadic.to_rational
+      (engine_dyadic ?pool a ~plane ~target ~ticks)
   | exception Proba.Dyadic.Not_dyadic _ ->
-    engine_rational ?pool expl ~is_tick ~target ~ticks
+    engine_rational ?pool a ~plane:a.Arena.prob_q ~target ~ticks
 
-let min_reach ?pool expl ~is_tick ~target ~ticks =
-  exact_fast Exact_dyadic.min_reach Exact.min_reach ?pool expl ~is_tick
-    ~target ~ticks
+let min_reach ?pool a ~target ~ticks =
+  exact_fast Exact_dyadic.min_reach Exact.min_reach ?pool a ~target ~ticks
 
-let max_reach ?pool expl ~is_tick ~target ~ticks =
-  exact_fast Exact_dyadic.max_reach Exact.max_reach ?pool expl ~is_tick
-    ~target ~ticks
-let min_reach_with_policy = Exact.min_reach_with_policy
+let max_reach ?pool a ~target ~ticks =
+  exact_fast Exact_dyadic.max_reach Exact.max_reach ?pool a ~target ~ticks
 
-let min_reach_steps ?pool expl ~target ~steps =
-  match Exact_dyadic.min_reach_steps ?pool expl ~target ~steps with
-  | values -> Array.map Proba.Dyadic.to_rational values
+let min_reach_with_policy ?pool (a : _ Arena.t) ~target ~ticks =
+  Exact.min_reach_with_policy ?pool a ~plane:a.Arena.prob_q ~target ~ticks
+
+let min_reach_steps ?pool (a : _ Arena.t) ~target ~steps =
+  match Arena.dyadic_plane a with
+  | plane ->
+    Array.map Proba.Dyadic.to_rational
+      (Exact_dyadic.min_reach_steps ?pool a ~plane ~target ~steps)
   | exception Proba.Dyadic.Not_dyadic _ ->
-    Exact.min_reach_steps ?pool expl ~target ~steps
+    Exact.min_reach_steps ?pool a ~plane:a.Arena.prob_q ~target ~steps
 
-let max_reach_steps ?pool expl ~target ~steps =
-  match Exact_dyadic.max_reach_steps ?pool expl ~target ~steps with
-  | values -> Array.map Proba.Dyadic.to_rational values
+let max_reach_steps ?pool (a : _ Arena.t) ~target ~steps =
+  match Arena.dyadic_plane a with
+  | plane ->
+    Array.map Proba.Dyadic.to_rational
+      (Exact_dyadic.max_reach_steps ?pool a ~plane ~target ~steps)
   | exception Proba.Dyadic.Not_dyadic _ ->
-    Exact.max_reach_steps ?pool expl ~target ~steps
+    Exact.max_reach_steps ?pool a ~plane:a.Arena.prob_q ~target ~steps
 
-(** The rational-only engine, exposed for cross-checking. *)
-let min_reach_rational = Exact.min_reach
-let max_reach_rational = Exact.max_reach
-let min_reach_float = Approx.min_reach
-let max_reach_float = Approx.max_reach
+(* The rational-only engine, exposed for cross-checking. *)
+let min_reach_rational ?pool (a : _ Arena.t) ~target ~ticks =
+  Exact.min_reach ?pool a ~plane:a.Arena.prob_q ~target ~ticks
+
+let max_reach_rational ?pool (a : _ Arena.t) ~target ~ticks =
+  Exact.max_reach ?pool a ~plane:a.Arena.prob_q ~target ~ticks
+
+let min_reach_float ?pool (a : _ Arena.t) ~target ~ticks =
+  Approx.min_reach ?pool a ~plane:a.Arena.prob_f ~target ~ticks
+
+let max_reach_float ?pool (a : _ Arena.t) ~target ~ticks =
+  Approx.max_reach ?pool a ~plane:a.Arena.prob_f ~target ~ticks
+
+(* Deprecated compat shims: compile a throwaway arena from the fragment
+   and the per-call tick closure.  One PR only; callers should compile
+   once and reuse. *)
+let min_reach_explored ?pool expl ~is_tick ~target ~ticks =
+  min_reach ?pool (Arena.compile ~is_tick expl) ~target ~ticks
+
+let max_reach_explored ?pool expl ~is_tick ~target ~ticks =
+  max_reach ?pool (Arena.compile ~is_tick expl) ~target ~ticks
+
+let min_reach_float_explored ?pool expl ~is_tick ~target ~ticks =
+  min_reach_float ?pool (Arena.compile ~is_tick expl) ~target ~ticks
+
+let max_reach_float_explored ?pool expl ~is_tick ~target ~ticks =
+  max_reach_float ?pool (Arena.compile ~is_tick expl) ~target ~ticks

@@ -5,16 +5,15 @@
     reaching a target set within a given number of time units -- the
     quantity bounded by a statement [U -t->_p U'] (Definition 3.1).
 
-    Time is carried by distinguished {e tick} actions (see
-    {!Core.Timed}): the horizon counts ticks, and non-tick steps take
-    zero time.  Within one tick layer the Bellman operator is iterated
-    to its fixpoint; this terminates exactly when zero-time cycles
-    cannot carry probabilistic mass around a loop, which holds for
-    automata whose non-tick steps consume a per-slot budget (the
-    digital-clock construction used by the case studies).  If the layer
-    fixpoint fails to close after [num_states + 2] sweeps,
-    {!No_convergence} is raised rather than returning an unsound
-    answer.
+    Time is carried by the arena's precomputed tick mask (see
+    {!Arena}): the horizon counts ticks, and non-tick steps take zero
+    time.  Within one tick layer the Bellman operator is iterated to
+    its fixpoint; this terminates exactly when zero-time cycles cannot
+    carry probabilistic mass around a loop, which holds for automata
+    whose non-tick steps consume a per-slot budget (the digital-clock
+    construction used by the case studies).  If the layer fixpoint
+    fails to close after [num_states + 2] sweeps, {!No_convergence} is
+    raised rather than returning an unsound answer.
 
     Quantification is over all non-halting adversaries: the adversary
     must pick some enabled step when one exists.  Halting at will would
@@ -27,11 +26,17 @@
     the chunk grid depends only on the state count, so the results are
     bit-identical for any number of domains.  Without a pool the legacy
     sequential in-place schedule runs; for the exact numeric types both
-    schedules converge to the same fixpoint (see docs/PERFORMANCE.md). *)
+    schedules converge to the same fixpoint (see docs/PERFORMANCE.md).
+
+    The engines read the arena's probability planes directly (exact
+    plane for rationals, the memoized dyadic plane for the fast path,
+    the float plane for the floating-point twins); branch order is the
+    exploration order, so values are bit-identical to the historical
+    path that converted per call. *)
 
 exception No_convergence of string
 
-(** [min_reach expl ~is_tick ~target ~ticks] gives, per state index, the
+(** [min_reach arena ~target ~ticks] gives, per state index, the
     minimum over all adversaries of the probability that a [target]
     state is visited within [ticks] ticks (a state already in [target]
     has value 1).  Raises [Invalid_argument] if [ticks < 0].
@@ -42,14 +47,14 @@ exception No_convergence of string
     general rationals; otherwise it falls back transparently. *)
 val min_reach :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> Proba.Rational.t array
+  ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
+  Proba.Rational.t array
 
 (** Maximum over all adversaries (best-case scheduling). *)
 val max_reach :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> Proba.Rational.t array
+  ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
+  Proba.Rational.t array
 
 (** [min_reach_with_policy] additionally returns an optimal memoryless
     (per-layer) adversary: [policy.(t).(s)] is the index of the step the
@@ -57,40 +62,40 @@ val max_reach :
     remaining ([-1] when the state is in the target, or terminal). *)
 val min_reach_with_policy :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> Proba.Rational.t array * int array array
+  ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
+  Proba.Rational.t array * int array array
 
 (** {1 Step-bounded variants (untimed automata)}
 
-    Here the horizon counts steps, so no inner fixpoint is needed. *)
+    Here the horizon counts steps (the tick mask is ignored), so no
+    inner fixpoint is needed. *)
 
 val min_reach_steps :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> target:bool array -> steps:int ->
+  ('s, 'a) Arena.t -> target:bool array -> steps:int ->
   Proba.Rational.t array
 
 val max_reach_steps :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> target:bool array -> steps:int ->
+  ('s, 'a) Arena.t -> target:bool array -> steps:int ->
   Proba.Rational.t array
 
 (** {1 Floating-point twins}
 
     Identical layered algorithm with IEEE doubles instead of exact
-    rationals: roughly an order of magnitude faster and far lighter on
-    allocation, for exploratory sweeps at sizes the exact engine cannot
-    reach.  Values are not certificates; claims must still be
-    discharged by the exact functions above. *)
+    rationals, reading the arena's float plane: roughly an order of
+    magnitude faster and far lighter on allocation, for exploratory
+    sweeps at sizes the exact engine cannot reach.  Values are not
+    certificates; claims must still be discharged by the exact
+    functions above. *)
 
 val min_reach_float :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> float array
+  ('s, 'a) Arena.t -> target:bool array -> ticks:int -> float array
 
 val max_reach_float :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> float array
+  ('s, 'a) Arena.t -> target:bool array -> ticks:int -> float array
 
 (** {1 Cross-checking}
 
@@ -99,10 +104,40 @@ val max_reach_float :
 
 val min_reach_rational :
   ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> Proba.Rational.t array
+  ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
+  Proba.Rational.t array
 
 val max_reach_rational :
   ?pool:Parallel.Pool.t ->
+  ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
+  Proba.Rational.t array
+
+(** {1 Deprecated fragment entry points}
+
+    Compat shims for the pre-arena API: they compile a throwaway arena
+    from the fragment and the per-call [is_tick] closure on every
+    call.  Compile once with {!Arena.compile} and reuse instead. *)
+
+val min_reach_explored :
+  ?pool:Parallel.Pool.t ->
   ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
   ticks:int -> Proba.Rational.t array
+[@@deprecated "compile an Arena.t once and use min_reach"]
+
+val max_reach_explored :
+  ?pool:Parallel.Pool.t ->
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> Proba.Rational.t array
+[@@deprecated "compile an Arena.t once and use max_reach"]
+
+val min_reach_float_explored :
+  ?pool:Parallel.Pool.t ->
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> float array
+[@@deprecated "compile an Arena.t once and use min_reach_float"]
+
+val max_reach_float_explored :
+  ?pool:Parallel.Pool.t ->
+  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
+  ticks:int -> float array
+[@@deprecated "compile an Arena.t once and use max_reach_float"]

@@ -48,6 +48,19 @@ let add t k v =
     if t.size > 2 * Array.length t.buckets then resize t
   end
 
+let find_or_add t k make =
+  let b = bucket_of t k in
+  let rec go = function
+    | [] ->
+      let v = make () in
+      t.buckets.(b) <- (k, v) :: t.buckets.(b);
+      t.size <- t.size + 1;
+      if t.size > 2 * Array.length t.buckets then resize t;
+      v
+    | (k', v) :: rest -> if t.equal k k' then v else go rest
+  in
+  go t.buckets.(b)
+
 let iter f t = Array.iter (List.iter (fun (k, v) -> f k v)) t.buckets
 
 let fold f t init =

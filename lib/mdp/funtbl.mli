@@ -16,5 +16,12 @@ val mem : ('k, 'v) t -> 'k -> bool
 (** [add t k v] binds [k] to [v], replacing any previous binding. *)
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 
+(** [find_or_add t k make] returns the value bound to [k], binding
+    [make ()] first when absent.  One hash and one chain traversal
+    either way -- the intern hot path of {!Explore} -- where
+    [find]-then-[add] would hash and probe twice.  If [make] raises,
+    the table is unchanged. *)
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
 val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
 val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc

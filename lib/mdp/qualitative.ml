@@ -1,5 +1,31 @@
-let safe_core expl ~avoid =
-  let n = Explore.num_states expl in
+(* All four fixpoints below walk the arena's CSR rows directly:
+   [step_off] gives each state's step range, [out_off] each step's
+   branch range, and [tgt] the branch targets.  Probabilities are
+   irrelevant here (only support membership matters), so neither plane
+   is read. *)
+
+(* Does step [k] keep all its mass inside [s]? *)
+let step_stays_in (a : _ Arena.t) s k =
+  let rec go o =
+    o >= a.Arena.out_off.(k + 1)
+    || (s.(a.Arena.tgt.(o)) && go (o + 1))
+  in
+  go a.Arena.out_off.(k)
+
+(* Does step [k] put positive mass on [s]? *)
+let step_touches (a : _ Arena.t) s k =
+  let rec go o =
+    o < a.Arena.out_off.(k + 1)
+    && (s.(a.Arena.tgt.(o)) || go (o + 1))
+  in
+  go a.Arena.out_off.(k)
+
+let exists_step (a : _ Arena.t) i p =
+  let rec go k = k < a.Arena.step_off.(i + 1) && (p k || go (k + 1)) in
+  go a.Arena.step_off.(i)
+
+let safe_core (a : _ Arena.t) ~avoid =
+  let n = a.Arena.n in
   if Array.length avoid <> n then
     invalid_arg "Qualitative: avoid array has wrong length";
   let s = Array.copy avoid in
@@ -10,13 +36,9 @@ let safe_core expl ~avoid =
     changed := false;
     for i = 0 to n - 1 do
       if s.(i) then begin
-        let steps = Explore.steps expl i in
         let ok =
-          Array.length steps = 0
-          || Array.exists
-            (fun step ->
-               Array.for_all (fun (j, _) -> s.(j)) step.Explore.outcomes)
-            steps
+          a.Arena.step_off.(i + 1) = a.Arena.step_off.(i)
+          || exists_step a i (fun k -> step_stays_in a s k)
         in
         if not ok then begin
           s.(i) <- false;
@@ -27,12 +49,12 @@ let safe_core expl ~avoid =
   done;
   s
 
-let can_avoid expl ~target =
-  let n = Explore.num_states expl in
+let can_avoid (a : _ Arena.t) ~target =
+  let n = a.Arena.n in
   if Array.length target <> n then
     invalid_arg "Qualitative: target array has wrong length";
   let avoid = Array.map not target in
-  let core = safe_core expl ~avoid in
+  let core = safe_core a ~avoid in
   (* Least fixpoint: states (outside the target) from which some step
      has a positive-probability outcome already in the bad region. *)
   let bad = Array.copy core in
@@ -41,14 +63,7 @@ let can_avoid expl ~target =
     changed := false;
     for i = 0 to n - 1 do
       if (not bad.(i)) && avoid.(i) then begin
-        let steps = Explore.steps expl i in
-        let reaches_bad =
-          Array.exists
-            (fun step ->
-               Array.exists (fun (j, _) -> bad.(j)) step.Explore.outcomes)
-            steps
-        in
-        if reaches_bad then begin
+        if exists_step a i (fun k -> step_touches a bad k) then begin
           bad.(i) <- true;
           changed := true
         end
@@ -57,11 +72,10 @@ let can_avoid expl ~target =
   done;
   bad
 
-let always_reaches expl ~target =
-  Array.map not (can_avoid expl ~target)
+let always_reaches a ~target = Array.map not (can_avoid a ~target)
 
-let some_reaches_certainly expl ~target =
-  let n = Explore.num_states expl in
+let some_reaches_certainly (a : _ Arena.t) ~target =
+  let n = a.Arena.n in
   if Array.length target <> n then
     invalid_arg "Qualitative: target array has wrong length";
   (* Nested fixpoint (Prob1E): outer gfp on the candidate set [s_set],
@@ -76,11 +90,8 @@ let some_reaches_certainly expl ~target =
       inner_changed := false;
       for i = 0 to n - 1 do
         if (not r.(i)) && s_set.(i) then begin
-          let good step =
-            Array.for_all (fun (j, _) -> s_set.(j)) step.Explore.outcomes
-            && Array.exists (fun (j, _) -> r.(j)) step.Explore.outcomes
-          in
-          if Array.exists good (Explore.steps expl i) then begin
+          let good k = step_stays_in a s_set k && step_touches a r k in
+          if exists_step a i good then begin
             r.(i) <- true;
             inner_changed := true
           end

@@ -5,8 +5,8 @@
     proof the paper cites for the Lehmann-Rabin protocol) establish that
     progress occurs {e with probability 1} under every fair adversary,
     but produce no time bound.  This module implements that qualitative
-    analysis on the explored MDP with standard graph fixpoints, so the
-    benchmarks can contrast "liveness only" with the paper's
+    analysis on the compiled arena with standard graph fixpoints, so
+    the benchmarks can contrast "liveness only" with the paper's
     quantitative [U -t->_p U'] bounds.
 
     [always_reaches] computes the set where the {e minimum} reachability
@@ -17,24 +17,24 @@
     the adversary can steer into that region with positive probability
     while avoiding the target (least fixpoint). *)
 
-(** [always_reaches expl ~target] is the boolean vector of states where
+(** [always_reaches arena ~target] is the boolean vector of states where
     [Pmin(eventually target) = 1].  Terminal states count as staying
     put: a terminal non-target state never reaches the target. *)
-val always_reaches : ('s, 'a) Explore.t -> target:bool array -> bool array
+val always_reaches : ('s, 'a) Arena.t -> target:bool array -> bool array
 
-(** [safe_core expl ~avoid] is the largest set [S ⊆ avoid] such that
+(** [safe_core arena ~avoid] is the largest set [S ⊆ avoid] such that
     every state of [S] is terminal or has a step whose support stays in
     [S] -- the region in which the adversary can avoid leaving [avoid]
     surely. *)
-val safe_core : ('s, 'a) Explore.t -> avoid:bool array -> bool array
+val safe_core : ('s, 'a) Arena.t -> avoid:bool array -> bool array
 
-(** [can_avoid expl ~target] is the set where some adversary keeps the
+(** [can_avoid arena ~target] is the set where some adversary keeps the
     probability of reaching [target] below 1 (the complement of
     {!always_reaches}). *)
-val can_avoid : ('s, 'a) Explore.t -> target:bool array -> bool array
+val can_avoid : ('s, 'a) Arena.t -> target:bool array -> bool array
 
-(** [some_reaches_certainly expl ~target] is the set where {e some}
+(** [some_reaches_certainly arena ~target] is the set where {e some}
     adversary reaches the target with probability 1
     ([Pmax(eventually target) = 1]); the classical nested fixpoint. *)
 val some_reaches_certainly :
-  ('s, 'a) Explore.t -> target:bool array -> bool array
+  ('s, 'a) Arena.t -> target:bool array -> bool array

@@ -3,20 +3,24 @@ type verdict =
   | Probabilistic_zero_time_cycle of int list
 
 (* Zero-time adjacency and, per edge, whether the underlying step is
-   probabilistic (more than one outcome). *)
-let zero_time_edges expl ~is_tick i =
-  Array.to_list (Explore.steps expl i)
-  |> List.concat_map (fun step ->
-      if is_tick step.Explore.action then []
-      else begin
-        let probabilistic = Array.length step.Explore.outcomes > 1 in
-        Array.to_list step.Explore.outcomes
-        |> List.map (fun (j, _) -> (j, probabilistic))
-      end)
+   probabilistic (more than one outcome).  Reads the arena's
+   precomputed tick mask and CSR rows. *)
+let zero_time_edges (a : _ Arena.t) i =
+  let acc = ref [] in
+  for k = a.Arena.step_off.(i + 1) - 1 downto a.Arena.step_off.(i) do
+    if not a.Arena.tick.(k) then begin
+      let lo = a.Arena.out_off.(k) and hi = a.Arena.out_off.(k + 1) in
+      let probabilistic = hi - lo > 1 in
+      for o = hi - 1 downto lo do
+        acc := (a.Arena.tgt.(o), probabilistic) :: !acc
+      done
+    end
+  done;
+  !acc
 
 (* Iterative Tarjan SCC over the zero-time graph. *)
-let sccs expl ~is_tick =
-  let n = Explore.num_states expl in
+let sccs (a : _ Arena.t) =
+  let n = a.Arena.n in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -25,7 +29,7 @@ let sccs expl ~is_tick =
   let component = Array.make n (-1) in
   let num_components = ref 0 in
   let adjacency =
-    Array.init n (fun i -> List.map fst (zero_time_edges expl ~is_tick i))
+    Array.init n (fun i -> List.map fst (zero_time_edges a i))
   in
   for root = 0 to n - 1 do
     if index.(root) < 0 then begin
@@ -73,9 +77,9 @@ let sccs expl ~is_tick =
   done;
   component
 
-let check expl ~is_tick =
-  let component = sccs expl ~is_tick in
-  let n = Explore.num_states expl in
+let check (a : _ Arena.t) =
+  let component = sccs a in
+  let n = a.Arena.n in
   let bad = ref None in
   (try
      for i = 0 to n - 1 do
@@ -85,7 +89,7 @@ let check expl ~is_tick =
               bad := Some component.(i);
               raise Exit
             end)
-         (zero_time_edges expl ~is_tick i)
+         (zero_time_edges a i)
      done
    with Exit -> ());
   match !bad with
@@ -97,4 +101,4 @@ let check expl ~is_tick =
     done;
     Probabilistic_zero_time_cycle !members
 
-let is_well_formed expl ~is_tick = check expl ~is_tick = Ok
+let is_well_formed a = check a = Ok

@@ -1,0 +1,92 @@
+(** The model registry: one wiring point between the case studies and
+    every surface that consumes them.
+
+    [prtb check], [prtb lint], [prtb export-dot], the experiment
+    harness and the benchmarks all resolve case-study instances through
+    the memoized builders below, so within one process invocation each
+    (model, parameters) pair is explored and its {!Mdp.Arena} compiled
+    {e exactly once} -- [prtb check lr --stats] reports
+    [explorations: 1, compiles: 1].
+
+    The registry also owns the built-in lint targets for [prtb lint]
+    (each target couples an automaton with the model knowledge that
+    unlocks the deeper checks: tick classifier, intended terminals,
+    finished claims).  The [example:race] target stays in
+    [bin/lint_targets.ml] because it lives in the experiments library,
+    which itself depends on this one. *)
+
+(** {1 Memoized instance builders}
+
+    Parameters mirror the proof modules' [build] functions; results are
+    cached per parameter tuple (including [max_states]) for the
+    lifetime of the process. *)
+
+val lr :
+  ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit ->
+  Lehmann_rabin.Proof.instance
+
+val lr_topo :
+  ?max_states:int -> ?g:int -> ?k:int -> topo:Lehmann_rabin.Topology.t ->
+  unit -> Lehmann_rabin.Proof.topo_instance
+
+val election :
+  ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit ->
+  Itai_rodeh.Proof.instance
+
+val coin :
+  ?max_states:int -> ?g:int -> ?k:int -> n:int -> bound:int -> unit ->
+  Shared_coin.Proof.instance
+
+val consensus :
+  ?max_states:int -> ?g:int -> ?k:int -> n:int -> f:int -> cap:int ->
+  initial:bool array -> unit -> Ben_or.Proof.instance
+
+(** {1 Work accounting} *)
+
+type stats = {
+  explorations : int;  (** {!Mdp.Explore.explorations} *)
+  compiles : int;  (** {!Mdp.Arena.compiles} *)
+  builds : int;  (** instances actually constructed here *)
+  cache_hits : int;  (** builder calls answered from the cache *)
+}
+
+(** Process-lifetime totals (the exploration and compile counters are
+    global, so work done outside the registry is counted too). *)
+val stats : unit -> stats
+
+(** ["registry: explorations: %d, compiles: %d, builds: %d, cache \
+    hits: %d"] -- the line [prtb --stats] prints and CI greps. *)
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Lint targets} *)
+
+type entry = {
+  name : string;  (** CLI name, e.g. ["lr"] or ["example:walker"] *)
+  doc : string;  (** one-line description for [--help] *)
+  lint : max_states:int -> unit -> Analysis.Report.t;
+}
+
+(** The built-in targets, in display order. *)
+val entries : entry list
+
+val find_opt : string -> entry option
+
+(** @raise Invalid_argument on unknown names. *)
+val find : string -> entry
+
+(** [guard name runner] downgrades a {!Mdp.Explore.Too_many_states}
+    escape from an eagerly-exploring builder into a PA000 report, like
+    {!Analysis.run} does for its own exploration.  Exposed for external
+    targets registered alongside {!entries}. *)
+val guard :
+  string -> (max_states:int -> unit -> Analysis.Report.t) ->
+  max_states:int -> unit -> Analysis.Report.t
+
+(** The quickstart walker automaton (also a lint target). *)
+module Walker : sig
+  type state = Done | Walk of { c : int; b : int }
+  type action = Tick | Flip
+
+  val is_tick : action -> bool
+  val pa : (state, action) Core.Pa.t
+end

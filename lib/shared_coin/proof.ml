@@ -3,11 +3,14 @@ module Q = Proba.Rational
 type instance = {
   params : Automaton.params;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+  arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
 }
 
 let build ?max_states ?(g = 1) ?(k = 1) ~n ~bound () =
   let params = { Automaton.n; bound; g; k } in
-  { params; expl = Mdp.Explore.run ?max_states (Automaton.make params) }
+  let expl = Mdp.Explore.run ?max_states (Automaton.make params) in
+  { params; expl;
+    arena = Mdp.Arena.compile ~is_tick:Automaton.is_tick expl }
 
 type arrow = {
   label : string;
@@ -22,7 +25,7 @@ let schema = Core.Schema.unit_time
 
 let rung inst d =
   let result =
-    Mdp.Checker.check_arrow inst.expl ~is_tick:Automaton.is_tick
+    Mdp.Checker.check_arrow inst.arena
       ~granularity:inst.params.Automaton.g ~schema
       ~pre:(Automaton.at_least inst.params d)
       ~post:(Automaton.at_least inst.params (d + 1))
@@ -63,36 +66,34 @@ let decided_pred inst =
   Automaton.at_least inst.params inst.params.Automaton.bound
 
 let direct_bound inst =
-  let target = Mdp.Explore.indicator inst.expl (decided_pred inst) in
+  let target = Mdp.Arena.indicator inst.arena (decided_pred inst) in
   let ticks =
     Core.Timed.within ~granularity:inst.params.Automaton.g
       ~time:(Q.of_int inst.params.Automaton.bound)
   in
-  let values =
-    Mdp.Finite_horizon.min_reach inst.expl ~is_tick:Automaton.is_tick ~target
-      ~ticks
-  in
+  let values = Mdp.Finite_horizon.min_reach inst.arena ~target ~ticks in
   let best, _, _ =
-    Mdp.Checker.min_prob_over inst.expl values
+    Mdp.Checker.min_prob_over inst.arena values
       (Automaton.at_least inst.params 0)
   in
   best
 
 let expected_exact inst =
-  let target = Mdp.Explore.indicator inst.expl (decided_pred inst) in
+  let target = Mdp.Arena.indicator inst.arena (decided_pred inst) in
   let values =
-    Mdp.Expected_time.max_expected_ticks inst.expl ~is_tick:Automaton.is_tick
-      ~target ()
+    Mdp.Expected_time.max_expected_ticks inst.arena ~target ()
   in
-  match Mdp.Explore.index inst.expl (Automaton.start inst.params) with
+  match Mdp.Arena.index inst.arena (Automaton.start inst.params) with
   | Some i -> values.(i) /. float_of_int inst.params.Automaton.g
   | None -> nan
 
-let expected_theory inst =
-  let b = float_of_int inst.params.Automaton.bound in
-  b *. b /. float_of_int inst.params.Automaton.n
+let theory (p : Automaton.params) =
+  let b = float_of_int p.Automaton.bound in
+  b *. b /. float_of_int p.Automaton.n
+
+let expected_theory inst = theory inst.params
 
 let liveness_holds inst =
-  let target = Mdp.Explore.indicator inst.expl (decided_pred inst) in
-  let always = Mdp.Qualitative.always_reaches inst.expl ~target in
+  let target = Mdp.Arena.indicator inst.arena (decided_pred inst) in
+  let always = Mdp.Qualitative.always_reaches inst.arena ~target in
   Array.for_all (fun b -> b) always

@@ -20,6 +20,8 @@
 type instance = {
   params : Automaton.params;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
+  arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
+      (** [expl] compiled once with the model's tick mask. *)
 }
 
 val build :
@@ -52,5 +54,8 @@ val expected_exact : instance -> float
 
 (** The classical prediction [bound^2 / n]. *)
 val expected_theory : instance -> float
+
+(** {!expected_theory} from the parameters alone (no exploration). *)
+val theory : Automaton.params -> float
 
 val liveness_holds : instance -> bool

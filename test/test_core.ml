@@ -863,13 +863,13 @@ let test_compose_three_walkers () =
   let joint =
     Core.Compose.product_list ~sync:is_tick [ pa; pa; pa ]
   in
-  let expl = Mdp.Explore.run joint in
+  let arena = Mdp.Arena.of_pa ~is_tick joint in
   let all_done = Core.Pred.make "all done" (List.for_all (fun s -> s = Done)) in
-  let target = Mdp.Explore.indicator expl all_done in
-  let v = Mdp.Finite_horizon.min_reach expl ~is_tick ~target ~ticks:1 in
-  let start_i = List.hd (Mdp.Explore.start_indices expl) in
+  let target = Mdp.Arena.indicator arena all_done in
+  let v = Mdp.Finite_horizon.min_reach arena ~target ~ticks:1 in
+  let start_i = List.hd (Mdp.Arena.start_indices arena) in
   check_q "min P[all done within 1] = 1/8" (Q.of_ints 1 8) v.(start_i);
-  let vmax = Mdp.Finite_horizon.max_reach expl ~is_tick ~target ~ticks:1 in
+  let vmax = Mdp.Finite_horizon.max_reach arena ~target ~ticks:1 in
   check_q "max P[all done within 1] = (3/4)^3" (Q.of_ints 27 64)
     vmax.(start_i)
 

@@ -363,7 +363,7 @@ let test_invariant_neighbor_crit () =
 let test_zeno_well_formed () =
   let inst = Lazy.force inst in
   Alcotest.(check bool) "digital-clock encoding is zeno-free" true
-    (Mdp.Zeno.is_well_formed inst.LR.Proof.expl ~is_tick:Au.is_tick)
+    (Mdp.Zeno.is_well_formed inst.LR.Proof.arena)
 
 let test_proof_state_count () =
   let inst = Lazy.force inst in
@@ -567,8 +567,7 @@ let prop_random_topologies_sound =
           | None -> false
         in
         LR.Proof.invariant_topo tinst = None
-        && Mdp.Zeno.is_well_formed tinst.LR.Proof.texpl
-             ~is_tick:Au.is_tick
+        && Mdp.Zeno.is_well_formed tinst.LR.Proof.tarena
         && holds "A.1" && holds "A.3")
 
 (* ------------------------------------------------------------------ *)

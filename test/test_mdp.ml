@@ -54,6 +54,15 @@ let walker_expl = Mdp.Explore.run Test_support.Toys.Walker.pa
 let cascade_expl = Mdp.Explore.run Test_support.Toys.Cascade.pa
 let escape_expl = Mdp.Explore.run Test_support.Toys.Escape.pa
 
+(* Each fixture compiled once; the engines read only the arena. *)
+let choice_arena = Mdp.Arena.compile choice_expl
+
+let walker_arena =
+  Mdp.Arena.compile ~is_tick:Test_support.Toys.Walker.is_tick walker_expl
+
+let cascade_arena = Mdp.Arena.compile cascade_expl
+let escape_arena = Mdp.Arena.compile escape_expl
+
 let test_explore_choice () =
   Alcotest.(check int) "3 states" 3 (Mdp.Explore.num_states choice_expl);
   Alcotest.(check int) "2 choices" 2 (Mdp.Explore.num_choices choice_expl);
@@ -108,20 +117,20 @@ let value_at expl values s =
 
 let test_fh_choice_min_max () =
   let target = Mdp.Explore.indicator choice_expl Test_support.Toys.Choice.s1 in
-  let vmin = Mdp.Finite_horizon.min_reach_steps choice_expl ~target ~steps:1 in
-  let vmax = Mdp.Finite_horizon.max_reach_steps choice_expl ~target ~steps:1 in
+  let vmin = Mdp.Finite_horizon.min_reach_steps choice_arena ~target ~steps:1 in
+  let vmax = Mdp.Finite_horizon.max_reach_steps choice_arena ~target ~steps:1 in
   check_q "min 1/3" (Q.of_ints 1 3) (value_at choice_expl vmin Test_support.Toys.Choice.S0);
   check_q "max 1/2" Q.half (value_at choice_expl vmax Test_support.Toys.Choice.S0);
-  let v0 = Mdp.Finite_horizon.min_reach_steps choice_expl ~target ~steps:0 in
+  let v0 = Mdp.Finite_horizon.min_reach_steps choice_arena ~target ~steps:0 in
   check_q "0 steps from s0" Q.zero (value_at choice_expl v0 Test_support.Toys.Choice.S0);
   check_q "0 steps at target" Q.one (value_at choice_expl v0 Test_support.Toys.Choice.S1)
 
 let test_fh_cascade () =
   let target = Mdp.Explore.indicator cascade_expl Test_support.Toys.Cascade.goal in
-  let v2 = Mdp.Finite_horizon.min_reach_steps cascade_expl ~target ~steps:2 in
+  let v2 = Mdp.Finite_horizon.min_reach_steps cascade_arena ~target ~steps:2 in
   check_q "two flips" (Q.of_ints 1 4)
     (value_at cascade_expl v2 (Test_support.Toys.Cascade.Level 0));
-  let v4 = Mdp.Finite_horizon.min_reach_steps cascade_expl ~target ~steps:4 in
+  let v4 = Mdp.Finite_horizon.min_reach_steps cascade_arena ~target ~steps:4 in
   (* Backward induction by hand: p3(L1) = 5/8, p3(L0) = 3/8, so
      p4(L0) = 1/2 * 5/8 + 1/2 * 3/8 = 1/2. *)
   check_q "four flips" Q.half
@@ -134,15 +143,13 @@ let walker_target = Mdp.Explore.indicator walker_expl Test_support.Toys.Walker.d
 
 let walker_min t =
   let v =
-    Mdp.Finite_horizon.min_reach walker_expl ~is_tick:Test_support.Toys.Walker.is_tick
-      ~target:walker_target ~ticks:t
+    Mdp.Finite_horizon.min_reach walker_arena ~target:walker_target ~ticks:t
   in
   value_at walker_expl v Test_support.Toys.Walker.start
 
 let walker_max t =
   let v =
-    Mdp.Finite_horizon.max_reach walker_expl ~is_tick:Test_support.Toys.Walker.is_tick
-      ~target:walker_target ~ticks:t
+    Mdp.Finite_horizon.max_reach walker_arena ~target:walker_target ~ticks:t
   in
   value_at walker_expl v Test_support.Toys.Walker.start
 
@@ -163,8 +170,8 @@ let test_fh_walker_max () =
 
 let test_fh_walker_policy () =
   let values, policy =
-    Mdp.Finite_horizon.min_reach_with_policy walker_expl
-      ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ~ticks:2
+    Mdp.Finite_horizon.min_reach_with_policy walker_arena
+      ~target:walker_target ~ticks:2
   in
   check_q "values agree" (Q.of_ints 3 4)
     (value_at walker_expl values Test_support.Toys.Walker.start);
@@ -197,15 +204,13 @@ let test_fh_no_convergence () =
 
     let pa = Core.Pa.make ~start:[ S ] ~enabled ()
   end in
-  let expl = Mdp.Explore.run Bad.pa in
+  let arena = Mdp.Arena.of_pa ~is_tick:(fun a -> a = Bad.Tick) Bad.pa in
   let target =
-    Mdp.Explore.indicator expl (Core.Pred.make "goal" (fun s -> s = Bad.Goal))
+    Mdp.Arena.indicator arena (Core.Pred.make "goal" (fun s -> s = Bad.Goal))
   in
   Alcotest.(check bool) "raises No_convergence" true
     (try
-       ignore
-         (Mdp.Finite_horizon.max_reach expl
-            ~is_tick:(fun a -> a = Bad.Tick) ~target ~ticks:1);
+       ignore (Mdp.Finite_horizon.max_reach arena ~target ~ticks:1);
        false
      with Mdp.Finite_horizon.No_convergence _ -> true)
 
@@ -213,15 +218,15 @@ let test_fh_bad_args () =
   Alcotest.(check bool) "negative ticks" true
     (try
        ignore
-         (Mdp.Finite_horizon.min_reach walker_expl
-            ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ~ticks:(-1));
+         (Mdp.Finite_horizon.min_reach walker_arena ~target:walker_target
+            ~ticks:(-1));
        false
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "wrong target length" true
     (try
        ignore
-         (Mdp.Finite_horizon.min_reach walker_expl
-            ~is_tick:Test_support.Toys.Walker.is_tick ~target:[| true |] ~ticks:1);
+         (Mdp.Finite_horizon.min_reach walker_arena ~target:[| true |]
+            ~ticks:1);
        false
      with Invalid_argument _ -> true)
 
@@ -230,7 +235,7 @@ let test_fh_bad_args () =
 
 let test_qualitative_escape () =
   let target = Mdp.Explore.indicator escape_expl Test_support.Toys.Escape.goal in
-  let always = Mdp.Qualitative.always_reaches escape_expl ~target in
+  let always = Mdp.Qualitative.always_reaches escape_arena ~target in
   let at s = always.(Option.get (Mdp.Explore.index escape_expl s)) in
   Alcotest.(check bool) "start can stall" false (at Test_support.Toys.Escape.Start);
   Alcotest.(check bool) "goal trivially reaches" true (at Test_support.Toys.Escape.Goal);
@@ -238,18 +243,20 @@ let test_qualitative_escape () =
 
 let test_qualitative_cascade_walker () =
   let target = Mdp.Explore.indicator cascade_expl Test_support.Toys.Cascade.goal in
-  let always = Mdp.Qualitative.always_reaches cascade_expl ~target in
+  let always = Mdp.Qualitative.always_reaches cascade_arena ~target in
   Alcotest.(check bool) "cascade always reaches" true
     (Array.for_all (fun b -> b) always);
   let always_w =
-    Mdp.Qualitative.always_reaches walker_expl ~target:walker_target
+    Mdp.Qualitative.always_reaches walker_arena ~target:walker_target
   in
   Alcotest.(check bool) "walker always reaches" true
     (Array.for_all (fun b -> b) always_w)
 
 let test_qualitative_safe_core () =
   let target = Mdp.Explore.indicator escape_expl Test_support.Toys.Escape.goal in
-  let core = Mdp.Qualitative.safe_core escape_expl ~avoid:(Array.map not target) in
+  let core =
+    Mdp.Qualitative.safe_core escape_arena ~avoid:(Array.map not target)
+  in
   let at s = core.(Option.get (Mdp.Explore.index escape_expl s)) in
   Alcotest.(check bool) "start in core (can stay)" true (at Test_support.Toys.Escape.Start);
   Alcotest.(check bool) "trap in core (terminal)" true (at Test_support.Toys.Escape.Trap);
@@ -257,13 +264,13 @@ let test_qualitative_safe_core () =
 
 let test_qualitative_prob1e () =
   let target = Mdp.Explore.indicator escape_expl Test_support.Toys.Escape.goal in
-  let can = Mdp.Qualitative.some_reaches_certainly escape_expl ~target in
+  let can = Mdp.Qualitative.some_reaches_certainly escape_arena ~target in
   let at s = can.(Option.get (Mdp.Explore.index escape_expl s)) in
   Alcotest.(check bool) "start: adversary Go reaches surely" true
     (at Test_support.Toys.Escape.Start);
   Alcotest.(check bool) "trap cannot" false (at Test_support.Toys.Escape.Trap);
   let can_w =
-    Mdp.Qualitative.some_reaches_certainly walker_expl ~target:walker_target
+    Mdp.Qualitative.some_reaches_certainly walker_arena ~target:walker_target
   in
   Alcotest.(check bool) "walker: all can reach surely" true
     (Array.for_all (fun b -> b) can_w)
@@ -273,12 +280,10 @@ let test_qualitative_prob1e () =
 
 let test_expected_walker () =
   let emax =
-    Mdp.Expected_time.max_expected_ticks walker_expl
-      ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ()
+    Mdp.Expected_time.max_expected_ticks walker_arena ~target:walker_target ()
   in
   let emin =
-    Mdp.Expected_time.min_expected_ticks walker_expl
-      ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ()
+    Mdp.Expected_time.min_expected_ticks walker_arena ~target:walker_target ()
   in
   let at values s =
     values.(Option.get (Mdp.Explore.index walker_expl s))
@@ -291,10 +296,10 @@ let test_expected_walker () =
 
 let test_expected_escape_infinite () =
   let target = Mdp.Explore.indicator escape_expl Test_support.Toys.Escape.goal in
-  let emax =
-    Mdp.Expected_time.max_expected_ticks escape_expl
-      ~is_tick:(fun _ -> false) ~target ()
-  in
+  (* [escape_arena] was compiled without a tick mask, i.e. no step is a
+     tick -- the same semantics the old [~is_tick:(fun _ -> false)]
+     argument selected. *)
+  let emax = Mdp.Expected_time.max_expected_ticks escape_arena ~target () in
   let at s = emax.(Option.get (Mdp.Explore.index escape_expl s)) in
   Alcotest.(check bool) "stalling start is infinite" true
     (at Test_support.Toys.Escape.Start = infinity);
@@ -307,9 +312,10 @@ let walking = Core.Pred.make "walking" (fun s -> s <> Test_support.Toys.Walker.D
 
 let test_checker_arrow_holds () =
   let result =
-    Mdp.Checker.check_arrow walker_expl ~is_tick:Test_support.Toys.Walker.is_tick
-      ~granularity:1 ~schema:Core.Schema.unit_time ~pre:walking
-      ~post:Test_support.Toys.Walker.done_ ~time:(Q.of_int 2) ~prob:(Q.of_ints 3 4)
+    Mdp.Checker.check_arrow walker_arena ~granularity:1
+      ~schema:Core.Schema.unit_time ~pre:walking
+      ~post:Test_support.Toys.Walker.done_ ~time:(Q.of_int 2)
+      ~prob:(Q.of_ints 3 4)
   in
   check_q "attained 3/4" (Q.of_ints 3 4) result.Mdp.Checker.attained;
   Alcotest.(check int) "three pre states" 3 result.Mdp.Checker.pre_states;
@@ -321,9 +327,10 @@ let test_checker_arrow_holds () =
 
 let test_checker_arrow_fails () =
   let result =
-    Mdp.Checker.check_arrow walker_expl ~is_tick:Test_support.Toys.Walker.is_tick
-      ~granularity:1 ~schema:Core.Schema.unit_time ~pre:walking
-      ~post:Test_support.Toys.Walker.done_ ~time:(Q.of_int 2) ~prob:(Q.of_ints 7 8)
+    Mdp.Checker.check_arrow walker_arena ~granularity:1
+      ~schema:Core.Schema.unit_time ~pre:walking
+      ~post:Test_support.Toys.Walker.done_ ~time:(Q.of_int 2)
+      ~prob:(Q.of_ints 7 8)
   in
   Alcotest.(check bool) "no claim" true (result.Mdp.Checker.claim = None);
   check_q "attained still reported" (Q.of_ints 3 4)
@@ -337,15 +344,15 @@ let test_checker_granularity () =
   (* With granularity 2, "time 1" is two ticks of the SAME automaton --
      used here only to exercise the conversion path. *)
   let result =
-    Mdp.Checker.check_arrow walker_expl ~is_tick:Test_support.Toys.Walker.is_tick
-      ~granularity:2 ~schema:Core.Schema.unit_time ~pre:walking
+    Mdp.Checker.check_arrow walker_arena ~granularity:2
+      ~schema:Core.Schema.unit_time ~pre:walking
       ~post:Test_support.Toys.Walker.done_ ~time:Q.one ~prob:Q.half
   in
   check_q "two ticks worth" (Q.of_ints 3 4) result.Mdp.Checker.attained
 
 let test_checker_inclusion () =
   match
-    Mdp.Checker.verify_inclusion walker_expl Test_support.Toys.Walker.done_
+    Mdp.Checker.verify_inclusion walker_arena Test_support.Toys.Walker.done_
       (Core.Pred.make "anything" (fun _ -> true))
   with
   | Some incl ->
@@ -354,7 +361,8 @@ let test_checker_inclusion () =
 
 let test_checker_inclusion_fails () =
   Alcotest.(check bool) "counterexample" true
-    (Mdp.Checker.verify_inclusion walker_expl walking Test_support.Toys.Walker.done_
+    (Mdp.Checker.verify_inclusion walker_arena walking
+       Test_support.Toys.Walker.done_
      = None)
 
 (* ------------------------------------------------------------------ *)
@@ -391,11 +399,11 @@ let prop_min_leq_max =
     (QCheck.pair (QCheck.int_range 0 10000) (QCheck.int_range 2 8))
     (fun (seed, n) ->
        let pa = random_dag_pa seed n in
-       let expl = Mdp.Explore.run pa in
+       let arena = Mdp.Arena.of_pa pa in
        let goal = Core.Pred.make "goal" (fun s -> s = n) in
-       let target = Mdp.Explore.indicator expl goal in
-       let vmin = Mdp.Finite_horizon.min_reach_steps expl ~target ~steps:n in
-       let vmax = Mdp.Finite_horizon.max_reach_steps expl ~target ~steps:n in
+       let target = Mdp.Arena.indicator arena goal in
+       let vmin = Mdp.Finite_horizon.min_reach_steps arena ~target ~steps:n in
+       let vmax = Mdp.Finite_horizon.max_reach_steps arena ~target ~steps:n in
        Array.for_all2 (fun a b -> Q.leq a b) vmin vmax)
 
 let prop_reach_monotone_in_steps =
@@ -403,13 +411,15 @@ let prop_reach_monotone_in_steps =
     (QCheck.pair (QCheck.int_range 0 10000) (QCheck.int_range 2 8))
     (fun (seed, n) ->
        let pa = random_dag_pa seed n in
-       let expl = Mdp.Explore.run pa in
+       let arena = Mdp.Arena.of_pa pa in
        let goal = Core.Pred.make "goal" (fun s -> s = n) in
-       let target = Mdp.Explore.indicator expl goal in
-       let prev = ref (Mdp.Finite_horizon.min_reach_steps expl ~target ~steps:0) in
+       let target = Mdp.Arena.indicator arena goal in
+       let prev =
+         ref (Mdp.Finite_horizon.min_reach_steps arena ~target ~steps:0)
+       in
        let ok = ref true in
        for k = 1 to n do
-         let v = Mdp.Finite_horizon.min_reach_steps expl ~target ~steps:k in
+         let v = Mdp.Finite_horizon.min_reach_steps arena ~target ~steps:k in
          if not (Array.for_all2 Q.leq !prev v) then ok := false;
          prev := v
        done;
@@ -420,10 +430,10 @@ let prop_probabilities_in_range =
     (QCheck.pair (QCheck.int_range 0 10000) (QCheck.int_range 2 8))
     (fun (seed, n) ->
        let pa = random_dag_pa seed n in
-       let expl = Mdp.Explore.run pa in
+       let arena = Mdp.Arena.of_pa pa in
        let goal = Core.Pred.make "goal" (fun s -> s = n) in
-       let target = Mdp.Explore.indicator expl goal in
-       let v = Mdp.Finite_horizon.max_reach_steps expl ~target ~steps:n in
+       let target = Mdp.Arena.indicator arena goal in
+       let v = Mdp.Finite_horizon.max_reach_steps arena ~target ~steps:n in
        Array.for_all Q.is_probability v)
 
 (* ------------------------------------------------------------------ *)
@@ -432,12 +442,11 @@ let prop_probabilities_in_range =
 let test_float_matches_exact () =
   let check_at ticks =
     let exact =
-      Mdp.Finite_horizon.min_reach walker_expl
-        ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ~ticks
+      Mdp.Finite_horizon.min_reach walker_arena ~target:walker_target ~ticks
     in
     let approx =
-      Mdp.Finite_horizon.min_reach_float walker_expl
-        ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ~ticks
+      Mdp.Finite_horizon.min_reach_float walker_arena ~target:walker_target
+        ~ticks
     in
     Array.iteri
       (fun i q ->
@@ -450,12 +459,11 @@ let test_float_matches_exact () =
 
 let test_float_max_matches () =
   let exact =
-    Mdp.Finite_horizon.max_reach walker_expl
-      ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ~ticks:2
+    Mdp.Finite_horizon.max_reach walker_arena ~target:walker_target ~ticks:2
   in
   let approx =
-    Mdp.Finite_horizon.max_reach_float walker_expl
-      ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ~ticks:2
+    Mdp.Finite_horizon.max_reach_float walker_arena ~target:walker_target
+      ~ticks:2
   in
   Array.iteri
     (fun i q ->
@@ -471,14 +479,12 @@ let test_dyadic_matches_rational_engine () =
   List.iter
     (fun ticks ->
        let fast =
-         Mdp.Finite_horizon.min_reach walker_expl
-           ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target
+         Mdp.Finite_horizon.min_reach walker_arena ~target:walker_target
            ~ticks
        in
        let slow =
-         Mdp.Finite_horizon.min_reach_rational walker_expl
-           ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target
-           ~ticks
+         Mdp.Finite_horizon.min_reach_rational walker_arena
+           ~target:walker_target ~ticks
        in
        Array.iteri
          (fun i q -> check_q (Printf.sprintf "t=%d state %d" ticks i) q
@@ -490,7 +496,7 @@ let test_non_dyadic_falls_back () =
   (* Choice has a 1/3 branch: the dyadic engine cannot apply, and the
      wrapper must transparently produce the rational answer. *)
   let target = Mdp.Explore.indicator choice_expl Test_support.Toys.Choice.s1 in
-  let v = Mdp.Finite_horizon.min_reach_steps choice_expl ~target ~steps:1 in
+  let v = Mdp.Finite_horizon.min_reach_steps choice_arena ~target ~steps:1 in
   check_q "fallback correct" (Q.of_ints 1 3)
     (value_at choice_expl v Test_support.Toys.Choice.S0)
 
@@ -499,8 +505,8 @@ let test_non_dyadic_falls_back () =
 
 let test_expected_policy () =
   let values, policy =
-    Mdp.Expected_time.max_expected_ticks_with_policy walker_expl
-      ~is_tick:Test_support.Toys.Walker.is_tick ~target:walker_target ()
+    Mdp.Expected_time.max_expected_ticks_with_policy walker_arena
+      ~target:walker_target ()
   in
   let start_i =
     Option.get (Mdp.Explore.index walker_expl Test_support.Toys.Walker.start)
@@ -526,7 +532,7 @@ let test_bisim_walker_no_reduction () =
         if Mdp.Explore.state walker_expl i = Test_support.Toys.Walker.Done
         then 1 else 0)
   in
-  let blocks = Mdp.Bisim.refine walker_expl ~labels () in
+  let blocks = Mdp.Bisim.refine walker_arena ~labels () in
   Alcotest.(check int) "four blocks" 4 (Mdp.Bisim.num_blocks blocks)
 
 let test_bisim_symmetric_reduction () =
@@ -535,13 +541,14 @@ let test_bisim_symmetric_reduction () =
   let open Test_support.Toys.Walker in
   let joint = Core.Compose.product_list ~sync:is_tick [ pa; pa ] in
   let expl = Mdp.Explore.run joint in
+  let arena = Mdp.Arena.compile expl in
   let n = Mdp.Explore.num_states expl in
   let labels =
     Array.init n (fun i ->
         if List.for_all (fun s -> s = Done) (Mdp.Explore.state expl i) then 1
         else 0)
   in
-  let blocks = Mdp.Bisim.refine expl ~labels () in
+  let blocks = Mdp.Bisim.refine arena ~labels () in
   let nb = Mdp.Bisim.num_blocks blocks in
   Alcotest.(check bool)
     (Printf.sprintf "blocks %d < states %d" nb n) true (nb < n);
@@ -556,13 +563,14 @@ let test_bisim_quotient_preserves_values () =
   let open Test_support.Toys.Walker in
   let joint = Core.Compose.product_list ~sync:is_tick [ pa; pa ] in
   let expl = Mdp.Explore.run joint in
+  let arena = Mdp.Arena.compile ~is_tick expl in
   let n = Mdp.Explore.num_states expl in
   let all_done s = List.for_all (fun x -> x = Done) s in
   let labels =
     Array.init n (fun i -> if all_done (Mdp.Explore.state expl i) then 1 else 0)
   in
-  let blocks = Mdp.Bisim.refine expl ~labels () in
-  let q = Mdp.Bisim.quotient expl blocks () in
+  let blocks = Mdp.Bisim.refine arena ~labels () in
+  let q = Mdp.Bisim.quotient arena blocks () in
   let qexpl = Mdp.Explore.run q in
   (* Target blocks = blocks of labelled states. *)
   let target_blocks = Hashtbl.create 8 in
@@ -581,12 +589,10 @@ let test_bisim_quotient_preserves_values () =
      action_key); recover tickness by comparing with marshalled Tick. *)
   let tick_key = Marshal.to_string Tick [] in
   let is_tick_q a = String.equal a tick_key in
-  let v =
-    Mdp.Finite_horizon.min_reach expl ~is_tick ~target ~ticks:2
-  in
+  let qarena = Mdp.Arena.compile ~is_tick:is_tick_q qexpl in
+  let v = Mdp.Finite_horizon.min_reach arena ~target ~ticks:2 in
   let vq =
-    Mdp.Finite_horizon.min_reach qexpl ~is_tick:is_tick_q ~target:qtarget
-      ~ticks:2
+    Mdp.Finite_horizon.min_reach qarena ~target:qtarget ~ticks:2
   in
   (* Build block -> quotient index map and compare pointwise. *)
   let qindex = Hashtbl.create 16 in
@@ -604,8 +610,7 @@ let test_bisim_quotient_preserves_values () =
 
 let test_zeno_walker_ok () =
   Alcotest.(check bool) "walker well formed" true
-    (Mdp.Zeno.is_well_formed walker_expl
-       ~is_tick:Test_support.Toys.Walker.is_tick)
+    (Mdp.Zeno.is_well_formed walker_arena)
 
 let test_zeno_detects_cycle () =
   let module Bad = struct
@@ -620,11 +625,11 @@ let test_zeno_detects_cycle () =
 
     let pa = Core.Pa.make ~start:[ S ] ~enabled ()
   end in
-  let expl = Mdp.Explore.run Bad.pa in
-  (match Mdp.Zeno.check expl ~is_tick:(fun a -> a = Bad.Tick) with
+  let arena = Mdp.Arena.of_pa ~is_tick:(fun a -> a = Bad.Tick) Bad.pa in
+  (match Mdp.Zeno.check arena with
    | Mdp.Zeno.Probabilistic_zero_time_cycle members ->
      Alcotest.(check bool) "S is in the cycle" true
-       (List.exists (fun i -> Mdp.Explore.state expl i = Bad.S) members)
+       (List.exists (fun i -> Mdp.Arena.state arena i = Bad.S) members)
    | Mdp.Zeno.Ok -> Alcotest.fail "cycle not detected")
 
 let test_zeno_dirac_cycle_ok () =
@@ -642,23 +647,24 @@ let test_zeno_dirac_cycle_ok () =
 
     let pa = Core.Pa.make ~start:[ S ] ~enabled ()
   end in
-  let expl = Mdp.Explore.run Pure.pa in
+  let arena = Mdp.Arena.of_pa ~is_tick:(fun a -> a = Pure.Tick) Pure.pa in
   Alcotest.(check bool) "dirac spin is fine" true
-    (Mdp.Zeno.is_well_formed expl ~is_tick:(fun a -> a = Pure.Tick))
+    (Mdp.Zeno.is_well_formed arena)
 
 let test_zeno_case_studies () =
   (* All shipped case-study encodings are well formed by construction
      (budgets make zero-time layers acyclic). *)
   Alcotest.(check bool) "cascade (untimed: every step zero-time!)" false
-    (Mdp.Zeno.is_well_formed cascade_expl ~is_tick:(fun _ -> false));
+    (Mdp.Zeno.is_well_formed cascade_arena);
   Alcotest.(check bool) "cascade with steps as ticks" true
-    (Mdp.Zeno.is_well_formed cascade_expl ~is_tick:(fun _ -> true))
+    (Mdp.Zeno.is_well_formed
+       (Mdp.Arena.compile ~is_tick:(fun _ -> true) cascade_expl))
 
 (* ------------------------------------------------------------------ *)
 (* DOT export *)
 
 let test_dot_export () =
-  let dot = Mdp.Dot.to_string choice_expl ~name:"choice" () in
+  let dot = Mdp.Dot.to_string choice_arena ~name:"choice" () in
   Alcotest.(check bool) "has header" true
     (Astring.String.is_prefix ~affix:"digraph" dot);
   Alcotest.(check bool) "has states" true
@@ -671,13 +677,13 @@ let test_dot_export () =
 
 let test_dot_highlight_and_limit () =
   let dot =
-    Mdp.Dot.to_string choice_expl
+    Mdp.Dot.to_string choice_arena
       ~highlight:(fun s -> s = Test_support.Toys.Choice.S1) ()
   in
   Alcotest.(check bool) "highlight present" true
     (Astring.String.is_infix ~affix:"lightgray" dot);
   Alcotest.(check bool) "limit enforced" true
-    (try ignore (Mdp.Dot.to_string choice_expl ~max_states:1 ()); false
+    (try ignore (Mdp.Dot.to_string choice_arena ~max_states:1 ()); false
      with Invalid_argument _ -> true)
 
 (* Random well-formed clocked automata: a "walker" over [m] phases with
@@ -727,19 +733,19 @@ let prop_engines_agree_on_random_clocked =
        (QCheck.int_range 0 6))
     (fun (seed, m, ticks) ->
        let pa = random_clocked_pa seed m in
-       let expl = Mdp.Explore.run pa in
+       let is_tick = function `Tick -> true | `Step -> false in
+       let arena = Mdp.Arena.of_pa ~is_tick pa in
        let target =
-         Array.init (Mdp.Explore.num_states expl) (fun i ->
-             let phase, _, _ = Mdp.Explore.state expl i in
+         Array.init (Mdp.Arena.num_states arena) (fun i ->
+             let phase, _, _ = Mdp.Arena.state arena i in
              phase = m - 1)
        in
-       let is_tick = function `Tick -> true | `Step -> false in
-       let exact = Mdp.Finite_horizon.min_reach expl ~is_tick ~target ~ticks in
+       let exact = Mdp.Finite_horizon.min_reach arena ~target ~ticks in
        let rational =
-         Mdp.Finite_horizon.min_reach_rational expl ~is_tick ~target ~ticks
+         Mdp.Finite_horizon.min_reach_rational arena ~target ~ticks
        in
        let approx =
-         Mdp.Finite_horizon.min_reach_float expl ~is_tick ~target ~ticks
+         Mdp.Finite_horizon.min_reach_float arena ~target ~ticks
        in
        Array.for_all2 Q.equal exact rational
        && Array.for_all2
@@ -751,9 +757,9 @@ let prop_random_clocked_zeno_free =
     (QCheck.pair (QCheck.int_range 0 100_000) (QCheck.int_range 2 5))
     (fun (seed, m) ->
        let pa = random_clocked_pa seed m in
-       let expl = Mdp.Explore.run pa in
-       Mdp.Zeno.is_well_formed expl
-         ~is_tick:(function `Tick -> true | `Step -> false))
+       Mdp.Zeno.is_well_formed
+         (Mdp.Arena.of_pa
+            ~is_tick:(function `Tick -> true | `Step -> false) pa))
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 

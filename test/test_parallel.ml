@@ -138,47 +138,42 @@ let check_bit_identical name (seq : Q.t array) pooled =
          (snd (List.hd pooled)).(i))
     seq
 
-let reach_all_pools name expl ~is_tick ~target ~ticks =
-  let seq =
-    Mdp.Finite_horizon.min_reach expl ~is_tick ~target ~ticks
-  in
+let reach_all_pools name arena ~target ~ticks =
+  let seq = Mdp.Finite_horizon.min_reach arena ~target ~ticks in
   let pooled =
     List.map
       (fun domains ->
          ( domains,
            with_pool domains (fun pool ->
-               Mdp.Finite_horizon.min_reach ~pool expl ~is_tick ~target
-                 ~ticks) ))
+               Mdp.Finite_horizon.min_reach ~pool arena ~target ~ticks) ))
       [ 1; 2; 4 ]
   in
   check_bit_identical name seq pooled
 
 let test_lr_min_reach_bit_identical () =
   let inst = Lazy.force lr_inst in
-  let expl = inst.LR.Proof.expl in
-  reach_all_pools "LR min_reach" expl ~is_tick:LR.Automaton.is_tick
-    ~target:(Mdp.Explore.indicator expl LR.Regions.c)
+  let arena = inst.LR.Proof.arena in
+  reach_all_pools "LR min_reach" arena
+    ~target:(Mdp.Arena.indicator arena LR.Regions.c)
     ~ticks:13
 
 let test_ben_or_min_reach_bit_identical () =
   let inst = Lazy.force bo_inst in
-  let expl = inst.BO.Proof.expl in
+  let arena = inst.BO.Proof.arena in
   let target =
-    Mdp.Explore.indicator expl
+    Mdp.Arena.indicator arena
       (Core.Pred.make "decided" BO.Automaton.some_decided)
   in
-  reach_all_pools "Ben-Or min_reach" expl
-    ~is_tick:BO.Automaton.is_tick ~target ~ticks:3
+  reach_all_pools "Ben-Or min_reach" arena ~target ~ticks:3
 
 let test_lr_max_reach_and_policy_pools () =
   let inst = Lazy.force lr_inst in
-  let expl = inst.LR.Proof.expl in
-  let is_tick = LR.Automaton.is_tick in
-  let target = Mdp.Explore.indicator expl LR.Regions.c in
-  let seq = Mdp.Finite_horizon.max_reach expl ~is_tick ~target ~ticks:5 in
+  let arena = inst.LR.Proof.arena in
+  let target = Mdp.Arena.indicator arena LR.Regions.c in
+  let seq = Mdp.Finite_horizon.max_reach arena ~target ~ticks:5 in
   with_pool 4 (fun pool ->
       let par =
-        Mdp.Finite_horizon.max_reach ~pool expl ~is_tick ~target ~ticks:5
+        Mdp.Finite_horizon.max_reach ~pool arena ~target ~ticks:5
       in
       Array.iteri
         (fun i x ->
@@ -187,12 +182,11 @@ let test_lr_max_reach_and_policy_pools () =
              x par.(i))
         seq;
       let v1, p1 =
-        Mdp.Finite_horizon.min_reach_with_policy ~pool expl ~is_tick
-          ~target ~ticks:5
+        Mdp.Finite_horizon.min_reach_with_policy ~pool arena ~target
+          ~ticks:5
       in
       let v0, p0 =
-        Mdp.Finite_horizon.min_reach_with_policy expl ~is_tick ~target
-          ~ticks:5
+        Mdp.Finite_horizon.min_reach_with_policy arena ~target ~ticks:5
       in
       Alcotest.(check bool) "policies agree" true (p0 = p1);
       Array.iteri
@@ -207,17 +201,15 @@ let test_float_engines_pool_invariant () =
      schedule, same chunk grid); sequential Gauss-Seidel may differ in
      low-order bits and is not compared here. *)
   let inst = Lazy.force lr_inst in
-  let expl = inst.LR.Proof.expl in
-  let is_tick = LR.Automaton.is_tick in
-  let target = Mdp.Explore.indicator expl LR.Regions.c in
+  let arena = inst.LR.Proof.arena in
+  let target = Mdp.Arena.indicator arena LR.Regions.c in
   let reach_at domains =
     with_pool domains (fun pool ->
-        Mdp.Finite_horizon.min_reach_float ~pool expl ~is_tick ~target
-          ~ticks:8)
+        Mdp.Finite_horizon.min_reach_float ~pool arena ~target ~ticks:8)
   in
   let expected_at domains =
     with_pool domains (fun pool ->
-        Mdp.Expected_time.max_expected_ticks ~pool expl ~is_tick ~target ())
+        Mdp.Expected_time.max_expected_ticks ~pool arena ~target ())
   in
   let r1 = reach_at 1 and r4 = reach_at 4 in
   Alcotest.(check bool) "min_reach_float 1 = 4 domains" true (r1 = r4);
@@ -225,7 +217,7 @@ let test_float_engines_pool_invariant () =
   Alcotest.(check bool) "max_expected_ticks 1 = 4 domains" true (e1 = e4);
   (* And against the sequential schedule the fixpoints agree to the
      value-iteration tolerance. *)
-  let eseq = Mdp.Expected_time.max_expected_ticks expl ~is_tick ~target () in
+  let eseq = Mdp.Expected_time.max_expected_ticks arena ~target () in
   Array.iteri
     (fun i x ->
        let y = e4.(i) in

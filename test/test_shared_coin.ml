@@ -74,7 +74,7 @@ let test_validation () =
 let test_zeno_well_formed () =
   let inst = SC.Proof.build ~n:3 ~bound:3 () in
   Alcotest.(check bool) "encoding is zeno-free" true
-    (Mdp.Zeno.is_well_formed inst.SC.Proof.expl ~is_tick:Au.is_tick)
+    (Mdp.Zeno.is_well_formed inst.SC.Proof.arena)
 
 (* ------------------------------------------------------------------ *)
 (* Proof *)
@@ -142,19 +142,14 @@ let test_adversary_cannot_bias () =
      symmetry): the adversary controls timing, never direction. *)
   let inst = SC.Proof.build ~n:2 ~bound:2 () in
   let expl = inst.SC.Proof.expl in
+  let arena = inst.SC.Proof.arena in
   let plus =
     Core.Pred.make "decided +" (fun s -> s.Au.counter >= 2)
   in
   let target = Mdp.Explore.indicator expl plus in
   let horizon = 40 (* effectively unbounded for B=2 *) in
-  let vmin =
-    Mdp.Finite_horizon.min_reach expl ~is_tick:Au.is_tick ~target
-      ~ticks:horizon
-  in
-  let vmax =
-    Mdp.Finite_horizon.max_reach expl ~is_tick:Au.is_tick ~target
-      ~ticks:horizon
-  in
+  let vmin = Mdp.Finite_horizon.min_reach arena ~target ~ticks:horizon in
+  let vmax = Mdp.Finite_horizon.max_reach arena ~target ~ticks:horizon in
   let i = Option.get (Mdp.Explore.index expl (Au.start inst.SC.Proof.params)) in
   Alcotest.(check bool) "min close to 1/2" true
     (Q.to_float vmin.(i) > 0.499);

@@ -393,13 +393,13 @@ let test_layered_policy_replay () =
   (* Extract the walker's 3-tick minimizing policy and replay it: the
      simulated reach frequency must match the exact minimum 7/8. *)
   let expl = Mdp.Explore.run Toys.Walker.pa in
+  let arena = Mdp.Arena.compile ~is_tick:Toys.Walker.is_tick expl in
   let target =
     Array.init (Mdp.Explore.num_states expl) (fun i ->
         Mdp.Explore.state expl i = Toys.Walker.Done)
   in
   let values, policy =
-    Mdp.Finite_horizon.min_reach_with_policy expl
-      ~is_tick:Toys.Walker.is_tick ~target ~ticks:3
+    Mdp.Finite_horizon.min_reach_with_policy arena ~target ~ticks:3
   in
   let start_i = Option.get (Mdp.Explore.index expl Toys.Walker.start) in
   let exact = Q.to_float values.(start_i) in
