@@ -56,16 +56,16 @@ let bench_tests () =
     Test.make ~name:"e4:event schema evaluation (Example 4.1)"
       (Staged.stage (fun () ->
            let tree =
-             Core.Exec_automaton.unfold Experiments.Race.pa
-               Experiments.Race.dependency_adversary Experiments.Race.start
+             Core.Exec_automaton.unfold Models.Race.pa
+               Models.Race.dependency_adversary Models.Race.start
                ~max_depth:4
            in
            let conj =
              Core.Event.conj
-               (Core.Event.first Experiments.Race.Flip_p
-                  Experiments.Race.p_heads)
-               (Core.Event.first Experiments.Race.Flip_q
-                  Experiments.Race.q_tails)
+               (Core.Event.first Models.Race.Flip_p
+                  Models.Race.p_heads)
+               (Core.Event.first Models.Race.Flip_q
+                  Models.Race.q_tails)
            in
            Core.Exec_automaton.prob_exact conj tree))
   in
@@ -178,11 +178,49 @@ let bench_tests () =
              Proba.Dist.bind (Proba.Dist.coin 0 1) (fun x ->
                  Proba.Dist.coin x (x + 2)))) ]
   in
+  (* The verification service, measured through a real socket: one
+     keep-alive round trip per run against an in-process daemon.  The
+     /check kernel is pre-warmed so it times a result-cache hit (HTTP +
+     dispatch + cache lookup), not re-verification.  Both kernels share
+     one connection: an idle-but-open keep-alive connection parks a
+     worker until its read timeout, so a second connection would see
+     timeout-sized latencies on a small pool. *)
+  let serve_tests =
+    let d =
+      Server.Daemon.start
+        { Server.Daemon.default_config with
+          Server.Daemon.port = 0; domains = 2; cache_mb = 32;
+          read_timeout = 1.0 }
+    in
+    at_exit (fun () ->
+        Server.Daemon.stop d;
+        Server.Daemon.wait d);
+    let conn =
+      Server.Load.Conn.create
+        { Server.Load.host = "127.0.0.1";
+          port = Server.Daemon.port d; target = "/" }
+    in
+    (* Warm outside the measured region: daemon start + the one real
+       verification happen here, so the kernels time steady-state round
+       trips only. *)
+    (match Server.Load.Conn.request conn "/check?model=lr&n=3" with
+     | Ok _ -> ()
+     | Error e -> failwith ("serve bench warmup: " ^ e));
+    let roundtrip target =
+      match Server.Load.Conn.request conn target with
+      | Ok r -> r.Server.Http.status
+      | Error e -> failwith ("serve bench: " ^ e)
+    in
+    [ Test.make ~name:"serve:throughput (/health round trip)"
+        (Staged.stage (fun () -> roundtrip "/health"));
+      Test.make ~name:"serve:cache-hit (/check lr n=3, warm)"
+        (Staged.stage (fun () -> roundtrip "/check?model=lr&n=3")) ]
+  in
   Test.make_grouped ~name:"prtb"
     ([ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; float_engine;
        rational_engine; arena_compile; arena_sweep; bisim;
        sim ]
-     @ substrate)
+     @ substrate @ serve_tests)
 
 (* ----------------------------------------------------------------- *)
 

@@ -343,13 +343,44 @@ let check_seed_arg =
        & info [ "seed" ] ~docv:"S"
            ~doc:"PRNG seed for the Monte Carlo fallback.")
 
+let check_format_arg =
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format.  $(b,json) prints exactly the body \
+                 $(b,prtb serve) answers on /check for the same \
+                 parameters (byte for byte); $(b,text) is the \
+                 human-readable report.")
+
+(* The served and CLI JSON bodies are bit-identical because both print
+   [Server.Service.check_json]; test/test_server.ml holds the two
+   byte-for-byte equal. *)
+let check_json system n g k topology bound cap =
+  let topology = Option.value topology ~default:"ring" in
+  (match system, topology with
+   | `Lr, ("ring" | "line" | "star") -> ()
+   | `Lr, other -> failwith (Printf.sprintf "unknown topology %S" other)
+   | _, "ring" -> ()
+   | _, other ->
+     failwith (Printf.sprintf "topology %S applies to the lr system only" other));
+  let q =
+    { Server.Protocol.model = system; n; g; k; topology; bound; cap;
+      max_states = None }
+  in
+  print_endline (Analysis.Json.to_string (Server.Service.check_json q))
+
 let check_cmd =
-  let run domains stats system n g k topology bound cap faults budget release
-      seed =
+  let run domains stats format system n g k topology bound cap faults budget
+      release seed =
     install_domains domains;
     try
       Ok
-        ((match system with
+        ((match format, faults with
+         | `Json, Some _ ->
+           failwith "--format json does not cover --faults runs; drop one"
+         | `Json, None -> check_json system n g k topology bound cap
+         | `Text, _ ->
+           match system with
          | `Lr ->
            (match faults, topology with
             | Some f, (None | Some "ring") ->
@@ -391,9 +422,9 @@ let check_cmd =
              fault budget, falling back to simulation when --budget is \
              exceeded.")
     Term.(term_result
-            (const run $ domains_arg $ stats_arg $ system_arg
-             $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg $ bound_arg
-             $ cap_arg $ faults_arg $ budget_arg $ release_arg
+            (const run $ domains_arg $ stats_arg $ check_format_arg
+             $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg
+             $ bound_arg $ cap_arg $ faults_arg $ budget_arg $ release_arg
              $ check_seed_arg))
 
 (* ----------------------------------------------------------------- *)
@@ -565,16 +596,12 @@ let export_dot_cmd =
 let lint stats models format strict max_states =
   let targets =
     match models with
-    | [] -> Ok Lint_targets.all
+    | [] -> Ok Models.entries
     | names ->
       let rec pick acc = function
         | [] -> Ok (List.rev acc)
         | name :: rest ->
-          (match
-             List.find_opt
-               (fun (n, _, _) -> String.equal n name)
-               Lint_targets.all
-           with
+          (match Models.find_opt name with
            | Some t -> pick (t :: acc) rest
            | None ->
              Error
@@ -582,7 +609,7 @@ let lint stats models format strict max_states =
                   (Printf.sprintf "unknown lint target %S (try one of: %s)"
                      name
                      (String.concat ", "
-                        (List.map (fun (n, _, _) -> n) Lint_targets.all)))))
+                        (List.map (fun e -> e.Models.name) Models.entries)))))
       in
       pick [] names
   in
@@ -591,7 +618,7 @@ let lint stats models format strict max_states =
   | Ok targets ->
     let report =
       Analysis.Report.merge_all
-        (List.map (fun (_, _, run) -> run ~max_states ()) targets)
+        (List.map (fun e -> e.Models.lint ~max_states ()) targets)
     in
     (match format with
      | `Text -> Format.printf "@[<v>%a@]@." Analysis.Report.pp_text report
@@ -607,7 +634,7 @@ let lint_cmd =
              ~doc:(Printf.sprintf
                      "Lint targets (all when omitted): %s."
                      (String.concat ", "
-                        (List.map (fun (n, _, _) -> n) Lint_targets.all))))
+                        (List.map (fun e -> e.Models.name) Models.entries))))
   in
   let format =
     Arg.(value
@@ -636,6 +663,112 @@ let lint_cmd =
             (const lint $ stats_arg $ models $ format $ strict $ max_states))
 
 (* ----------------------------------------------------------------- *)
+(* serve *)
+
+let serve_cmd =
+  let d = Server.Daemon.default_config in
+  let port =
+    Arg.(value & opt int d.Server.Daemon.port
+         & info [ "port" ] ~docv:"P"
+             ~doc:"TCP port to listen on (0 picks a free one; the banner \
+                   prints it).")
+  in
+  let host =
+    Arg.(value & opt string d.Server.Daemon.host
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let domains =
+    Arg.(value & opt int d.Server.Daemon.domains
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Total domains: one accept loop plus N-1 workers \
+                   (minimum 2).")
+  in
+  let cache_mb =
+    Arg.(value & opt int d.Server.Daemon.cache_mb
+         & info [ "cache-mb" ] ~docv:"M"
+             ~doc:"Capacity of the compiled-arena registry cache and of \
+                   the finished-result cache, M MiB each.")
+  in
+  let accept_queue =
+    Arg.(value & opt int d.Server.Daemon.accept_queue
+         & info [ "accept-queue" ] ~docv:"Q"
+             ~doc:"Accepted connections allowed to wait for a worker \
+                   before new ones are answered 503.")
+  in
+  let max_states =
+    Arg.(value & opt int d.Server.Daemon.max_states
+         & info [ "max-states" ] ~docv:"N"
+             ~doc:"Per-request exploration ceiling; hostile queries get a \
+                   structured \"exhausted\" verdict instead of a wedged \
+                   worker.")
+  in
+  let run host port domains cache_mb accept_queue max_states =
+    if domains < 2 then
+      Error (`Msg "serve needs --domains >= 2 (one accepts, the rest work)")
+    else begin
+      Server.Daemon.run
+        { d with Server.Daemon.host; port; domains; cache_mb; accept_queue;
+          max_states };
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent verification service: an HTTP daemon \
+             answering /check, /simulate, /lint, /stats and /health from \
+             a pool of worker domains, with LRU caching of compiled \
+             arenas and finished results (see docs/SERVER.md).  SIGTERM \
+             drains accepted connections and exits 0.")
+    Term.(term_result
+            (const run $ host $ port $ domains $ cache_mb $ accept_queue
+             $ max_states))
+
+(* ----------------------------------------------------------------- *)
+(* loadtest *)
+
+let loadtest_cmd =
+  let url =
+    Arg.(required & opt (some string) None
+         & info [ "url" ] ~docv:"URL"
+             ~doc:"Target, e.g. http://127.0.0.1:8080/health or a full \
+                   /check query.")
+  in
+  let clients =
+    Arg.(value & opt int 8
+         & info [ "clients" ] ~docv:"C"
+             ~doc:"Concurrent client domains, one keep-alive connection \
+                   each.")
+  in
+  let requests =
+    Arg.(value & opt int 400
+         & info [ "requests" ] ~docv:"R"
+             ~doc:"Total round trips, spread over the clients.")
+  in
+  let run url clients requests =
+    if clients < 1 then Error (`Msg "--clients must be positive")
+    else if requests < 1 then Error (`Msg "--requests must be positive")
+    else
+      match Server.Load.parse_url url with
+      | Error e -> Error (`Msg e)
+      | Ok u ->
+        let r = Server.Load.run u ~clients ~requests in
+        Format.printf "%a@." Server.Load.pp r;
+        if r.Server.Load.protocol_errors > 0 then
+          Error
+            (`Msg
+               (Printf.sprintf "%d protocol error(s)"
+                  r.Server.Load.protocol_errors))
+        else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:"Hammer a running $(b,prtb serve) with concurrent keep-alive \
+             clients and report throughput and latency percentiles.  \
+             Exits nonzero on any protocol error (503 rejections are \
+             reported but are not protocol errors).")
+    Term.(term_result (const run $ url $ clients $ requests))
+
+(* ----------------------------------------------------------------- *)
 
 let () =
   let doc =
@@ -646,4 +779,4 @@ let () =
   let info = Cmd.info "prtb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ experiments_cmd; check_cmd; simulate_cmd; export_dot_cmd;
-         lint_cmd ]))
+         lint_cmd; serve_cmd; loadtest_cmd ]))

@@ -20,11 +20,11 @@ let () =
 
   (* The dependence-creating adversary: flip P; flip Q only on heads. *)
   let tree adv =
-    Core.Exec_automaton.unfold Experiments.Race.pa adv Experiments.Race.start
+    Core.Exec_automaton.unfold Models.Race.pa adv Models.Race.start
       ~max_depth:4
   in
-  let first_p = E.first Experiments.Race.Flip_p Experiments.Race.p_heads in
-  let first_q = E.first Experiments.Race.Flip_q Experiments.Race.q_tails in
+  let first_p = E.first Models.Race.Flip_p Models.Race.p_heads in
+  let first_q = E.first Models.Race.Flip_q Models.Race.q_tails in
   let conj = E.conj first_p first_q in
 
   let show name adv =
@@ -38,13 +38,13 @@ let () =
       (pp_q (Core.Exec_automaton.prob_exact conj t));
     let both =
       Core.Pred.make "both" (fun s ->
-          s.Experiments.Race.p <> Experiments.Race.Unflipped
-          && s.Experiments.Race.q <> Experiments.Race.Unflipped)
+          s.Models.Race.p <> Models.Race.Unflipped
+          && s.Models.Race.q <> Models.Race.Unflipped)
     in
     let ht =
       Core.Pred.make "H,T" (fun s ->
-          s.Experiments.Race.p = Experiments.Race.Heads
-          && s.Experiments.Race.q = Experiments.Race.Tails)
+          s.Models.Race.p = Models.Race.Heads
+          && s.Models.Race.q = Models.Race.Tails)
     in
     let pb = Core.Exec_automaton.prob_exact (E.eventually both) t in
     let pht = Core.Exec_automaton.prob_exact (E.eventually ht) t in
@@ -54,8 +54,8 @@ let () =
         (pp_q (Q.div pht pb));
     print_newline ()
   in
-  show "fair" Experiments.Race.fair_adversary;
-  show "dependency" Experiments.Race.dependency_adversary;
+  show "fair" Models.Race.fair_adversary;
+  show "dependency" Models.Race.dependency_adversary;
 
   print_endline
     "The dependency adversary drives the conditional probability to 1/2:";
@@ -68,11 +68,11 @@ let () =
   print_endline "";
 
   let pairs =
-    [ (Experiments.Race.Flip_p, Experiments.Race.p_heads, Q.half);
-      (Experiments.Race.Flip_q, Experiments.Race.q_tails, Q.half) ]
+    [ (Models.Race.Flip_p, Models.Race.p_heads, Q.half);
+      (Models.Race.Flip_q, Models.Race.q_tails, Q.half) ]
   in
   let premise =
-    E.check_premise Experiments.Race.pa ~states:Experiments.Race.all_states
+    E.check_premise Models.Race.pa ~states:Models.Race.all_states
       pairs
   in
   Printf.printf "  premise (every flip gives its set prob >= 1/2): %b\n"

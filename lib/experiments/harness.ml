@@ -3,6 +3,7 @@ module LR = Lehmann_rabin
 module IR = Itai_rodeh
 module SC = Shared_coin
 module BO = Ben_or
+module Race = Models.Race
 
 type config = {
   lr_ns : int list;

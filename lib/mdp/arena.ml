@@ -15,12 +15,13 @@ type ('s, 'a) t = {
 }
 
 (* Process-wide count of compilations, surfaced through [Models.stats]
-   alongside [Explore.explorations]. *)
-let compiles_counter = ref 0
-let compiles () = !compiles_counter
+   alongside [Explore.explorations].  Atomic: [prtb serve] workers may
+   compile distinct models concurrently. *)
+let compiles_counter = Atomic.make 0
+let compiles () = Atomic.get compiles_counter
 
 let compile ?is_tick expl =
-  incr compiles_counter;
+  Atomic.incr compiles_counter;
   let n = Explore.num_states expl in
   let num_steps = Explore.num_choices expl in
   let num_branches = Explore.num_branches expl in

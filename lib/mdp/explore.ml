@@ -20,9 +20,11 @@ type ('s, 'a) partial = {
 
 (* Process-wide count of BFS explorations, surfaced through
    [Models.stats] so the CLI can assert that memoization collapses
-   repeated model uses into one exploration. *)
-let explorations_counter = ref 0
-let explorations () = !explorations_counter
+   repeated model uses into one exploration.  Atomic because several
+   worker domains may explore distinct models concurrently under
+   [prtb serve]. *)
+let explorations_counter = Atomic.make 0
+let explorations () = Atomic.get explorations_counter
 
 (* Shared BFS.  Interning order is FIFO visitation order, so states are
    expanded in index order and an incomplete run's frontier is exactly
@@ -30,7 +32,7 @@ let explorations () = !explorations_counter
    expansion; [hard_max] reproduces the legacy contract of {!run}
    (raise the moment a state beyond the bound would be interned). *)
 let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
-  incr explorations_counter;
+  Atomic.incr explorations_counter;
   let table =
     Funtbl.create ~equal:(Core.Pa.equal_state m) ~hash:(Core.Pa.hash_state m)
       1024

@@ -4,70 +4,189 @@ module LR = Lehmann_rabin
 module IR = Itai_rodeh
 module SC = Shared_coin
 module BO = Ben_or
+module Race = Race
 
 (* ------------------------------------------------------------------ *)
 (* Memoized builders.
 
-   Every surface (prtb subcommands, the lint targets, the experiment
-   harness, the benchmarks) resolves case-study instances through these
-   functions, so within one process invocation each (model, parameters)
-   pair is explored and compiled exactly once no matter how many
-   surfaces touch it. *)
+   Every surface (prtb subcommands, the verification server, the lint
+   targets, the experiment harness, the benchmarks) resolves case-study
+   instances through these functions, so within one process invocation
+   each (model, parameters) pair is explored and compiled exactly once
+   no matter how many surfaces touch it.
+
+   The registry is domain-safe: [prtb serve] workers hit it
+   concurrently.  One mutex guards all tables and counters; builds run
+   OUTSIDE the lock (so distinct keys explore in parallel) with the key
+   marked in [building], and domains asking for an in-flight key wait
+   on [built_cond].  The result is the build-once guarantee under
+   contention: N domains requesting the same key perform exactly one
+   exploration and one compile (asserted by the multi-domain hammer in
+   test/test_models.ml).
+
+   Caching is optionally bounded: [set_capacity (Some bytes)] turns the
+   memo tables into one LRU with per-instance costs estimated from the
+   compiled arena size.  The server wires [--cache-mb] here; the CLI
+   default stays unbounded (process lifetimes are one query long). *)
+
+let mu = Mutex.create ()
+let built_cond = Condition.create ()
 
 let builds_counter = ref 0
 let hits_counter = ref 0
+let evictions_counter = ref 0
+let clock = ref 0
+let total_cost = ref 0
+let capacity_ref : int option ref = ref None
 
-let memo cache key build =
-  match Hashtbl.find_opt cache key with
-  | Some inst ->
-    incr hits_counter;
-    inst
-  | None ->
-    incr builds_counter;
-    let inst = build () in
-    Hashtbl.add cache key inst;
-    inst
+(* One row per cached instance, across all typed tables: LRU metadata
+   plus a closure that removes the instance from its typed table. *)
+type meta = { cost : int; mutable last : int; remove : unit -> unit }
 
-let lr_cache : (int * int * int * int option, LR.Proof.instance) Hashtbl.t =
-  Hashtbl.create 8
+let metas : (string, meta) Hashtbl.t = Hashtbl.create 32
+let building : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let next_tick () =
+  incr clock;
+  !clock
+
+(* Called with [mu] held. *)
+let evict_over_capacity () =
+  match !capacity_ref with
+  | None -> ()
+  | Some cap ->
+    while !total_cost > cap && Hashtbl.length metas > 0 do
+      let oldest =
+        Hashtbl.fold
+          (fun key m acc ->
+             match acc with
+             | Some (_, m') when m'.last <= m.last -> acc
+             | Some _ | None -> Some (key, m))
+          metas None
+      in
+      match oldest with
+      | None -> ()
+      | Some (key, m) ->
+        Hashtbl.remove metas key;
+        m.remove ();
+        total_cost := !total_cost - m.cost;
+        incr evictions_counter
+    done
+
+let set_capacity cap =
+  Mutex.lock mu;
+  capacity_ref := cap;
+  evict_over_capacity ();
+  Mutex.unlock mu
+
+(* Rough retained size of an instance whose arena interns [states]
+   states: CSR rows, the interned state values and the memo overhead,
+   all order-of-magnitude -- the LRU needs proportionality, not
+   precision. *)
+let approx_cost ~states = 4096 + (512 * states)
+
+let memo (type v) (cache : (string, v) Hashtbl.t) ~key ~(cost : v -> int)
+    (build : unit -> v) : v =
+  Mutex.lock mu;
+  let rec obtain () =
+    match Hashtbl.find_opt cache key with
+    | Some v ->
+      incr hits_counter;
+      (match Hashtbl.find_opt metas key with
+       | Some m -> m.last <- next_tick ()
+       | None -> ());
+      Mutex.unlock mu;
+      v
+    | None ->
+      if Hashtbl.mem building key then begin
+        Condition.wait built_cond mu;
+        obtain ()
+      end
+      else begin
+        Hashtbl.add building key ();
+        Mutex.unlock mu;
+        let result =
+          try Ok (build ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock mu;
+        Hashtbl.remove building key;
+        Condition.broadcast built_cond;
+        match result with
+        | Error (e, bt) ->
+          Mutex.unlock mu;
+          Printexc.raise_with_backtrace e bt
+        | Ok v ->
+          incr builds_counter;
+          Hashtbl.replace cache key v;
+          let c = cost v in
+          Hashtbl.replace metas key
+            { cost = c;
+              last = next_tick ();
+              remove = (fun () -> Hashtbl.remove cache key) };
+          total_cost := !total_cost + c;
+          evict_over_capacity ();
+          Mutex.unlock mu;
+          v
+      end
+  in
+  obtain ()
+
+let opt_int = function None -> "" | Some m -> string_of_int m
+
+let lr_cache : (string, LR.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
 let lr ?max_states ?(g = 1) ?(k = 1) ~n () =
-  memo lr_cache (n, g, k, max_states) (fun () ->
-      LR.Proof.build ?max_states ~g ~k ~n ())
+  memo lr_cache
+    ~key:(Printf.sprintf "lr?n=%d&g=%d&k=%d&max_states=%s" n g k
+            (opt_int max_states))
+    ~cost:(fun i ->
+        approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.arena))
+    (fun () -> LR.Proof.build ?max_states ~g ~k ~n ())
 
-let lr_topo_cache
-  : (string * int * int * int option, LR.Proof.topo_instance) Hashtbl.t =
+let lr_topo_cache : (string, LR.Proof.topo_instance) Hashtbl.t =
   Hashtbl.create 8
 
 let lr_topo ?max_states ?(g = 1) ?(k = 1) ~topo () =
-  memo lr_topo_cache (LR.Topology.name topo, g, k, max_states) (fun () ->
-      LR.Proof.build_topo ?max_states ~g ~k ~topo ())
+  memo lr_topo_cache
+    ~key:(Printf.sprintf "lr-topo?topo=%s&g=%d&k=%d&max_states=%s"
+            (LR.Topology.name topo) g k (opt_int max_states))
+    ~cost:(fun i ->
+        approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.tarena))
+    (fun () -> LR.Proof.build_topo ?max_states ~g ~k ~topo ())
 
-let election_cache
-  : (int * int * int * int option, IR.Proof.instance) Hashtbl.t =
-  Hashtbl.create 8
+let election_cache : (string, IR.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
 let election ?max_states ?(g = 1) ?(k = 1) ~n () =
-  memo election_cache (n, g, k, max_states) (fun () ->
-      IR.Proof.build ?max_states ~g ~k ~n ())
+  memo election_cache
+    ~key:(Printf.sprintf "election?n=%d&g=%d&k=%d&max_states=%s" n g k
+            (opt_int max_states))
+    ~cost:(fun i ->
+        approx_cost ~states:(Mdp.Arena.num_states i.IR.Proof.arena))
+    (fun () -> IR.Proof.build ?max_states ~g ~k ~n ())
 
-let coin_cache
-  : (int * int * int * int * int option, SC.Proof.instance) Hashtbl.t =
-  Hashtbl.create 8
+let coin_cache : (string, SC.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
 let coin ?max_states ?(g = 1) ?(k = 1) ~n ~bound () =
-  memo coin_cache (n, bound, g, k, max_states) (fun () ->
-      SC.Proof.build ?max_states ~g ~k ~n ~bound ())
+  memo coin_cache
+    ~key:(Printf.sprintf "coin?n=%d&bound=%d&g=%d&k=%d&max_states=%s" n bound
+            g k (opt_int max_states))
+    ~cost:(fun i ->
+        approx_cost ~states:(Mdp.Arena.num_states i.SC.Proof.arena))
+    (fun () -> SC.Proof.build ?max_states ~g ~k ~n ~bound ())
 
-let consensus_cache
-  : ( int * int * int * bool list * int * int * int option,
-      BO.Proof.instance )
-      Hashtbl.t =
-  Hashtbl.create 8
+let consensus_cache : (string, BO.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
 let consensus ?max_states ?(g = 1) ?(k = 1) ~n ~f ~cap ~initial () =
+  let bits =
+    String.concat "" (List.map (fun b -> if b then "1" else "0")
+                        (Array.to_list initial))
+  in
   memo consensus_cache
-    (n, f, cap, Array.to_list initial, g, k, max_states)
+    ~key:(Printf.sprintf
+            "consensus?n=%d&f=%d&cap=%d&initial=%s&g=%d&k=%d&max_states=%s" n
+            f cap bits g k (opt_int max_states))
+    ~cost:(fun i ->
+        approx_cost ~states:(Mdp.Arena.num_states i.BO.Proof.arena))
     (fun () -> BO.Proof.build ?max_states ~g ~k ~n ~f ~cap ~initial ())
 
 type stats = {
@@ -75,18 +194,30 @@ type stats = {
   compiles : int;
   builds : int;
   cache_hits : int;
+  evictions : int;
+  cached_entries : int;
+  cached_bytes : int;
 }
 
 let stats () =
-  { explorations = Mdp.Explore.explorations ();
-    compiles = Mdp.Arena.compiles ();
-    builds = !builds_counter;
-    cache_hits = !hits_counter }
+  Mutex.lock mu;
+  let s =
+    { explorations = Mdp.Explore.explorations ();
+      compiles = Mdp.Arena.compiles ();
+      builds = !builds_counter;
+      cache_hits = !hits_counter;
+      evictions = !evictions_counter;
+      cached_entries = Hashtbl.length metas;
+      cached_bytes = !total_cost }
+  in
+  Mutex.unlock mu;
+  s
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "registry: explorations: %d, compiles: %d, builds: %d, cache hits: %d"
-    s.explorations s.compiles s.builds s.cache_hits
+    "registry: explorations: %d, compiles: %d, builds: %d, cache hits: %d, \
+     evictions: %d"
+    s.explorations s.compiles s.builds s.cache_hits s.evictions
 
 (* ------------------------------------------------------------------ *)
 (* The walker of examples/quickstart.ml, registered here so the lint
@@ -235,6 +366,13 @@ let lint_walker ~max_states () =
     (Analysis.config ~name:"example:walker" ~is_tick:Walker.is_tick
        ~max_states Walker.pa)
 
+let lint_race ~max_states () =
+  Analysis.run
+    (Analysis.config ~name:"example:race"
+       ~accept_terminal:(fun s ->
+           s.Race.p <> Race.Unflipped && s.Race.q <> Race.Unflipped)
+       ~max_states Race.pa)
+
 let lint_lr_crash ~max_states () =
   let config =
     { Faults.Lr.params = { LR.Automaton.n = 3; g = 1; k = 1 };
@@ -305,7 +443,8 @@ let entries =
     ("lr-crash",
      "Lehmann-Rabin ring (n=3) under one crash + degraded claims",
      lint_lr_crash);
-    ("example:walker", "the quickstart walker automaton", lint_walker) ]
+    ("example:walker", "the quickstart walker automaton", lint_walker);
+    ("example:race", "the Example 4.1 two-coin automaton", lint_race) ]
 
 let find_opt name =
   List.find_opt (fun e -> String.equal e.name name) entries

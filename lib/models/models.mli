@@ -1,25 +1,34 @@
 (** The model registry: one wiring point between the case studies and
     every surface that consumes them.
 
-    [prtb check], [prtb lint], [prtb export-dot], the experiment
-    harness and the benchmarks all resolve case-study instances through
-    the memoized builders below, so within one process invocation each
-    (model, parameters) pair is explored and its {!Mdp.Arena} compiled
-    {e exactly once} -- [prtb check lr --stats] reports
-    [explorations: 1, compiles: 1].
+    [prtb check], [prtb serve], [prtb lint], [prtb export-dot], the
+    experiment harness and the benchmarks all resolve case-study
+    instances through the memoized builders below, so within one
+    process invocation each (model, parameters) pair is explored and
+    its {!Mdp.Arena} compiled {e exactly once} -- [prtb check lr
+    --stats] reports [explorations: 1, compiles: 1].
 
-    The registry also owns the built-in lint targets for [prtb lint]
+    The registry is {e domain-safe}: concurrent [prtb serve] workers
+    requesting the same key block on the single in-flight build instead
+    of racing it, so the build-once guarantee survives contention
+    (builds of distinct keys still run in parallel).
+
+    The registry also owns all built-in lint targets for [prtb lint]
     (each target couples an automaton with the model knowledge that
     unlocks the deeper checks: tick classifier, intended terminals,
-    finished claims).  The [example:race] target stays in
-    [bin/lint_targets.ml] because it lives in the experiments library,
-    which itself depends on this one. *)
+    finished claims).  [example:race] moved here with its automaton
+    ({!Race}), retiring [bin/lint_targets.ml]. *)
+
+(** The Example 4.1 two-coin automaton (here so the lint-target table
+    needs nothing from the experiments library). *)
+module Race = Race
 
 (** {1 Memoized instance builders}
 
     Parameters mirror the proof modules' [build] functions; results are
     cached per parameter tuple (including [max_states]) for the
-    lifetime of the process. *)
+    lifetime of the process -- or, under {!set_capacity}, until evicted
+    by more recently used instances. *)
 
 val lr :
   ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit ->
@@ -41,6 +50,17 @@ val consensus :
   ?max_states:int -> ?g:int -> ?k:int -> n:int -> f:int -> cap:int ->
   initial:bool array -> unit -> Ben_or.Proof.instance
 
+(** {1 Cache bounds}
+
+    [set_capacity (Some bytes)] bounds the memory retained by the memo
+    tables: every cached instance carries a cost estimated from its
+    compiled arena size, and when the total exceeds the capacity the
+    least-recently-used instances are evicted (an instance larger than
+    the whole capacity is returned but not retained).  [prtb serve]
+    wires [--cache-mb] here; the one-shot CLI default is [None]
+    (unbounded, process lifetimes are one query long). *)
+val set_capacity : int option -> unit
+
 (** {1 Work accounting} *)
 
 type stats = {
@@ -48,6 +68,9 @@ type stats = {
   compiles : int;  (** {!Mdp.Arena.compiles} *)
   builds : int;  (** instances actually constructed here *)
   cache_hits : int;  (** builder calls answered from the cache *)
+  evictions : int;  (** instances dropped by {!set_capacity} pressure *)
+  cached_entries : int;  (** instances currently retained *)
+  cached_bytes : int;  (** their estimated total cost *)
 }
 
 (** Process-lifetime totals (the exploration and compile counters are
@@ -55,7 +78,8 @@ type stats = {
 val stats : unit -> stats
 
 (** ["registry: explorations: %d, compiles: %d, builds: %d, cache \
-    hits: %d"] -- the line [prtb --stats] prints and CI greps. *)
+    hits: %d, evictions: %d"] -- the line [prtb --stats] prints and CI
+    greps. *)
 val pp_stats : Format.formatter -> stats -> unit
 
 (** {1 Lint targets} *)

@@ -1,6 +1,11 @@
 (** The two-coin automaton of Example 4.1: processes P and Q each flip
     one fair coin; the adversary schedules the flips and may condition
-    one on the outcome of the other. *)
+    one on the outcome of the other.
+
+    Lives in the registry library (as [Models.Race]) so the built-in
+    lint-target table can reference it without a dependency cycle: it
+    used to live in the experiments library, which depends on this
+    one. *)
 
 type coin = Unflipped | Heads | Tails
 type state = { p : coin; q : coin }

@@ -64,6 +64,31 @@ let shutdown pool =
   if not was_closed then Array.iter Domain.join pool.workers
 
 (* ------------------------------------------------------------------ *)
+(* Fire-and-forget jobs (the server work queue).
+
+   [submit] rides the same job queue the regions use, so a pool can
+   serve long-lived connection handlers and still run parallel_for
+   regions issued from inside those handlers: region callers always
+   drain their own chunks, so progress never depends on a free
+   worker. *)
+
+let submit pool job =
+  Mutex.lock pool.lock;
+  let accepted = (not pool.closed) && pool.size > 1 in
+  if accepted then begin
+    Queue.add job pool.jobs;
+    Condition.signal pool.nonempty
+  end;
+  Mutex.unlock pool.lock;
+  accepted
+
+let pending pool =
+  Mutex.lock pool.lock;
+  let n = Queue.length pool.jobs in
+  Mutex.unlock pool.lock;
+  n
+
+(* ------------------------------------------------------------------ *)
 (* Regions. *)
 
 type region = {

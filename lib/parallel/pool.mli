@@ -71,6 +71,28 @@ val map_reduce :
     the pool size) so that chunk-grid-determinism holds by default. *)
 val default_chunks : int
 
+(** {1 Fire-and-forget jobs}
+
+    The verification server reuses a pool as its worker fleet: the
+    accept loop {!submit}s one job per accepted connection and the
+    worker domains run them to completion.  Jobs share the queue the
+    iteration regions use, and a job may itself issue {!parallel_for}
+    calls on the same pool -- region callers always drain their own
+    chunks, so progress never depends on a free worker. *)
+
+(** [submit pool job] enqueues [job] for some worker domain and returns
+    whether it was accepted.  [false] when the pool is closed or has no
+    workers ([domains = 1]: the caller is the only domain, and submit
+    must never run jobs inline).  {!shutdown} drains already-accepted
+    jobs before joining the workers, which is what gives the server its
+    graceful SIGTERM drain. *)
+val submit : t -> (unit -> unit) -> bool
+
+(** Jobs accepted but not yet claimed by a worker (the server's
+    backpressure probe: when this exceeds the accept-queue bound, new
+    connections are answered 503 instead of being queued). *)
+val pending : t -> int
+
 (** {1 Session default}
 
     The CLI installs a pool once per process ([--domains N]); engines

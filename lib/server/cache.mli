@@ -1,0 +1,45 @@
+(** A mutex-guarded LRU cache with byte-cost accounting.
+
+    The service keeps finished query results here, keyed by the
+    canonical request ({!Protocol.canonical_key}); the compiled-arena
+    side of caching lives in the {!Models} registry, which applies the
+    same LRU policy through [Models.set_capacity].  Both are sized from
+    [prtb serve --cache-mb].
+
+    Entries carry a caller-supplied cost (bytes, typically the body
+    length); when the total cost exceeds the capacity, least-recently
+    used entries are evicted.  A single value larger than the whole
+    capacity is accepted but evicted immediately (the caller keeps the
+    value it just computed either way).
+
+    Lookups and insertions are serialized by an internal mutex, so a
+    cache can be shared by every worker domain.  Misses are {e not}
+    locked through the compute: two workers may race to fill the same
+    key, in which case the second insert wins and the loser's work is
+    wasted but harmless (values for equal keys are equal). *)
+
+type 'v t
+
+(** [create ?capacity ~cost ()]: [capacity] is the total cost bound
+    ([None] = unbounded); [cost v] is charged at insertion time. *)
+val create : ?capacity:int -> cost:('v -> int) -> unit -> 'v t
+
+(** [find t key] returns the cached value and marks it most recently
+    used.  Counts a hit or a miss. *)
+val find : 'v t -> string -> 'v option
+
+(** [add t key v] inserts (replacing any previous value under [key])
+    and evicts LRU entries while over capacity. *)
+val add : 'v t -> string -> 'v -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  entries : int;
+  cost_bytes : int;
+  capacity : int option;
+}
+
+val stats : 'v t -> stats

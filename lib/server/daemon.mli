@@ -1,0 +1,67 @@
+(** The accept loop: sockets in, {!Service} replies out.
+
+    A daemon owns one listening socket, an accept-loop domain, and a
+    {!Parallel.Pool} of worker domains.  The accept loop never parses
+    HTTP; it only accepts, applies backpressure, and hands the
+    connection to a worker with [Pool.submit].  Backpressure is the
+    [Pool.pending] probe: when more than [accept_queue] accepted
+    connections are waiting for a worker, new ones are answered with an
+    immediate [503] (code SRV111, counted under
+    ["server"]["overload_rejected"] in [/stats]) instead of queueing
+    without bound.
+
+    Workers run the keep-alive loop: parse a request ({!Http}), route
+    it ({!Service.respond}), write the response, repeat until the
+    client closes, a limit fires, or [max_requests_per_conn] is
+    reached.  Every exception is caught inside the worker -- a broken
+    connection can never take a domain down.
+
+    Shutdown is graceful by construction: {!stop} wakes the accept loop
+    through a self-pipe (also written by the [SIGTERM]/[SIGINT]
+    handlers {!run} installs), the listening socket closes so no new
+    connections arrive, and [Pool.shutdown] drains every
+    already-accepted connection before joining the workers. *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] picks a free port; read it back with {!port} *)
+  domains : int;  (** total domains; clamped to [>= 2] so workers exist *)
+  accept_queue : int;  (** pending-connection bound before 503 *)
+  cache_mb : int;  (** capacity of the registry arena cache {e and} the
+                       result cache, each *)
+  max_states : int;  (** per-request exploration ceiling *)
+  read_timeout : float;  (** seconds a worker waits for request bytes *)
+  max_requests_per_conn : int;  (** keep-alive recycling bound *)
+}
+
+(** 127.0.0.1:8080, 2 domains, queue 16, 64 MiB, 2M states, 10 s,
+    1000 requests/connection. *)
+val default_config : config
+
+type t
+
+(** Bind, listen, spawn the accept loop.  Also applies [cache_mb] to
+    the {!Models} registry ([Models.set_capacity]).  Raises
+    [Unix.Unix_error] when the address is unavailable. *)
+val start : config -> t
+
+(** The bound port (useful after [port = 0]). *)
+val port : t -> int
+
+val service : t -> Service.t
+
+(** Ask the daemon to stop: wakes the accept loop, which closes the
+    listening socket.  Idempotent, async-signal-safe.  Returns
+    immediately; pair with {!wait}. *)
+val stop : t -> unit
+
+(** Join the accept loop, drain the workers ([Pool.shutdown]), close
+    the remaining descriptors.  Call once, after {!stop} (or let a
+    signal trigger the stop). *)
+val wait : t -> unit
+
+(** [run config] is {!start} + [SIGTERM]/[SIGINT] handlers that
+    {!stop} + a listening banner on stdout + {!wait}.  Returns (exit
+    code 0) once the drain completes -- what CI's SIGTERM test
+    asserts. *)
+val run : config -> unit

@@ -1,0 +1,63 @@
+(** The load harness behind [prtb loadtest]: a keep-alive HTTP client
+    and a multi-domain closed-loop load generator.
+
+    Each client domain owns one connection and fires its share of the
+    requests back to back, timing every round trip.  Replies are
+    classified into [ok] (2xx), [rejected] (503 -- the daemon's
+    backpressure answer, expected under deliberate overload), other
+    HTTP errors, and {e protocol} errors (unparsable response,
+    unexpected close); a healthy run has zero of the last kind, which
+    is what the CI smoke asserts.  Connections closed by the server
+    (keep-alive recycling) are transparently reopened. *)
+
+type url = {
+  host : string;
+  port : int;
+  target : string;  (** path plus query string, e.g. ["/health"] *)
+}
+
+(** Parse [http://host:port/path?query].  The scheme is optional;
+    [https] is rejected. *)
+val parse_url : string -> (url, string) result
+
+(** {1 A single keep-alive connection} *)
+
+module Conn : sig
+  type t
+
+  (** No I/O happens until the first request. *)
+  val create : url -> t
+
+  (** One round trip; reconnects (once) when the server closed the
+      kept-alive connection.  [Error] is a protocol error, not an HTTP
+      error status. *)
+  val request :
+    t -> ?meth:string -> ?body:string -> string ->
+    (Http.response_msg, string) result
+
+  val close : t -> unit
+end
+
+(** {1 The generator} *)
+
+type result = {
+  clients : int;
+  requests : int;  (** attempted *)
+  ok : int;  (** 2xx *)
+  rejected : int;  (** 503 *)
+  http_errors : int;  (** non-2xx other than 503 *)
+  protocol_errors : int;
+  duration_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+(** [run url ~clients ~requests] spreads [requests] round trips over
+    [clients] concurrent domains.  Raises [Invalid_argument] when
+    either count is non-positive. *)
+val run : url -> clients:int -> requests:int -> result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,192 @@
+module J = Analysis.Json
+
+type model = [ `Lr | `Election | `Coin | `Consensus ]
+
+let model_name = function
+  | `Lr -> "lr"
+  | `Election -> "election"
+  | `Coin -> "coin"
+  | `Consensus -> "consensus"
+
+type check_query = {
+  model : model;
+  n : int;
+  g : int;
+  k : int;
+  topology : string;
+  bound : int;
+  cap : int;
+  max_states : int option;
+}
+
+type simulate_query = {
+  sim_model : model;
+  sim_n : int;
+  scheduler : string;
+  trials : int;
+  seed : int;
+  within : int option;
+}
+
+type lint_query = { target : string; lint_max_states : int option }
+
+type query =
+  | Check of check_query
+  | Simulate of simulate_query
+  | Lint of lint_query
+  | Stats
+  | Health of { sleep_ms : int }
+
+type error = { status : int; code : string; message : string }
+
+let error ~status ~code message = { status; code; message }
+
+let error_body e =
+  J.to_string
+    (J.Obj
+       [ ( "error",
+           J.Obj
+             [ ("code", J.Str e.code); ("status", J.Int e.status);
+               ("message", J.Str e.message) ] ) ])
+
+(* ------------------------------------------------------------------ *)
+(* Field extraction.
+
+   Parameters arrive either as GET query pairs (strings) or as a POST
+   JSON object; both normalize to a lookup function returning JSON
+   values, so the typed readers below serve both forms. *)
+
+exception Reject of error
+
+let reject status code fmt =
+  Printf.ksprintf (fun m -> raise (Reject (error ~status ~code m))) fmt
+
+let fields_of_request (req : Http.request) =
+  match req.Http.meth with
+  | Http.GET -> fun name -> Option.map (fun v -> J.Str v) (List.assoc_opt name req.Http.query)
+  | Http.POST ->
+    if String.trim req.Http.body = "" then fun _ -> None
+    else
+      (match J.of_string req.Http.body with
+       | Error msg -> reject 400 "SRV102" "malformed JSON body: %s" msg
+       | Ok (J.Obj _ as obj) -> fun name -> J.member name obj
+       | Ok _ -> reject 400 "SRV102" "request body must be a JSON object")
+  | Http.Other m -> reject 405 "SRV101" "method %s is not allowed" m
+
+let int_field fields name ~default =
+  match fields name with
+  | None -> default
+  | Some (J.Int i) -> i
+  | Some (J.Str s) ->
+    (match int_of_string_opt (String.trim s) with
+     | Some i -> i
+     | None -> reject 400 "SRV103" "field %S must be an integer" name)
+  | Some _ -> reject 400 "SRV103" "field %S must be an integer" name
+
+let opt_int_field fields name =
+  match fields name with
+  | None | Some J.Null -> None
+  | Some _ -> Some (int_field fields name ~default:0)
+
+let str_field fields name ~default =
+  match fields name with
+  | None -> default
+  | Some (J.Str s) -> s
+  | Some _ -> reject 400 "SRV103" "field %S must be a string" name
+
+let model_field fields =
+  match String.lowercase_ascii (str_field fields "model" ~default:"lr") with
+  | "lr" | "lehmann-rabin" | "dining" -> `Lr
+  | "election" | "itai-rodeh" -> `Election
+  | "coin" | "shared-coin" -> `Coin
+  | "consensus" | "ben-or" -> `Consensus
+  | other -> reject 404 "SRV104" "unknown model %S" other
+
+let positive name v =
+  if v < 1 then reject 400 "SRV103" "field %S must be positive" name;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint dispatch. *)
+
+let parse_check fields =
+  let model = model_field fields in
+  let topology =
+    String.lowercase_ascii (str_field fields "topology" ~default:"ring")
+  in
+  (match model, topology with
+   | `Lr, ("ring" | "line" | "star") -> ()
+   | `Lr, other -> reject 400 "SRV103" "unknown topology %S" other
+   | _, "ring" -> ()
+   | _, other ->
+     reject 400 "SRV103" "topology %S applies to the lr model only" other);
+  Check
+    { model;
+      n = positive "n" (int_field fields "n" ~default:3);
+      g = positive "g" (int_field fields "g" ~default:1);
+      k = positive "k" (int_field fields "k" ~default:1);
+      topology;
+      bound = positive "bound" (int_field fields "bound" ~default:4);
+      cap = positive "cap" (int_field fields "cap" ~default:2);
+      max_states = Option.map (positive "max_states") (opt_int_field fields "max_states")
+    }
+
+let parse_simulate fields =
+  Simulate
+    { sim_model = model_field fields;
+      sim_n = positive "n" (int_field fields "n" ~default:8);
+      scheduler = str_field fields "scheduler" ~default:"uniform";
+      trials = positive "trials" (int_field fields "trials" ~default:2000);
+      seed = int_field fields "seed" ~default:1994;
+      within = Option.map (positive "within") (opt_int_field fields "within")
+    }
+
+let parse_lint fields =
+  Lint
+    { target = str_field fields "target" ~default:"lr";
+      lint_max_states =
+        Option.map (positive "max_states") (opt_int_field fields "max_states")
+    }
+
+let parse_health fields =
+  let sleep_ms = int_field fields "sleep_ms" ~default:0 in
+  if sleep_ms < 0 || sleep_ms > 5000 then
+    reject 400 "SRV103" "sleep_ms must be between 0 and 5000";
+  Health { sleep_ms }
+
+let of_request (req : Http.request) =
+  try
+    let fields = fields_of_request req in
+    match req.Http.path with
+    | "/check" -> Ok (parse_check fields)
+    | "/simulate" -> Ok (parse_simulate fields)
+    | "/lint" -> Ok (parse_lint fields)
+    | "/stats" -> Ok Stats
+    | "/health" | "/" -> Ok (parse_health fields)
+    | other -> reject 404 "SRV100" "unknown endpoint %S" other
+  with Reject e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Canonical keys. *)
+
+let opt_int = function None -> "" | Some i -> string_of_int i
+
+let canonical_key = function
+  | Check c ->
+    Some
+      (Printf.sprintf
+         "check?model=%s&n=%d&g=%d&k=%d&topology=%s&bound=%d&cap=%d\
+          &max_states=%s"
+         (model_name c.model) c.n c.g c.k c.topology c.bound c.cap
+         (opt_int c.max_states))
+  | Simulate s ->
+    Some
+      (Printf.sprintf
+         "simulate?model=%s&n=%d&scheduler=%s&trials=%d&seed=%d&within=%s"
+         (model_name s.sim_model) s.sim_n s.scheduler s.trials s.seed
+         (opt_int s.within))
+  | Lint l ->
+    Some
+      (Printf.sprintf "lint?target=%s&max_states=%s" l.target
+         (opt_int l.lint_max_states))
+  | Stats | Health _ -> None

@@ -1,0 +1,73 @@
+(** The verification service's wire protocol, on {!Analysis.Json}.
+
+    Endpoints (all responses are JSON bodies):
+
+    - [/check]    exact verification of a case study ({!check_query})
+    - [/simulate] Monte Carlo estimation ({!simulate_query})
+    - [/lint]     a registry lint target ({!lint_query})
+    - [/stats]    registry + cache + server counters
+    - [/health]   liveness probe (accepts [?sleep_ms=N], a load-testing
+                  aid that holds a worker for up to 5 s)
+
+    [/check], [/simulate] and [/lint] accept their parameters either as
+    a JSON object in a [POST] body or as [GET] query-string pairs; both
+    forms normalize into the same query value, so either wire form hits
+    the same cache entry.
+
+    Errors are structured: [{ "error": { "code": "SRV1xx", "status": N,
+    "message": ... } }] with stable diagnostic codes (catalogued in
+    docs/SERVER.md):
+
+    - SRV100 unknown endpoint          - SRV101 method not allowed
+    - SRV102 malformed JSON body       - SRV103 malformed field
+    - SRV104 unknown model/target      - SRV105 malformed budget
+    - SRV110 HTTP protocol error       - SRV111 overloaded (503)
+    - SRV120 budget exhausted          - SRV300 internal error *)
+
+type model = [ `Lr | `Election | `Coin | `Consensus ]
+
+val model_name : model -> string
+
+type check_query = {
+  model : model;
+  n : int;
+  g : int;
+  k : int;
+  topology : string;  (** ["ring"], ["line"] or ["star"] (lr only) *)
+  bound : int;  (** coin barrier *)
+  cap : int;  (** consensus round cap *)
+  max_states : int option;  (** client ceiling; the server clamps it *)
+}
+
+type simulate_query = {
+  sim_model : model;
+  sim_n : int;
+  scheduler : string;
+  trials : int;
+  seed : int;
+  within : int option;
+}
+
+type lint_query = { target : string; lint_max_states : int option }
+
+type query =
+  | Check of check_query
+  | Simulate of simulate_query
+  | Lint of lint_query
+  | Stats
+  | Health of { sleep_ms : int }
+
+type error = { status : int; code : string; message : string }
+
+val error : status:int -> code:string -> string -> error
+
+(** The JSON error body. *)
+val error_body : error -> string
+
+(** Classify and parse an HTTP request into a query. *)
+val of_request : Http.request -> (query, error) result
+
+(** The canonical cache key of a query, with every default filled in
+    -- equal keys answer from the result cache.  [None] for [/stats]
+    and [/health], which are never cached. *)
+val canonical_key : query -> string option

@@ -1,0 +1,454 @@
+module J = Analysis.Json
+module Q = Proba.Rational
+module LR = Lehmann_rabin
+module IR = Itai_rodeh
+module SC = Shared_coin
+module BO = Ben_or
+
+type config = {
+  max_states : int;
+  cache_bytes : int option;
+  max_trials : int;
+}
+
+let default_config =
+  { max_states = 2_000_000; cache_bytes = Some (64 * 1024 * 1024);
+    max_trials = 200_000 }
+
+let default_max_states = default_config.max_states
+
+type t = {
+  config : config;
+  results : string Cache.t;
+  started : float;
+  requests : int Atomic.t;
+  ok : int Atomic.t;
+  client_errors : int Atomic.t;
+  server_errors : int Atomic.t;
+  overload : int Atomic.t;
+}
+
+let create config =
+  { config;
+    results =
+      Cache.create ?capacity:config.cache_bytes ~cost:String.length ();
+    started = Unix.gettimeofday ();
+    requests = Atomic.make 0;
+    ok = Atomic.make 0;
+    client_errors = Atomic.make 0;
+    server_errors = Atomic.make 0;
+    overload = Atomic.make 0 }
+
+let note_overload t = Atomic.incr t.overload
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers. *)
+
+let rat r = J.Str (Q.to_string r)
+let claim_str c = Format.asprintf "%a" Core.Claim.pp c
+
+let composed_json = function
+  | Ok c -> J.Obj [ ("ok", J.Bool true); ("claim", J.Str (claim_str c)) ]
+  | Error e -> J.Obj [ ("ok", J.Bool false); ("error", J.Str e) ]
+
+(* ------------------------------------------------------------------ *)
+(* /check.
+
+   One function per case study, all shaped alike: schema, model,
+   resolved params, a "verdict" ("complete" here; "exhausted" when the
+   state ceiling fired), then the model's own results.  [prtb check
+   --format json] prints exactly these values, which is what makes the
+   served bodies bit-identical to the CLI path. *)
+
+let check_params (c : Protocol.check_query) =
+  let base = [ ("n", J.Int c.Protocol.n); ("g", J.Int c.Protocol.g);
+               ("k", J.Int c.Protocol.k) ] in
+  let extra =
+    match c.Protocol.model with
+    | `Lr -> [ ("topology", J.Str c.Protocol.topology) ]
+    | `Coin -> [ ("bound", J.Int c.Protocol.bound) ]
+    | `Consensus -> [ ("cap", J.Int c.Protocol.cap) ]
+    | `Election -> []
+  in
+  J.Obj (base @ extra)
+
+let check_header ~verdict (c : Protocol.check_query) rest =
+  J.Obj
+    ([ ("schema", J.Str "prtb-check/1");
+       ("model", J.Str (Protocol.model_name c.Protocol.model));
+       ("params", check_params c);
+       ("verdict", J.Str verdict) ]
+     @ rest)
+
+let lr_arrow_json (a : LR.Proof.arrow) =
+  J.Obj
+    [ ("label", J.Str a.LR.Proof.label);
+      ("pre", J.Str (Core.Pred.name a.LR.Proof.pre));
+      ("post", J.Str (Core.Pred.name a.LR.Proof.post));
+      ("time", rat a.LR.Proof.time);
+      ("prob", rat a.LR.Proof.prob);
+      ("attained", rat a.LR.Proof.attained);
+      ("holds", J.Bool (a.LR.Proof.claim <> None)) ]
+
+let check_lr_ring ~max_states (c : Protocol.check_query) =
+  let inst =
+    Models.lr ~max_states ~g:c.Protocol.g ~k:c.Protocol.k ~n:c.Protocol.n ()
+  in
+  check_header ~verdict:"complete" c
+    [ ("states", J.Int (Mdp.Arena.num_states inst.LR.Proof.arena));
+      ( "invariant",
+        J.Str
+          (match LR.Invariant.check inst.LR.Proof.expl with
+           | None -> "holds"
+           | Some _ -> "violated") );
+      ("arrows", J.Arr (List.map lr_arrow_json (LR.Proof.arrows inst)));
+      ("composed", composed_json (LR.Proof.composed inst));
+      ("direct_bound", rat (LR.Proof.direct_bound inst));
+      ( "expected_bound",
+        rat (Core.Expected.value (LR.Proof.expected_bound ())) );
+      ("max_expected_time", J.Num (LR.Proof.max_expected_time inst)) ]
+
+let check_lr_topo ~max_states (c : Protocol.check_query) =
+  let topo =
+    match c.Protocol.topology with
+    | "line" -> LR.Topology.line c.Protocol.n
+    | _ -> LR.Topology.star c.Protocol.n
+  in
+  let inst = Models.lr_topo ~max_states ~g:c.Protocol.g ~k:c.Protocol.k ~topo () in
+  check_header ~verdict:"complete" c
+    [ ("states", J.Int (Mdp.Arena.num_states inst.LR.Proof.tarena));
+      ( "invariant",
+        J.Str
+          (match LR.Proof.invariant_topo inst with
+           | None -> "holds"
+           | Some _ -> "violated") );
+      ("arrows", J.Arr (List.map lr_arrow_json (LR.Proof.arrows_topo inst)));
+      ("composed", composed_json (LR.Proof.composed_topo inst));
+      ("direct_bound", rat (LR.Proof.direct_bound_topo inst));
+      ("max_expected_time", J.Num (LR.Proof.max_expected_time_topo inst)) ]
+
+let check_election ~max_states (c : Protocol.check_query) =
+  let inst = Models.election ~max_states ~n:c.Protocol.n () in
+  let arrow (a : IR.Proof.arrow) =
+    J.Obj
+      [ ("label", J.Str a.IR.Proof.label);
+        ("time", rat a.IR.Proof.time);
+        ("prob", rat a.IR.Proof.prob);
+        ("attained", rat a.IR.Proof.attained);
+        ("holds", J.Bool (a.IR.Proof.claim <> None)) ]
+  in
+  check_header ~verdict:"complete" c
+    [ ("states", J.Int (Mdp.Arena.num_states inst.IR.Proof.arena));
+      ("arrows", J.Arr (List.map arrow (IR.Proof.arrows inst)));
+      ("composed", composed_json (IR.Proof.composed inst));
+      ( "expected_bound",
+        rat (Core.Expected.value (IR.Proof.expected_bound ~n:c.Protocol.n)) );
+      ("max_expected_time", J.Num (IR.Proof.max_expected_time inst)) ]
+
+let check_coin ~max_states (c : Protocol.check_query) =
+  let inst =
+    Models.coin ~max_states ~n:c.Protocol.n ~bound:c.Protocol.bound ()
+  in
+  let arrow (a : SC.Proof.arrow) =
+    J.Obj
+      [ ("label", J.Str a.SC.Proof.label);
+        ("time", rat a.SC.Proof.time);
+        ("prob", rat a.SC.Proof.prob);
+        ("attained", rat a.SC.Proof.attained);
+        ("holds", J.Bool (a.SC.Proof.claim <> None)) ]
+  in
+  check_header ~verdict:"complete" c
+    [ ("states", J.Int (Mdp.Arena.num_states inst.SC.Proof.arena));
+      ("arrows", J.Arr (List.map arrow (SC.Proof.arrows inst)));
+      ("composed", composed_json (SC.Proof.composed inst));
+      ("direct_bound", rat (SC.Proof.direct_bound inst));
+      ("expected_exact", J.Num (SC.Proof.expected_exact inst));
+      ("expected_theory", J.Num (SC.Proof.expected_theory inst)) ]
+
+let check_consensus ~max_states (c : Protocol.check_query) =
+  let n = c.Protocol.n in
+  let f = (n - 1) / 2 in
+  let initial = Array.init n (fun i -> i = n - 1) in
+  let inst =
+    Models.consensus ~max_states ~n ~f ~cap:c.Protocol.cap ~initial ()
+  in
+  let curve =
+    BO.Proof.decision_curve inst
+      ~rounds:(List.init c.Protocol.cap (fun r -> r + 1))
+  in
+  check_header ~verdict:"complete" c
+    [ ("states", J.Int (Mdp.Arena.num_states inst.BO.Proof.arena));
+      ("f", J.Int f);
+      ( "agreement",
+        J.Str
+          (match BO.Proof.agreement_violation inst with
+           | None -> "holds"
+           | Some _ -> "violated") );
+      ( "decision_curve",
+        J.Arr
+          (List.mapi
+             (fun idx p ->
+                J.Obj [ ("rounds", J.Int (idx + 1)); ("min_prob", rat p) ])
+             curve) ) ]
+
+let check_json ?(max_states = default_max_states) (c : Protocol.check_query) =
+  let max_states =
+    match c.Protocol.max_states with
+    | Some client -> Stdlib.min client max_states
+    | None -> max_states
+  in
+  try
+    match c.Protocol.model with
+    | `Lr when c.Protocol.topology = "ring" -> check_lr_ring ~max_states c
+    | `Lr -> check_lr_topo ~max_states c
+    | `Election -> check_election ~max_states c
+    | `Coin -> check_coin ~max_states c
+    | `Consensus -> check_consensus ~max_states c
+  with Mdp.Explore.Too_many_states m ->
+    check_header ~verdict:"exhausted" c
+      [ ("states_interned", J.Int m);
+        ("code", J.Str "SRV120");
+        ( "message",
+          J.Str
+            (Printf.sprintf
+               "exploration stopped after interning %d states (ceiling %d); \
+                raise max_states or shrink the instance"
+               m max_states) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* /simulate. *)
+
+let proportion_json p =
+  let lo, hi = Proba.Stat.Proportion.wilson_ci p in
+  J.Obj
+    [ ("estimate", J.Num (Proba.Stat.Proportion.estimate p));
+      ("ci95", J.Arr [ J.Num lo; J.Num hi ]) ]
+
+let summary_json s missed =
+  let lo, hi = Proba.Stat.Summary.mean_ci s in
+  J.Obj
+    [ ("mean", J.Num (Proba.Stat.Summary.mean s));
+      ("ci95", J.Arr [ J.Num lo; J.Num hi ]);
+      ("missed", J.Int missed) ]
+
+let sim_header (s : Protocol.simulate_query) ~trials rest =
+  J.Obj
+    ([ ("schema", J.Str "prtb-simulate/1");
+       ("model", J.Str (Protocol.model_name s.Protocol.sim_model));
+       ("n", J.Int s.Protocol.sim_n);
+       ("scheduler", J.Str s.Protocol.scheduler);
+       ("trials", J.Int trials);
+       ("seed", J.Int s.Protocol.seed) ]
+     @ rest)
+
+let simulate_json t (s : Protocol.simulate_query) =
+  let n = s.Protocol.sim_n in
+  let trials = Stdlib.min s.Protocol.trials t.config.max_trials in
+  let seed = s.Protocol.seed in
+  let uniform_only () =
+    if s.Protocol.scheduler <> "uniform" then
+      Error
+        (Protocol.error ~status:400 ~code:"SRV103"
+           (Printf.sprintf "scheduler %S applies to the lr model only"
+              s.Protocol.scheduler))
+    else Ok ()
+  in
+  let run setup ~target =
+    match s.Protocol.within with
+    | Some within ->
+      let prop =
+        Sim.Monte_carlo.estimate_reach setup ~target ~within ~trials ~seed
+      in
+      Ok
+        (sim_header s ~trials
+           [ ("within", J.Int within); ("reach", proportion_json prop) ])
+    | None ->
+      let summary, missed =
+        Sim.Monte_carlo.estimate_time setup ~target ~trials ~seed ()
+      in
+      Ok (sim_header s ~trials [ ("time", summary_json summary missed) ])
+  in
+  match s.Protocol.sim_model with
+  | `Lr ->
+    let params = { LR.Automaton.n; g = 1; k = 1 } in
+    let pa = LR.Automaton.make params in
+    (match List.assoc_opt s.Protocol.scheduler (LR.Schedulers.all pa) with
+     | None ->
+       Error
+         (Protocol.error ~status:400 ~code:"SRV103"
+            (Printf.sprintf "unknown scheduler %S" s.Protocol.scheduler))
+     | Some sched ->
+       run
+         { Sim.Monte_carlo.pa; scheduler = sched;
+           duration = LR.Automaton.duration;
+           start = LR.State.all_trying ~n ~g:1 ~k:1 }
+         ~target:(Core.Pred.mem LR.Regions.c))
+  | `Election ->
+    Result.bind (uniform_only ()) (fun () ->
+        let params = { IR.Automaton.n; g = 1; k = 1 } in
+        let pa = IR.Automaton.make params in
+        run
+          { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+            duration = IR.Automaton.duration;
+            start = IR.Automaton.start params }
+          ~target:IR.Automaton.leader_elected)
+  | `Coin ->
+    Result.bind (uniform_only ()) (fun () ->
+        let params = { SC.Automaton.n; bound = 4; g = 1; k = 1 } in
+        let pa = SC.Automaton.make params in
+        run
+          { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+            duration = SC.Automaton.duration;
+            start = SC.Automaton.start params }
+          ~target:(SC.Automaton.decided params))
+  | `Consensus ->
+    Result.bind (uniform_only ()) (fun () ->
+        let f = (n - 1) / 2 in
+        let params = { BO.Automaton.n; f; cap = 50; g = 1; k = 1 } in
+        let initial = Array.init n (fun i -> i = n - 1) in
+        let pa = BO.Automaton.make ~initial params in
+        run
+          { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+            duration = BO.Automaton.duration;
+            start = BO.Automaton.start params initial }
+          ~target:BO.Automaton.some_decided)
+
+(* ------------------------------------------------------------------ *)
+(* /lint. *)
+
+let lint_json t (l : Protocol.lint_query) =
+  match Models.find_opt l.Protocol.target with
+  | None ->
+    Error
+      (Protocol.error ~status:404 ~code:"SRV104"
+         (Printf.sprintf "unknown lint target %S (try one of: %s)"
+            l.Protocol.target
+            (String.concat ", "
+               (List.map (fun e -> e.Models.name) Models.entries))))
+  | Some entry ->
+    let max_states =
+      match l.Protocol.lint_max_states with
+      | Some client -> Stdlib.min client t.config.max_states
+      | None -> t.config.max_states
+    in
+    let report = entry.Models.lint ~max_states () in
+    Ok
+      (J.Obj
+         [ ("schema", J.Str "prtb-lint/1");
+           ("target", J.Str l.Protocol.target);
+           ("report", Analysis.Report.to_json report) ])
+
+(* ------------------------------------------------------------------ *)
+(* /stats. *)
+
+let stats_json t =
+  let r = Models.stats () in
+  let c = Cache.stats t.results in
+  J.Obj
+    [ ("schema", J.Str "prtb-stats/1");
+      ( "registry",
+        J.Obj
+          [ ("explorations", J.Int r.Models.explorations);
+            ("compiles", J.Int r.Models.compiles);
+            ("builds", J.Int r.Models.builds);
+            ("cache_hits", J.Int r.Models.cache_hits);
+            ("evictions", J.Int r.Models.evictions);
+            ("cached_entries", J.Int r.Models.cached_entries);
+            ("cached_bytes", J.Int r.Models.cached_bytes) ] );
+      ( "results_cache",
+        J.Obj
+          [ ("hits", J.Int c.Cache.hits);
+            ("misses", J.Int c.Cache.misses);
+            ("insertions", J.Int c.Cache.insertions);
+            ("evictions", J.Int c.Cache.evictions);
+            ("entries", J.Int c.Cache.entries);
+            ("cost_bytes", J.Int c.Cache.cost_bytes);
+            ( "capacity_bytes",
+              match c.Cache.capacity with
+              | None -> J.Null
+              | Some b -> J.Int b ) ] );
+      ( "server",
+        J.Obj
+          [ ("requests", J.Int (Atomic.get t.requests));
+            ("ok", J.Int (Atomic.get t.ok));
+            ("client_errors", J.Int (Atomic.get t.client_errors));
+            ("server_errors", J.Int (Atomic.get t.server_errors));
+            ("overload_rejected", J.Int (Atomic.get t.overload));
+            ("uptime_s", J.Num (Unix.gettimeofday () -. t.started)) ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch. *)
+
+type reply = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let count_status t status =
+  if status >= 200 && status < 300 then Atomic.incr t.ok
+  else if status >= 400 && status < 500 then Atomic.incr t.client_errors
+  else if status >= 500 then Atomic.incr t.server_errors
+
+let ok_reply t ?(headers = []) body =
+  count_status t 200;
+  { status = 200; headers; body }
+
+let error_reply t (e : Protocol.error) =
+  count_status t e.Protocol.status;
+  { status = e.Protocol.status; headers = [];
+    body = Protocol.error_body e }
+
+(* Compute-once-then-cache for the cacheable endpoints.  The cache is
+   consulted and filled outside any lock around [compute]: two workers
+   racing the same cold key duplicate the work, the second insert wins,
+   and both serve equal bodies (computations are deterministic). *)
+let with_cache t query compute =
+  match Protocol.canonical_key query with
+  | None ->
+    (match compute () with
+     | Ok json -> ok_reply t (J.to_string json)
+     | Error e -> error_reply t e)
+  | Some key ->
+    (match Cache.find t.results key with
+     | Some body -> ok_reply t ~headers:[ ("X-Prtb-Cache", "hit") ] body
+     | None ->
+       (match compute () with
+        | Ok json ->
+          let body = J.to_string json in
+          Cache.add t.results key body;
+          ok_reply t ~headers:[ ("X-Prtb-Cache", "miss") ] body
+        | Error e -> error_reply t e))
+
+let cached t query =
+  match Protocol.canonical_key query with
+  | None -> false
+  | Some key ->
+    (* A stats-neutral probe would need a peek API; [find] counting a
+       hit is fine for the monitoring use this serves. *)
+    Cache.find t.results key <> None
+
+let handle t query =
+  Atomic.incr t.requests;
+  try
+    match query with
+    | Protocol.Health { sleep_ms } ->
+      if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
+      ok_reply t (J.to_string (J.Obj [ ("status", J.Str "ok") ]))
+    | Protocol.Stats -> ok_reply t (J.to_string (stats_json t))
+    | Protocol.Check c ->
+      with_cache t query (fun () ->
+          Ok (check_json ~max_states:t.config.max_states c))
+    | Protocol.Simulate s -> with_cache t query (fun () -> simulate_json t s)
+    | Protocol.Lint l -> with_cache t query (fun () -> lint_json t l)
+  with e ->
+    error_reply t
+      (Protocol.error ~status:500 ~code:"SRV300"
+         (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+
+let respond t req =
+  match Protocol.of_request req with
+  | Ok q -> handle t q
+  | Error e ->
+    Atomic.incr t.requests;
+    error_reply t e

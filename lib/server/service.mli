@@ -1,0 +1,62 @@
+(** The dispatcher: protocol queries in, JSON replies out.
+
+    [handle] routes every query through the {!Models} registry into the
+    arena-backed engines, under a per-request state ceiling (the
+    server's [--max-states] clamp, tightened further by the client's
+    own [max_states]), so a hostile query is answered with a structured
+    ["verdict": "exhausted"] body instead of wedging a worker.
+    Finished results of the cacheable endpoints ([/check], [/simulate],
+    [/lint]) are kept in an LRU {!Cache} keyed by the canonical
+    request; repeat queries are answered without touching the registry
+    at all ([X-Prtb-Cache: hit], and the [/stats] compile counters stay
+    put -- what CI asserts).
+
+    {!check_json} is deliberately exposed: [prtb check --format json]
+    prints exactly this value, which is what makes served bodies
+    bit-identical to the direct CLI path (the end-to-end test in
+    test/test_server.ml compares the two byte for byte). *)
+
+type config = {
+  max_states : int;  (** hard per-request exploration ceiling *)
+  cache_bytes : int option;  (** result-cache capacity *)
+  max_trials : int;  (** per-request Monte Carlo trial clamp *)
+}
+
+(** 2M states, 64 MiB results, 200k trials. *)
+val default_config : config
+
+(** The ceiling {!check_json} applies when none is given: the
+    [default_config] one. *)
+val default_max_states : int
+
+type t
+
+val create : config -> t
+
+(** The exact-check result for a query, as served and as printed by
+    [prtb check --format json].  Catches budget exhaustion
+    ([Mdp.Explore.Too_many_states]) and reports it as a
+    ["verdict": "exhausted"] object. *)
+val check_json : ?max_states:int -> Protocol.check_query -> Analysis.Json.t
+
+type reply = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+(** Dispatch one query.  Never raises: internal failures come back as a
+    500 reply with code SRV300. *)
+val handle : t -> Protocol.query -> reply
+
+(** Parse ({!Protocol.of_request}) and {!handle} in one step; parse
+    rejections are counted in the request/error counters too. *)
+val respond : t -> Http.request -> reply
+
+(** Count a connection rejected by the accept loop's backpressure (the
+    daemon calls this; it shows up under ["server"]["overload_rejected"]
+    in [/stats]). *)
+val note_overload : t -> unit
+
+(** Whether [handle] would answer this query from the result cache. *)
+val cached : t -> Protocol.query -> bool

@@ -360,6 +360,85 @@ let test_claim_introspection () =
   Alcotest.(check int) "three nodes" 3 !nodes
 
 (* ------------------------------------------------------------------ *)
+(* Randomized JSON round trips.
+
+   The server speaks Analysis.Json on the wire, so [of_string] must
+   invert [to_string] on every tree the emitter can produce.  The
+   generator leans on the hostile corners: strings over the full byte
+   range (quotes, backslashes, control characters that serialize as
+   \uXXXX, multi-byte UTF-8 fragments), deep nesting, duplicate object
+   keys.  Two deliberate exclusions, both emitter normalizations rather
+   than bugs: integral floats serialize without a fraction and so parse
+   back as [Int], and NaN/infinity serialize as [null]. *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let any_string =
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12)
+  in
+  let leaf =
+    oneof
+      [ return A.Json.Null;
+        map (fun b -> A.Json.Bool b) bool;
+        map (fun i -> A.Json.Int i) int;
+        (* m + 0.3 is never integral, so the fraction survives
+           serialization and the value parses back as [Num]. *)
+        map
+          (fun m -> A.Json.Num (float_of_int m +. 0.3))
+          (int_range (-1_000_000) 1_000_000);
+        map (fun s -> A.Json.Str s) any_string ]
+  in
+  sized
+  @@ fix (fun self size ->
+      if size <= 0 then leaf
+      else
+        frequency
+          [ (3, leaf);
+            ( 1,
+              map
+                (fun xs -> A.Json.Arr xs)
+                (list_size (int_bound 4) (self (size / 2))) );
+            ( 1,
+              map
+                (fun kvs -> A.Json.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair any_string (self (size / 2)))) ) ])
+
+let json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"of_string inverts to_string"
+    (QCheck.make json_gen ~print:(fun j -> A.Json.to_string j))
+    (fun j ->
+       match A.Json.of_string (A.Json.to_string j) with
+       | Ok j' -> j' = j
+       | Error msg -> QCheck.Test.fail_reportf "parse failed: %s" msg)
+
+let test_json_unicode_escapes () =
+  (* \uXXXX escapes decode to UTF-8 bytes; re-serializing keeps the raw
+     bytes (only control characters are re-escaped). *)
+  let cases =
+    [ ("\"\\u0041\"", "A");
+      ("\"\\u00e9\"", "\xc3\xa9");
+      ("\"\\u20ac\"", "\xe2\x82\xac");
+      ("\"a\\u0000b\"", "a\x00b") ]
+  in
+  List.iter
+    (fun (doc, expect) ->
+       match A.Json.of_string doc with
+       | Ok (A.Json.Str s) -> Alcotest.(check string) doc expect s
+       | Ok _ -> Alcotest.fail (doc ^ ": not a string")
+       | Error e -> Alcotest.fail (doc ^ ": " ^ e))
+    cases
+
+let test_json_deep_nesting () =
+  let deep = ref (A.Json.Int 0) in
+  for _ = 1 to 200 do
+    deep := A.Json.Arr [ A.Json.Obj [ ("k", !deep) ] ]
+  done;
+  match A.Json.of_string (A.Json.to_string !deep) with
+  | Ok j -> Alcotest.(check bool) "deep round trip" true (j = !deep)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "analysis"
@@ -393,4 +472,9 @@ let () =
           Alcotest.test_case "diagnostic cap" `Quick test_diagnostic_cap;
           Alcotest.test_case "report algebra" `Quick test_report_algebra;
           Alcotest.test_case "claim introspection" `Quick
-            test_claim_introspection ] ) ]
+            test_claim_introspection ] );
+      ( "json round trips",
+        [ QCheck_alcotest.to_alcotest json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick
+            test_json_unicode_escapes;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting ] ) ]

@@ -88,22 +88,22 @@ let test_table_csv () =
 
 let test_race_all_states () =
   Alcotest.(check int) "nine states" 9
-    (List.length Experiments.Race.all_states);
+    (List.length Models.Race.all_states);
   (* They are pairwise distinct. *)
   let distinct =
-    List.sort_uniq compare Experiments.Race.all_states
+    List.sort_uniq compare Models.Race.all_states
   in
   Alcotest.(check int) "no duplicates" 9 (List.length distinct)
 
 let test_race_premise () =
   Alcotest.(check bool) "Prop 4.2 premise on the shipped automaton" true
-    (Core.Event.check_premise Experiments.Race.pa
-       ~states:Experiments.Race.all_states
-       [ (Experiments.Race.Flip_p, Experiments.Race.p_heads, Q.half);
-         (Experiments.Race.Flip_q, Experiments.Race.q_tails, Q.half) ])
+    (Core.Event.check_premise Models.Race.pa
+       ~states:Models.Race.all_states
+       [ (Models.Race.Flip_p, Models.Race.p_heads, Q.half);
+         (Models.Race.Flip_q, Models.Race.q_tails, Q.half) ])
 
 let test_race_adversaries_agree_with_exploration () =
-  let expl = Mdp.Explore.run Experiments.Race.pa in
+  let expl = Mdp.Explore.run Models.Race.pa in
   (* 9 syntactic states, but only those reachable from (?,?) count. *)
   Alcotest.(check int) "reachable states" 9 (Mdp.Explore.num_states expl)
 

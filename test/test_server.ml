@@ -1,0 +1,324 @@
+(* End-to-end tests for the verification service: a real daemon on a
+   real socket (port 0), exercised through the load harness's client.
+
+   The two load-bearing assertions from the acceptance criteria:
+   served /check bodies are byte-identical to [prtb check --format
+   json] for all four case studies, and a repeated query is answered
+   from the result cache -- the [X-Prtb-Cache] header flips to [hit]
+   and the /stats registry counters (explorations, compiles) stay
+   exactly put. *)
+
+module J = Analysis.Json
+module D = Server.Daemon
+module L = Server.Load
+
+(* One shared daemon for the happy-path tests; tiny worker count, the
+   CI container has one core. *)
+let daemon =
+  lazy
+    (D.start
+       { D.default_config with
+         D.port = 0; domains = 3; cache_mb = 32; accept_queue = 8 })
+
+let url target =
+  { L.host = "127.0.0.1"; port = D.port (Lazy.force daemon); target }
+
+let get ?meth ?body target =
+  let conn = L.Conn.create (url target) in
+  Fun.protect
+    ~finally:(fun () -> L.Conn.close conn)
+    (fun () ->
+       match L.Conn.request conn ?meth ?body target with
+       | Ok r -> r
+       | Error e -> Alcotest.failf "GET %s: %s" target e)
+
+let member_exn path json =
+  List.fold_left
+    (fun j k ->
+       match J.member k j with
+       | Some v -> v
+       | None -> Alcotest.failf "missing %S in %s" k (J.to_string json))
+    json path
+
+let int_at path json =
+  match member_exn path json with
+  | J.Int i -> i
+  | other -> Alcotest.failf "not an int: %s" (J.to_string other)
+
+let str_at path json =
+  match member_exn path json with
+  | J.Str s -> s
+  | other -> Alcotest.failf "not a string: %s" (J.to_string other)
+
+let parse_body (r : Server.Http.response_msg) =
+  match J.of_string r.Server.Http.resp_body with
+  | Ok j -> j
+  | Error e ->
+    Alcotest.failf "unparsable body %S: %s" r.Server.Http.resp_body e
+
+(* Resolve the CLI next to this test binary, so the comparison works
+   from any cwd (dune runtest and dune exec differ). *)
+let prtb_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "prtb.exe"))
+
+let cli args =
+  let cmd = Filename.quote prtb_exe ^ " " ^ args in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Buffer.contents buf
+  | _ -> Alcotest.failf "%s failed" cmd
+
+(* ------------------------------------------------------------------ *)
+
+let test_health () =
+  let r = get "/health" in
+  Alcotest.(check int) "200" 200 r.Server.Http.status;
+  Alcotest.(check string) "body" "{\"status\":\"ok\"}"
+    r.Server.Http.resp_body
+
+(* Acceptance: the served body and the CLI's --format json output are
+   bit-identical (the CLI appends one newline to the same bytes). *)
+let test_check_matches_cli () =
+  List.iter
+    (fun (target, args) ->
+       let served = (get target).Server.Http.resp_body in
+       let printed = cli ("check --format json " ^ args) in
+       Alcotest.(check string)
+         (Printf.sprintf "%s == prtb check %s" target args)
+         printed (served ^ "\n"))
+    [ ("/check?model=lr&n=3", "lr");
+      ("/check?model=lr&n=3&topology=line", "lr --topology line");
+      ("/check?model=election&n=3", "election");
+      ("/check?model=coin&n=2&bound=2", "coin -n 2 --bound 2");
+      ("/check?model=consensus&n=3&cap=2", "consensus") ]
+
+(* Acceptance: the repeat is served from the result cache -- hit
+   header, identical body, and the registry did no new exploration or
+   arena compilation. *)
+let test_repeat_hits_cache () =
+  let target = "/check?model=coin&n=2&bound=3" in
+  let first = get target in
+  Alcotest.(check (option string)) "first is a miss" (Some "miss")
+    (Server.Http.resp_header first "x-prtb-cache");
+  let stats1 = parse_body (get "/stats") in
+  let second = get target in
+  Alcotest.(check (option string)) "second is a hit" (Some "hit")
+    (Server.Http.resp_header second "x-prtb-cache");
+  Alcotest.(check string) "same bytes" first.Server.Http.resp_body
+    second.Server.Http.resp_body;
+  let stats2 = parse_body (get "/stats") in
+  List.iter
+    (fun counter ->
+       Alcotest.(check int)
+         (counter ^ " unchanged by the cached reply")
+         (int_at [ "registry"; counter ] stats1)
+         (int_at [ "registry"; counter ] stats2))
+    [ "explorations"; "compiles"; "builds" ];
+  Alcotest.(check bool) "result-cache hits grew" true
+    (int_at [ "results_cache"; "hits" ] stats2
+     > int_at [ "results_cache"; "hits" ] stats1)
+
+(* GET query pairs and a POST JSON body canonicalize to the same key,
+   so the POST form hits the GET form's cache entry. *)
+let test_post_and_get_share_cache () =
+  let seed = get "/check?model=election&n=2" in
+  let posted =
+    get ~meth:"POST" ~body:"{\"model\":\"election\",\"n\":2}" "/check"
+  in
+  Alcotest.(check (option string)) "post hits get's entry" (Some "hit")
+    (Server.Http.resp_header posted "x-prtb-cache");
+  Alcotest.(check string) "same bytes" seed.Server.Http.resp_body
+    posted.Server.Http.resp_body
+
+let test_simulate_deterministic () =
+  let target = "/simulate?model=election&n=3&trials=200&seed=7" in
+  let a = get target in
+  Alcotest.(check int) "200" 200 a.Server.Http.status;
+  let b = get target in
+  Alcotest.(check (option string)) "cached" (Some "hit")
+    (Server.Http.resp_header b "x-prtb-cache");
+  Alcotest.(check string) "seeded runs agree" a.Server.Http.resp_body
+    b.Server.Http.resp_body
+
+let test_lint_served () =
+  let r = get "/lint?target=example:race" in
+  Alcotest.(check int) "200" 200 r.Server.Http.status;
+  let j = parse_body r in
+  Alcotest.(check string) "target" "example:race" (str_at [ "target" ] j);
+  Alcotest.(check int) "no errors" 0
+    (int_at [ "report"; "summary"; "errors" ] j)
+
+let test_budget_exhausted_verdict () =
+  let r = get "/check?model=lr&n=3&max_states=50" in
+  Alcotest.(check int) "still a 200" 200 r.Server.Http.status;
+  let j = parse_body r in
+  Alcotest.(check string) "verdict" "exhausted" (str_at [ "verdict" ] j);
+  Alcotest.(check string) "code" "SRV120" (str_at [ "code" ] j)
+
+let test_structured_errors () =
+  List.iter
+    (fun (target, status, code) ->
+       let r = get target in
+       Alcotest.(check int) (target ^ " status") status
+         r.Server.Http.status;
+       let j = parse_body r in
+       Alcotest.(check string) (target ^ " code") code
+         (str_at [ "error"; "code" ] j))
+    [ ("/nope", 404, "SRV100");
+      ("/check?model=quantum", 404, "SRV104");
+      ("/check?model=lr&n=zero", 400, "SRV103");
+      ("/check?model=lr&n=-2", 400, "SRV103");
+      ("/check?model=coin&topology=line", 400, "SRV103");
+      ("/simulate?model=coin&scheduler=eager", 400, "SRV103");
+      ("/lint?target=unknown", 404, "SRV104");
+      ("/health?sleep_ms=90000", 400, "SRV103") ];
+  let r = get ~meth:"POST" ~body:"{not json" "/check" in
+  Alcotest.(check int) "malformed body status" 400 r.Server.Http.status;
+  let j = parse_body r in
+  Alcotest.(check string) "malformed body code" "SRV102"
+    (str_at [ "error"; "code" ] j)
+
+(* A raw garbage request gets a clean 400 and a close, and the daemon
+   keeps serving afterwards. *)
+let test_garbage_request_line () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect fd
+         (Unix.ADDR_INET
+            (Unix.inet_addr_loopback, D.port (Lazy.force daemon)));
+       let garbage = "\x00\x01GARBAGE\r\n\r\n" in
+       ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+       let buf = Bytes.create 4096 in
+       let n = Unix.read fd buf 0 4096 in
+       let answer = Bytes.sub_string buf 0 n in
+       Alcotest.(check bool) "answered 400" true
+         (Astring.String.is_prefix ~affix:"HTTP/1.1 400" answer);
+       Alcotest.(check bool) "SRV110 body" true
+         (Astring.String.is_infix ~affix:"SRV110" answer));
+  test_health ()
+
+(* Acceptance: >= 8 concurrent keep-alive clients, zero protocol
+   errors. *)
+let test_loadtest_smoke () =
+  let r = L.run (url "/health") ~clients:8 ~requests:96 in
+  Alcotest.(check int) "no protocol errors" 0 r.L.protocol_errors;
+  Alcotest.(check int) "no rejections at this load" 0 r.L.rejected;
+  Alcotest.(check int) "all ok" 96 r.L.ok
+
+(* Acceptance: overload answers 503 instead of hanging.  A dedicated
+   daemon with one worker and a zero-length accept queue, stalled by
+   sleeping health probes, must reject the excess load and then
+   recover. *)
+let test_overload_returns_503 () =
+  let d =
+    D.start
+      { D.default_config with
+        D.port = 0; domains = 2; accept_queue = 0; cache_mb = 8 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      D.stop d;
+      D.wait d)
+    (fun () ->
+       let u = { L.host = "127.0.0.1"; port = D.port d;
+                 target = "/health?sleep_ms=700" } in
+       let r = L.run u ~clients:6 ~requests:6 in
+       Alcotest.(check int) "no protocol errors" 0 r.L.protocol_errors;
+       Alcotest.(check bool) "some requests rejected" true
+         (r.L.rejected > 0);
+       Alcotest.(check bool) "some requests served" true (r.L.ok > 0);
+       (* and the daemon recovered *)
+       let conn =
+         L.Conn.create { L.host = "127.0.0.1"; port = D.port d;
+                         target = "/health" }
+       in
+       (match L.Conn.request conn "/health" with
+        | Ok resp ->
+          Alcotest.(check int) "alive after overload" 200
+            resp.Server.Http.status
+        | Error e -> Alcotest.failf "daemon wedged after overload: %s" e);
+       L.Conn.close conn)
+
+(* stop + wait returns: accepted work drains and the domains join.
+   (CI additionally asserts the process-level SIGTERM path exits 0.) *)
+let test_graceful_stop () =
+  let d =
+    D.start { D.default_config with D.port = 0; domains = 2; cache_mb = 8 }
+  in
+  let conn =
+    L.Conn.create { L.host = "127.0.0.1"; port = D.port d; target = "/" }
+  in
+  (match L.Conn.request conn "/health" with
+   | Ok r -> Alcotest.(check int) "served" 200 r.Server.Http.status
+   | Error e -> Alcotest.fail e);
+  L.Conn.close conn;
+  D.stop d;
+  D.wait d;
+  Alcotest.(check bool) "drained" true true
+
+let test_parse_url () =
+  (match L.parse_url "http://127.0.0.1:8080/check?model=lr" with
+   | Ok u ->
+     Alcotest.(check string) "host" "127.0.0.1" u.L.host;
+     Alcotest.(check int) "port" 8080 u.L.port;
+     Alcotest.(check string) "target" "/check?model=lr" u.L.target
+   | Error e -> Alcotest.fail e);
+  (match L.parse_url "localhost:99/x" with
+   | Ok u ->
+     Alcotest.(check string) "bare host" "localhost" u.L.host;
+     Alcotest.(check int) "bare port" 99 u.L.port
+   | Error e -> Alcotest.fail e);
+  (match L.parse_url "https://x/" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "https should be rejected");
+  match L.parse_url "http://:80/" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty host should be rejected"
+
+let shutdown_shared_daemon () =
+  if Lazy.is_val daemon then begin
+    let d = Lazy.force daemon in
+    D.stop d;
+    D.wait d
+  end;
+  Alcotest.(check bool) "shared daemon drained" true true
+
+let () =
+  Alcotest.run "server"
+    [ ( "end to end",
+        [ Alcotest.test_case "health" `Quick test_health;
+          Alcotest.test_case "served check == CLI json" `Quick
+            test_check_matches_cli;
+          Alcotest.test_case "repeat hits cache, registry idle" `Quick
+            test_repeat_hits_cache;
+          Alcotest.test_case "POST shares GET's cache entry" `Quick
+            test_post_and_get_share_cache;
+          Alcotest.test_case "simulate deterministic + cached" `Quick
+            test_simulate_deterministic;
+          Alcotest.test_case "lint served" `Quick test_lint_served;
+          Alcotest.test_case "budget exhaustion verdict" `Quick
+            test_budget_exhausted_verdict ] );
+      ( "hostile input",
+        [ Alcotest.test_case "structured errors" `Quick
+            test_structured_errors;
+          Alcotest.test_case "garbage request line" `Quick
+            test_garbage_request_line ] );
+      ( "load",
+        [ Alcotest.test_case "loadtest smoke (8 clients)" `Quick
+            test_loadtest_smoke;
+          Alcotest.test_case "overload answers 503" `Quick
+            test_overload_returns_503;
+          Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
+          Alcotest.test_case "parse_url" `Quick test_parse_url;
+          Alcotest.test_case "shared daemon drains" `Quick
+            shutdown_shared_daemon ] ) ]
