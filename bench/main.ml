@@ -137,6 +137,28 @@ let bench_tests () =
     Test.make ~name:"engine:bisim refine (n=3)"
       (Staged.stage (fun () -> Mdp.Bisim.refine arena ~labels ()))
   in
+  (* Symmetry reduction: the canonicalizer is the per-successor cost
+     --sym adds to exploration (orbit closure + minimum); the lr4
+     kernel is the payoff end to end — certify the rotation group and
+     build the 40846-representative quotient of the 162964-state
+     instance that makes exact n=4 phase checks feasible. *)
+  let sym_canon =
+    let canon =
+      Analysis.Symmetry.canonicalizer ~equal:LR.State.equal
+        (LR.Symmetry.ring ~n:3 ())
+    in
+    let s = Mdp.Arena.state arena 4000 in
+    Test.make ~name:"sym:canon (ring orbit minimum, n=3)"
+      (Staged.stage (fun () -> canon s))
+  in
+  let explore_lr4_reduced =
+    let pa = LR.Automaton.make { LR.Automaton.n = 4; g = 1; k = 1 } in
+    let spec = LR.Symmetry.ring ~n:4 () in
+    Test.make ~name:"explore:lr4-reduced (certified orbit quotient)"
+      (Staged.stage (fun () ->
+           Analysis.Symmetry.explored ~model:"lr" ~mode:Analysis.Symmetry.On
+             spec pa))
+  in
   let sim =
     let params = { LR.Automaton.n = 8; g = 1; k = 1 } in
     let pa = LR.Automaton.make params in
@@ -219,7 +241,7 @@ let bench_tests () =
   Test.make_grouped ~name:"prtb"
     ([ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; float_engine;
        rational_engine; arena_compile; arena_sweep; bisim;
-       sim ]
+       sym_canon; explore_lr4_reduced; sim ]
      @ substrate @ serve_tests)
 
 (* ----------------------------------------------------------------- *)

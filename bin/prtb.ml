@@ -126,12 +126,51 @@ let k_arg =
        & info [ "k" ] ~docv:"K"
            ~doc:"Adversary step budget per process per slot.")
 
-let check_lr_topo topo g k =
+let sym_arg =
+  Arg.(value
+       & opt (enum [ ("auto", Analysis.Symmetry.Auto);
+                     ("on", Analysis.Symmetry.On);
+                     ("off", Analysis.Symmetry.Off) ])
+           Analysis.Symmetry.Off
+       & info [ "sym" ] ~docv:"MODE"
+           ~doc:"Orbit-reduced exploration under the model's declared \
+                 symmetry group: $(b,on) verifies the generators (PA030) \
+                 and the proof predicates (PA031) and explores the orbit \
+                 quotient, failing if certification breaks; $(b,auto) \
+                 falls back to the unreduced space instead of failing; \
+                 $(b,off) (default) never reduces.  Verdicts are \
+                 identical either way -- only the state count shrinks.")
+
+(* [reachable states] under a certified quotient: the representative
+   count plus the full space it stands for, so logs stay comparable
+   across --sym settings. *)
+let print_states label count (cert : Analysis.Symmetry.certificate option) =
+  match cert with
+  | Some c when c.Analysis.Symmetry.reduced ->
+    Printf.printf "%s: %d (orbit quotient of %d)\n%!" label count
+      c.Analysis.Symmetry.full_states
+  | _ -> Printf.printf "%s: %d\n%!" label count
+
+let print_cert (cert : Analysis.Symmetry.certificate option) =
+  match cert with
+  | None -> ()
+  | Some c ->
+    Printf.printf
+      "symmetry certificate: %d generator(s) verified on %d state(s), \
+       %d predicate(s) invariant%s\n%!"
+      (List.length c.Analysis.Symmetry.cert_generators)
+      c.Analysis.Symmetry.states_checked
+      (List.length c.Analysis.Symmetry.preds_checked)
+      (if c.Analysis.Symmetry.reduced then " (quotient exploration)"
+       else "")
+
+let check_lr_topo topo g k sym =
   Printf.printf "Lehmann-Rabin on %s, g=%d k=%d\n%!"
     (LR.Topology.name topo) g k;
-  let inst = Models.lr_topo ~topo ~g ~k () in
-  Printf.printf "reachable states: %d\n%!"
-    (Mdp.Arena.num_states inst.LR.Proof.tarena);
+  let inst = Models.lr_topo ~topo ~g ~k ~sym () in
+  print_states "reachable states"
+    (Mdp.Arena.num_states inst.LR.Proof.tarena) inst.LR.Proof.tsym;
+  print_cert inst.LR.Proof.tsym;
   (match LR.Proof.invariant_topo inst with
    | None ->
      Printf.printf "Lemma 6.1 (generalized): holds on every reachable state\n%!"
@@ -149,11 +188,12 @@ let check_lr_topo topo g k =
     (Q.to_string (LR.Proof.direct_bound_topo inst))
     (LR.Proof.max_expected_time_topo inst)
 
-let check_lr n g k =
+let check_lr n g k sym =
   Printf.printf "Lehmann-Rabin, n=%d g=%d k=%d\n%!" n g k;
-  let inst = Models.lr ~n ~g ~k () in
-  Printf.printf "reachable states: %d\n%!"
-    (Mdp.Arena.num_states inst.LR.Proof.arena);
+  let inst = Models.lr ~n ~g ~k ~sym () in
+  print_states "reachable states"
+    (Mdp.Arena.num_states inst.LR.Proof.arena) inst.LR.Proof.sym;
+  print_cert inst.LR.Proof.sym;
   (match LR.Invariant.check inst.LR.Proof.expl with
    | None -> Printf.printf "Lemma 6.1: holds on every reachable state\n%!"
    | Some s ->
@@ -178,12 +218,13 @@ let check_lr n g k =
   Printf.printf "measured worst-case expected time: %.3f\n"
     (LR.Proof.max_expected_time inst)
 
-let check_election n g k =
+let check_election n g k sym =
   ignore g; ignore k;
   Printf.printf "Leader election, n=%d\n%!" n;
-  let inst = Models.election ~n () in
-  Printf.printf "reachable states: %d\n%!"
-    (Mdp.Arena.num_states inst.IR.Proof.arena);
+  let inst = Models.election ~n ~sym () in
+  print_states "reachable states"
+    (Mdp.Arena.num_states inst.IR.Proof.arena) inst.IR.Proof.sym;
+  print_cert inst.IR.Proof.sym;
   List.iter
     (fun a ->
        Format.printf "%-4s attained %s (%s)@." a.IR.Proof.label
@@ -197,11 +238,12 @@ let check_election n g k =
     (Q.to_string (Core.Expected.value (IR.Proof.expected_bound ~n)))
     (IR.Proof.max_expected_time inst)
 
-let check_coin n bound =
+let check_coin n bound sym =
   Printf.printf "Shared coin, n=%d barrier=±%d\n%!" n bound;
-  let inst = Models.coin ~n ~bound () in
-  Printf.printf "reachable states: %d\n%!"
-    (Mdp.Arena.num_states inst.SC.Proof.arena);
+  let inst = Models.coin ~n ~bound ~sym () in
+  print_states "reachable states"
+    (Mdp.Arena.num_states inst.SC.Proof.arena) inst.SC.Proof.sym;
+  print_cert inst.SC.Proof.sym;
   List.iter
     (fun a ->
        Format.printf "%-4s attained %s (%s)@." a.SC.Proof.label
@@ -255,14 +297,15 @@ let check_lr_faults n g k faults budget release seed =
     Printf.printf "  direct 13-unit minimum: %s\n"
       (Q.to_string d.Faults.Lr.direct)
 
-let check_consensus n cap =
+let check_consensus n cap sym =
   let f = (n - 1) / 2 in
   let initial = Array.init n (fun i -> i = n - 1) in
   Printf.printf "Ben-Or consensus, n=%d f=%d cap=%d rounds, mixed start\n%!"
     n f cap;
-  let inst = BO.Proof.build ~n ~f ~cap ~initial () in
-  Printf.printf "reachable states: %d\n%!"
-    (Mdp.Explore.num_states inst.BO.Proof.expl);
+  let inst = BO.Proof.build ~n ~f ~cap ~initial ~sym () in
+  print_states "reachable states"
+    (Mdp.Explore.num_states inst.BO.Proof.expl) inst.BO.Proof.sym;
+  print_cert inst.BO.Proof.sym;
   Printf.printf "agreement: %s\n"
     (match BO.Proof.agreement_violation inst with
      | None -> "holds" | Some _ -> "VIOLATED");
@@ -355,7 +398,7 @@ let check_format_arg =
 (* The served and CLI JSON bodies are bit-identical because both print
    [Server.Service.check_json]; test/test_server.ml holds the two
    byte-for-byte equal. *)
-let check_json system n g k topology bound cap =
+let check_json system n g k topology bound cap sym =
   let topology = Option.value topology ~default:"ring" in
   (match system, topology with
    | `Lr, ("ring" | "line" | "star") -> ()
@@ -365,20 +408,20 @@ let check_json system n g k topology bound cap =
      failwith (Printf.sprintf "topology %S applies to the lr system only" other));
   let q =
     { Server.Protocol.model = system; n; g; k; topology; bound; cap;
-      max_states = None }
+      max_states = None; sym = Analysis.Symmetry.mode_to_string sym }
   in
   print_endline (Analysis.Json.to_string (Server.Service.check_json q))
 
 let check_cmd =
-  let run domains stats format system n g k topology bound cap faults budget
-      release seed =
+  let run domains stats format system n g k topology bound cap sym faults
+      budget release seed =
     install_domains domains;
     try
       Ok
         ((match format, faults with
          | `Json, Some _ ->
            failwith "--format json does not cover --faults runs; drop one"
-         | `Json, None -> check_json system n g k topology bound cap
+         | `Json, None -> check_json system n g k topology bound cap sym
          | `Text, _ ->
            match system with
          | `Lr ->
@@ -392,20 +435,26 @@ let check_cmd =
                 (Printf.sprintf
                    "fault injection is modelled on the ring topology only \
                     (got %S)" other)
-            | None, (None | Some "ring") -> check_lr n g k
-            | None, Some "line" -> check_lr_topo (LR.Topology.line n) g k
-            | None, Some "star" -> check_lr_topo (LR.Topology.star n) g k
+            | None, (None | Some "ring") -> check_lr n g k sym
+            | None, Some "line" -> check_lr_topo (LR.Topology.line n) g k sym
+            | None, Some "star" -> check_lr_topo (LR.Topology.star n) g k sym
             | None, Some other ->
               failwith (Printf.sprintf "unknown topology %S" other))
          | `Election | `Coin | `Consensus when faults <> None ->
            failwith
              "fault injection is currently modelled for the lr system only"
-         | `Election -> check_election n g k
-         | `Coin -> check_coin n bound
-         | `Consensus -> check_consensus n cap);
+         | `Election -> check_election n g k sym
+         | `Coin -> check_coin n bound sym
+         | `Consensus -> check_consensus n cap sym);
          report_stats stats)
     with
     | Failure msg -> Error (`Msg msg)
+    | Analysis.Symmetry.Not_certified msg ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--sym on: the declared symmetry group failed to certify:\n%s"
+              msg))
     | Mdp.Explore.Too_many_states m ->
       Error
         (`Msg
@@ -424,8 +473,8 @@ let check_cmd =
     Term.(term_result
             (const run $ domains_arg $ stats_arg $ check_format_arg
              $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg
-             $ bound_arg $ cap_arg $ faults_arg $ budget_arg $ release_arg
-             $ check_seed_arg))
+             $ bound_arg $ cap_arg $ sym_arg $ faults_arg $ budget_arg
+             $ release_arg $ check_seed_arg))
 
 (* ----------------------------------------------------------------- *)
 (* simulate *)
@@ -593,7 +642,7 @@ let export_dot_cmd =
 (* ----------------------------------------------------------------- *)
 (* lint *)
 
-let lint stats models format strict max_states =
+let lint stats models format strict max_states sym =
   let targets =
     match models with
     | [] -> Ok Models.entries
@@ -618,7 +667,7 @@ let lint stats models format strict max_states =
   | Ok targets ->
     let report =
       Analysis.Report.merge_all
-        (List.map (fun e -> e.Models.lint ~max_states ()) targets)
+        (List.map (fun e -> e.Models.lint ~max_states ~sym ()) targets)
     in
     (match format with
      | `Text -> Format.printf "@[<v>%a@]@." Analysis.Report.pp_text report
@@ -660,7 +709,8 @@ let lint_cmd =
              premises.  Exit status is nonzero when any error-severity \
              diagnostic fires (see docs/LINTS.md for the code catalogue).")
     Term.(term_result
-            (const lint $ stats_arg $ models $ format $ strict $ max_states))
+            (const lint $ stats_arg $ models $ format $ strict $ max_states
+             $ sym_arg))
 
 (* ----------------------------------------------------------------- *)
 (* serve *)

@@ -1,6 +1,7 @@
 module Json = Json
 module Diagnostic = Diagnostic
 module Report = Report
+module Symmetry = Symmetry
 module Pa_checks = Pa_checks
 module Time_checks = Time_checks
 module Claim_checks = Claim_checks
@@ -13,15 +14,18 @@ type ('s, 'a) config = {
   claims : (string * 's Core.Claim.t) list;
   plan : (string * 's Core.Claim.t * 's Core.Claim.t) list;
   fault_view : (('s -> int list) * ('a -> int option)) option;
+  symmetry : ('s, 'a) Symmetry.spec option;
+  sym_reduced : bool;
   max_states : int;
   max_equal_pairs : int;
 }
 
 let config ?is_tick ?accept_terminal ?(claims = []) ?(plan = [])
-    ?fault_view ?(max_states = 2_000_000) ?(max_equal_pairs = 1_000_000)
+    ?fault_view ?symmetry ?(sym_reduced = false)
+    ?(max_states = 2_000_000) ?(max_equal_pairs = 1_000_000)
     ~name pa =
   { name; pa; is_tick; accept_terminal; claims; plan; fault_view;
-    max_states; max_equal_pairs }
+    symmetry; sym_reduced; max_states; max_equal_pairs }
 
 let run_explored ?arena cfg expl =
   let model = cfg.name in
@@ -77,6 +81,10 @@ let run_explored ?arena cfg expl =
          Pa_checks.fault_isolation ~model ~faulted ~effective_proc cfg.pa
            arena)
     @ time_diags
+    @ (match cfg.symmetry with
+       | None -> []
+       | Some spec ->
+         fst (Pa_checks.symmetry ~model ~reduced:cfg.sym_reduced spec expl))
     @ Claim_checks.composition ~model ~claims:cfg.claims ~plan:cfg.plan
     @ Claim_checks.satisfiability ~model ~claims:cfg.claims arena
   in

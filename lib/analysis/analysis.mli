@@ -18,6 +18,7 @@
 module Json = Json
 module Diagnostic = Diagnostic
 module Report = Report
+module Symmetry = Symmetry
 module Pa_checks = Pa_checks
 module Time_checks = Time_checks
 module Claim_checks = Claim_checks
@@ -41,6 +42,12 @@ type ('s, 'a) config
       [(faulted, effective_proc)] handed to
       {!Pa_checks.fault_isolation}; enables PA012 (a crashed or
       stalled process's original step still enabled);
+    - [symmetry]: the model's declared symmetry {!Symmetry.spec};
+      enables PA030/PA031/PA032 via {!Pa_checks.symmetry}.  Set
+      [sym_reduced] when the exploration handed to {!run_explored}
+      was orbit-reduced through {!Symmetry.canonicalizer}, so the
+      verifier expands orbits for full coverage and does not advise
+      reduction of an already-reduced fragment;
     - [max_states]: exploration bound for this model (default
       [2_000_000]); exceeding it yields a PA000 warning carrying the
       partial interned-state count instead of an exception;
@@ -52,6 +59,8 @@ val config :
   ?claims:(string * 's Core.Claim.t) list ->
   ?plan:(string * 's Core.Claim.t * 's Core.Claim.t) list ->
   ?fault_view:(('s -> int list) * ('a -> int option)) ->
+  ?symmetry:('s, 'a) Symmetry.spec ->
+  ?sym_reduced:bool ->
   ?max_states:int ->
   ?max_equal_pairs:int ->
   name:string ->

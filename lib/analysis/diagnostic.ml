@@ -10,6 +10,9 @@ type code =
   | PA012
   | PA020
   | PA021
+  | PA030
+  | PA031
+  | PA032
   | CL001
   | CL002
 
@@ -34,6 +37,9 @@ let code_name = function
   | PA012 -> "PA012"
   | PA020 -> "PA020"
   | PA021 -> "PA021"
+  | PA030 -> "PA030"
+  | PA031 -> "PA031"
+  | PA032 -> "PA032"
   | CL001 -> "CL001"
   | CL002 -> "CL002"
 
@@ -47,12 +53,15 @@ let code_summary = function
   | PA012 -> "a faulted process's original step is still enabled"
   | PA020 -> "probabilistic zero-time cycle: time can stall"
   | PA021 -> "an adversary can block tick forever (time need not diverge)"
+  | PA030 -> "declared permutation is not an automorphism of the automaton"
+  | PA031 -> "predicate is not invariant under the verified symmetry group"
+  | PA032 -> "verified symmetric model explored without orbit reduction"
   | CL001 -> "compose applied under a schema that is not execution closed"
   | CL002 -> "claim predicate unsatisfiable on the explored fragment"
 
 let all_codes =
-  [ PA000; PA001; PA002; PA003; PA010; PA011; PA012; PA020; PA021; CL001;
-    CL002 ]
+  [ PA000; PA001; PA002; PA003; PA010; PA011; PA012; PA020; PA021; PA030;
+    PA031; PA032; CL001; CL002 ]
 
 let severity_name = function
   | Error -> "error"

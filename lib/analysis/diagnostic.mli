@@ -27,6 +27,9 @@ type code =
   | PA012  (** fault isolation: a crashed/stalled process still steps *)
   | PA020  (** probabilistic zero-time cycle (time can stall) *)
   | PA021  (** an adversary can block [tick] forever *)
+  | PA030  (** a declared state/action permutation is not a PA automorphism *)
+  | PA031  (** a predicate is not invariant under the verified group *)
+  | PA032  (** symmetric model explored without orbit reduction (advisory) *)
   | CL001  (** compose premise: schema not execution closed *)
   | CL002  (** claim predicate unsatisfiable on the explored fragment *)
 

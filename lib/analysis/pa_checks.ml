@@ -211,3 +211,9 @@ let signature ~model pa arena =
      done
    with Exit -> ());
   Diagnostic.cap ~limit:witness_limit (List.rev !diags)
+
+(* PA030/PA031/PA032: delegated to the symmetry verifier; this wrapper
+   exists so the battery in [Analysis.run_explored] stays one flat
+   pipeline of [~model ... -> Diagnostic.t list]-shaped checks. *)
+let symmetry ~model ?reduced ?max_orbit ?max_checks spec expl =
+  Symmetry.verify ~model ?reduced ?max_orbit ?max_checks spec expl

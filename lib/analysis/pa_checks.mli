@@ -64,3 +64,14 @@ val fault_isolation :
 val signature :
   model:string ->
   ('s, 'a) Core.Pa.t -> ('s, 'a) Mdp.Arena.t -> Diagnostic.t list
+
+(** [symmetry ~model spec expl] runs the PA030/PA031/PA032 battery of
+    {!Symmetry.verify} (same optional arguments, same result). *)
+val symmetry :
+  model:string ->
+  ?reduced:bool ->
+  ?max_orbit:int ->
+  ?max_checks:int ->
+  ('s, 'a) Symmetry.spec ->
+  ('s, 'a) Mdp.Explore.t ->
+  Diagnostic.t list * Symmetry.certificate option

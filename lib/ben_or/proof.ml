@@ -5,13 +5,18 @@ type instance = {
   initial : Automaton.bit array;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
   arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
+  sym : Analysis.Symmetry.certificate option;
 }
 
-let build ?max_states ?(g = 1) ?(k = 1) ~n ~f ~cap ~initial () =
+let build ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off) ~n
+    ~f ~cap ~initial () =
   let params = { Automaton.n; f; cap; g; k } in
   let pa = Automaton.make ~initial params in
-  let expl = Mdp.Explore.run ?max_states pa in
-  { params; initial; expl;
+  let expl, cert =
+    Analysis.Symmetry.explored ~model:"ben_or" ~mode:sym ?max_states
+      (Symmetry.spec params ~initial) pa
+  in
+  { params; initial; expl; sym = cert;
     arena = Mdp.Arena.compile ~is_tick:Automaton.is_tick expl }
 
 let agreement_violation inst =

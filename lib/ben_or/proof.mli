@@ -29,10 +29,15 @@ type instance = {
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
   arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
       (** [expl] compiled once with the model's tick mask. *)
+  sym : Analysis.Symmetry.certificate option;
+      (** present iff the fragment is the certified orbit quotient *)
 }
 
+(** [sym] (default [Off]) requests orbit-reduced exploration under the
+    equal-initial-value process transpositions ({!Symmetry.spec}). *)
 val build :
-  ?max_states:int -> ?g:int -> ?k:int -> n:int -> f:int -> cap:int ->
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  n:int -> f:int -> cap:int ->
   initial:Automaton.bit array -> unit -> instance
 
 (** [None] when agreement holds on every reachable state. *)

@@ -1,0 +1,21 @@
+(** Declared symmetries of the Ben-Or consensus automaton.
+
+    Process transpositions lift to candidate automorphisms: permute
+    the process array and every per-round report/proposal row, and
+    rename the process indices carried by actions (collection subsets
+    are re-normalized to the generator's [collector :: ascending]
+    shape).  Only transpositions of processes with {e equal initial
+    values} are declared -- others move the start state and would be
+    PA030 violations, correctly. *)
+
+val generators :
+  Automaton.params -> initial:Automaton.bit array ->
+  (Automaton.state, Automaton.action) Analysis.Symmetry.generator list
+
+(** [spec params ~initial] declares the equal-initial-value
+    transpositions together with the proof's predicates ([Init],
+    [Decided], [Agreement], [Quiescent]). *)
+val spec :
+  ?extra:(string * (Automaton.state -> bool)) list ->
+  Automaton.params -> initial:Automaton.bit array ->
+  (Automaton.state, Automaton.action) Analysis.Symmetry.spec

@@ -4,12 +4,17 @@ type instance = {
   params : Automaton.params;
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
   arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
+  sym : Analysis.Symmetry.certificate option;
 }
 
-let build ?max_states ?(g = 1) ?(k = 1) ~n () =
+let build ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off) ~n
+    () =
   let params = { Automaton.n; g; k } in
-  let expl = Mdp.Explore.run ?max_states (Automaton.make params) in
-  { params; expl;
+  let expl, cert =
+    Analysis.Symmetry.explored ~model:"itai_rodeh" ~mode:sym ?max_states
+      (Symmetry.spec params) (Automaton.make params)
+  in
+  { params; expl; sym = cert;
     arena = Mdp.Arena.compile ~is_tick:Automaton.is_tick expl }
 
 type arrow = {

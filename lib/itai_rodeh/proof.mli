@@ -18,9 +18,15 @@ type instance = {
   expl : (Automaton.state, Automaton.action) Mdp.Explore.t;
   arena : (Automaton.state, Automaton.action) Mdp.Arena.t;
       (** [expl] compiled once with the model's tick mask. *)
+  sym : Analysis.Symmetry.certificate option;
+      (** present iff the fragment is the certified orbit quotient *)
 }
 
-val build : ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit -> instance
+(** [sym] (default [Off]) requests orbit-reduced exploration under the
+    full process-permutation group ({!Symmetry.spec}). *)
+val build :
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  n:int -> unit -> instance
 
 type arrow = {
   label : string;

@@ -1,0 +1,16 @@
+(** Declared symmetries of the Itai-Rodeh election automaton.
+
+    The start state is uniform (every process must flip), so the full
+    symmetric group acts on the phase array; the declared generators
+    are the adjacent process transpositions, which generate it.  The
+    composition ladder's rungs ([at_most k]) count active processes
+    and are registered as the invariant predicates. *)
+
+val generators :
+  Automaton.params ->
+  (Automaton.state, Automaton.action) Analysis.Symmetry.generator list
+
+val spec :
+  ?extra:(string * (Automaton.state -> bool)) list ->
+  Automaton.params ->
+  (Automaton.state, Automaton.action) Analysis.Symmetry.spec

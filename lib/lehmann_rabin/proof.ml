@@ -4,13 +4,18 @@ type instance = {
   params : Automaton.params;
   expl : (State.t, Automaton.action) Mdp.Explore.t;
   arena : (State.t, Automaton.action) Mdp.Arena.t;
+  sym : Analysis.Symmetry.certificate option;
 }
 
-let build ?max_states ?(g = 1) ?(k = 1) ~n () =
+let build ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off) ~n
+    () =
   let params = { Automaton.n; g; k } in
   let pa = Automaton.make params in
-  let expl = Mdp.Explore.run ?max_states pa in
-  { params; expl;
+  let expl, cert =
+    Analysis.Symmetry.explored ~model:"lr" ~mode:sym ?max_states
+      (Symmetry.ring ~n ()) pa
+  in
+  { params; expl; sym = cert;
     arena = Mdp.Arena.compile ~is_tick:Automaton.is_tick expl }
 
 type arrow = {
@@ -223,12 +228,18 @@ type topo_instance = {
   tk : int;
   texpl : (State.t, Automaton.action) Mdp.Explore.t;
   tarena : (State.t, Automaton.action) Mdp.Arena.t;
+  tsym : Analysis.Symmetry.certificate option;
 }
 
-let build_topo ?max_states ?(g = 1) ?(k = 1) ~topo () =
+let build_topo ?max_states ?(g = 1) ?(k = 1)
+    ?(sym = Analysis.Symmetry.Off) ~topo () =
   let pa = Automaton.make_general ~topo ~g ~k in
-  let texpl = Mdp.Explore.run ?max_states pa in
-  { topo; tg = g; tk = k; texpl;
+  let texpl, cert =
+    Analysis.Symmetry.explored
+      ~model:(Printf.sprintf "lr:%s" (Topology.name topo))
+      ~mode:sym ?max_states (Symmetry.spec topo) pa
+  in
+  { topo; tg = g; tk = k; texpl; tsym = cert;
     tarena = Mdp.Arena.compile ~is_tick:Automaton.is_tick texpl }
 
 let arrows_topo inst =

@@ -16,11 +16,19 @@ type instance = {
   arena : (State.t, Automaton.action) Mdp.Arena.t;
       (** [expl] compiled once, with the model's tick mask; every
           engine call below reads this. *)
+  sym : Analysis.Symmetry.certificate option;
+      (** present iff the fragment is the certified orbit quotient *)
 }
 
 (** [build ~n ()] constructs and explores the ring instance
-    (granularity [g] and per-slot budget [k] default to 1). *)
-val build : ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit -> instance
+    (granularity [g] and per-slot budget [k] default to 1).  [sym]
+    (default [Off]) requests orbit-reduced exploration under the
+    declared rotation group ({!Symmetry.ring}): [On] raises
+    [Analysis.Symmetry.Not_certified] unless the group certifies,
+    [Auto] falls back to unreduced. *)
+val build :
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  n:int -> unit -> instance
 
 (** One phase statement together with what the checker found. *)
 type arrow = {
@@ -88,11 +96,12 @@ type topo_instance = {
   tk : int;
   texpl : (State.t, Automaton.action) Mdp.Explore.t;
   tarena : (State.t, Automaton.action) Mdp.Arena.t;
+  tsym : Analysis.Symmetry.certificate option;
 }
 
 val build_topo :
-  ?max_states:int -> ?g:int -> ?k:int -> topo:Topology.t -> unit ->
-  topo_instance
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  topo:Topology.t -> unit -> topo_instance
 
 val arrows_topo : topo_instance -> arrow list
 val composed_topo : topo_instance -> (State.t Core.Claim.t, string) result

@@ -1,0 +1,40 @@
+(** Declared symmetries of the (generalized) Lehmann-Rabin automaton.
+
+    Every side-preserving automorphism of the conflict topology
+    ({!Topology.automorphisms}) lifts to a candidate automorphism of
+    the automaton: permute the process array along [pi], the resource
+    array along [rho], and the process index carried by each action.
+    The region ladder of the proof ({!Regions}) is registered as the
+    invariant predicates, so [Analysis.Symmetry.verify] certifies at
+    once that reduction is sound {e and} that the proof's claims
+    survive it.
+
+    On [Topology.ring n] the declared group is the [n] rotations
+    (reflections are not side-preserving: the protocol is chiral); on
+    a line it is trivial -- the PA032 advisory never fires there and a
+    rotation declared by hand is exactly the PA030 fixture. *)
+
+(** [apply_state (pi, rho) s] permutes the process array along [pi]
+    and the resource array along [rho]; [apply_action pi] renames the
+    process index an action carries (sides are preserved: the protocol
+    is chiral).  Exposed so tests can declare {e wrong} permutations --
+    a rotation on a line topology is the PA030 fixture. *)
+val apply_state : int array * int array -> State.t -> State.t
+val apply_action : int array -> Automaton.action -> Automaton.action
+
+val generators :
+  Topology.t -> (State.t, Automaton.action) Analysis.Symmetry.generator list
+
+(** [spec topo] declares the topology's automorphisms together with
+    the generalized region predicates (goodness via
+    {!Regions.g_of}).  [extra] appends further predicates to hold
+    invariant. *)
+val spec :
+  ?extra:(string * (State.t -> bool)) list ->
+  Topology.t -> (State.t, Automaton.action) Analysis.Symmetry.spec
+
+(** [ring ~n ()] is {!spec} on [Topology.ring n] with the ring-proof
+    goodness set {!Regions.g} also registered. *)
+val ring :
+  ?extra:(string * (State.t -> bool)) list ->
+  n:int -> unit -> (State.t, Automaton.action) Analysis.Symmetry.spec

@@ -38,6 +38,87 @@ let res t i side =
 
 let contenders t r = t.contenders.(r)
 
+(* Side-preserving automorphism search: pairs (pi, rho) of process and
+   resource permutations with [rho left(i) = left(pi i)] and
+   [rho right(i) = right(pi i)].  Side-preservation matters: the
+   protocol is chiral (first flip names a side), so e.g. a ring
+   reflection, though a graph automorphism, is NOT an automorphism of
+   the automaton.  Backtracking over [pi] with incremental [rho]
+   consistency keeps this instant for the topologies at hand; [limit]
+   truncates pathological cases (e.g. the star's full symmetric group),
+   which stays sound -- any subset of automorphisms generates a
+   subgroup, and reducing by a subgroup merely compresses less. *)
+let automorphisms ?(limit = 720) t =
+  let n = num_procs t in
+  let m = t.num_resources in
+  let results = ref [] in
+  let count = ref 0 in
+  let pi = Array.make n (-1) in
+  let pi_used = Array.make n false in
+  let rho = Array.make m (-1) in
+  let rho_used = Array.make m false in
+  let exception Done in
+  let assign_res a b undo =
+    if rho.(a) = b then true
+    else if rho.(a) <> -1 || rho_used.(b) then false
+    else begin
+      rho.(a) <- b;
+      rho_used.(b) <- true;
+      undo := a :: !undo;
+      true
+    end
+  in
+  let record () =
+    let identity = ref true in
+    Array.iteri (fun i j -> if i <> j then identity := false) pi;
+    if not !identity then begin
+      (* Resources no process touches are unconstrained; complete rho
+         over them by matching free sources to free targets. *)
+      let full_rho = Array.copy rho in
+      let free_targets = ref [] in
+      for r = m - 1 downto 0 do
+        if not rho_used.(r) then free_targets := r :: !free_targets
+      done;
+      Array.iteri
+        (fun r img ->
+           if img = -1 then
+             match !free_targets with
+             | tgt :: rest ->
+               full_rho.(r) <- tgt;
+               free_targets := rest
+             | [] -> assert false)
+        full_rho;
+      results := (Array.copy pi, full_rho) :: !results;
+      incr count;
+      if !count >= limit then raise Done
+    end
+  in
+  let rec go i =
+    if i = n then record ()
+    else
+      for j = 0 to n - 1 do
+        if not pi_used.(j) then begin
+          let li, ri = t.assignments.(i) in
+          let lj, rj = t.assignments.(j) in
+          let undo = ref [] in
+          if assign_res li lj undo && assign_res ri rj undo then begin
+            pi.(i) <- j;
+            pi_used.(j) <- true;
+            go (i + 1);
+            pi.(i) <- -1;
+            pi_used.(j) <- false
+          end;
+          List.iter
+            (fun a ->
+               rho_used.(rho.(a)) <- false;
+               rho.(a) <- -1)
+            !undo
+        end
+      done
+  in
+  (try go 0 with Done -> ());
+  List.rev !results
+
 let ring n =
   make ~name:(Printf.sprintf "ring(%d)" n) ~num_resources:n
     (Array.init n (fun i -> ((i + n - 1) mod n, i)))

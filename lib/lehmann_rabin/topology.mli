@@ -32,6 +32,18 @@ val res : t -> int -> State.side -> int
     side on which [r] hangs for it. *)
 val contenders : t -> int -> (int * State.side) list
 
+(** [automorphisms t] lists the non-identity {e side-preserving}
+    automorphisms of the conflict topology, up to [limit] (default
+    [720]) of them: pairs [(pi, rho)] of a process permutation and a
+    resource permutation with [rho (res t i side) = res t (pi i) side]
+    for both sides.  Side-preservation is what makes these candidate
+    automorphisms of the {e automaton} (the protocol is chiral: the
+    first flip names a side), so a ring contributes its [n-1]
+    rotations but not the reflections, and a line contributes nothing.
+    Truncation at [limit] is sound for symmetry reduction -- any
+    subset of automorphisms generates a subgroup. *)
+val automorphisms : ?limit:int -> t -> (int array * int array) list
+
 (** {1 Stock topologies} *)
 
 (** The paper's ring: [n] processes, [n] resources, process [i] between

@@ -50,10 +50,3 @@ let verify_inclusion a sub sup =
     Array.to_list (Array.init (Arena.num_states a) (Arena.state a))
   in
   Core.Inclusion.verify ~states sub sup
-
-(* Deprecated compat shim (see the .mli): compile a throwaway arena
-   per call. *)
-let check_arrow_explored expl ~is_tick ~granularity ~schema ~pre ~post
-    ~time ~prob =
-  check_arrow (Arena.compile ~is_tick expl) ~granularity ~schema ~pre ~post
-    ~time ~prob

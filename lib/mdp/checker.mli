@@ -42,14 +42,3 @@ val min_prob_over :
 val verify_inclusion :
   ('s, 'a) Arena.t -> 's Core.Pred.t -> 's Core.Pred.t ->
   's Core.Inclusion.t option
-
-(** {1 Deprecated fragment entry point}
-
-    Compat shim for the pre-arena API; compiles a throwaway arena per
-    call.  Compile once with {!Arena.compile} and reuse instead. *)
-
-val check_arrow_explored :
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> granularity:int ->
-  schema:Core.Schema.t -> pre:'s Core.Pred.t -> post:'s Core.Pred.t ->
-  time:Proba.Rational.t -> prob:Proba.Rational.t -> ('s, 'a) result
-[@@deprecated "compile an Arena.t once and use check_arrow"]

@@ -153,15 +153,3 @@ let max_expected_ticks_with_policy ?pool (a : _ Arena.t) ~target
         end)
   in
   (v, policy)
-
-(* Deprecated compat shims (see the .mli): compile a throwaway arena
-   per call. *)
-let max_expected_ticks_explored ?pool expl ~is_tick ~target ?epsilon
-    ?max_sweeps () =
-  max_expected_ticks ?pool (Arena.compile ~is_tick expl) ~target ?epsilon
-    ?max_sweeps ()
-
-let min_expected_ticks_explored ?pool expl ~is_tick ~target ?epsilon
-    ?max_sweeps () =
-  min_expected_ticks ?pool (Arena.compile ~is_tick expl) ~target ?epsilon
-    ?max_sweeps ()

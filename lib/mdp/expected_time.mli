@@ -53,20 +53,3 @@ val max_expected_ticks_with_policy :
   ?pool:Parallel.Pool.t ->
   ('s, 'a) Arena.t -> target:bool array ->
   ?epsilon:float -> ?max_sweeps:int -> unit -> float array * int array
-
-(** {1 Deprecated fragment entry points}
-
-    Compat shims for the pre-arena API; they compile a throwaway arena
-    per call.  Compile once with {!Arena.compile} and reuse instead. *)
-
-val max_expected_ticks_explored :
-  ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ?epsilon:float -> ?max_sweeps:int -> unit -> float array
-[@@deprecated "compile an Arena.t once and use max_expected_ticks"]
-
-val min_expected_ticks_explored :
-  ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ?epsilon:float -> ?max_sweeps:int -> unit -> float array
-[@@deprecated "compile an Arena.t once and use min_expected_ticks"]

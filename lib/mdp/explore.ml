@@ -9,6 +9,7 @@ type ('s, 'a) t = {
   steps : 'a step array array;
   start_indices : int list;
   expanded : int;
+  canon : 's -> 's;  (** identity unless the fragment is a quotient *)
 }
 
 type ('s, 'a) partial = {
@@ -31,7 +32,7 @@ let explorations () = Atomic.get explorations_counter
    the index suffix [expanded ..].  [stop] is consulted before each
    expansion; [hard_max] reproduces the legacy contract of {!run}
    (raise the moment a state beyond the bound would be interned). *)
-let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
+let bfs ?hard_max ?(stop = fun ~interned:_ -> None) ?(canon = fun s -> s) m =
   Atomic.incr explorations_counter;
   let table =
     Funtbl.create ~equal:(Core.Pa.equal_state m) ~hash:(Core.Pa.hash_state m)
@@ -41,8 +42,13 @@ let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
   let count = ref 0 in
   let queue = Queue.create () in
   let intern s =
-    (* [find_or_add] interns with a single hash-and-probe; a raised
+    (* Canonicalizing before the table lookup is the whole of orbit
+       reduction: every state of an orbit interns to its
+       representative's index, so the BFS explores the quotient MDP and
+       everything downstream (arena compilation included) is oblivious.
+       [find_or_add] interns with a single hash-and-probe; a raised
        [Too_many_states] leaves the table untouched. *)
+    let s = canon s in
     Funtbl.find_or_add table s (fun () ->
         (match hard_max with
          | Some bound when !count >= bound -> raise (Too_many_states bound)
@@ -113,19 +119,19 @@ let bfs ?hard_max ?(stop = fun ~interned:_ -> None) m =
     (fun k st -> steps_arr.(!expanded - 1 - k) <- st)
     !steps_acc;
   ( { pa = m; states = states_arr; table; steps = steps_arr; start_indices;
-      expanded = !expanded },
+      expanded = !expanded; canon },
     !stopped )
 
-let run ?(max_states = 5_000_000) m =
-  let fragment, _ = bfs ~hard_max:max_states m in
+let run ?(max_states = 5_000_000) ?canon m =
+  let fragment, _ = bfs ~hard_max:max_states ?canon m in
   fragment
 
-let run_budgeted ?(budget = Core.Budget.unlimited) ?clock m =
+let run_budgeted ?(budget = Core.Budget.unlimited) ?clock ?canon m =
   let clock =
     match clock with Some c -> c | None -> Core.Budget.start budget
   in
   let stop ~interned = Core.Budget.exhausted ~states:interned clock in
-  let fragment, stopped = bfs ~stop m in
+  let fragment, stopped = bfs ~stop ?canon m in
   { fragment;
     complete = stopped = None;
     frontier = Array.length fragment.states - fragment.expanded;
@@ -147,7 +153,7 @@ let num_branches e =
     0 e.steps
 
 let state e i = e.states.(i)
-let index e s = Funtbl.find e.table s
+let index e s = Funtbl.find e.table (e.canon s)
 let start_indices e = e.start_indices
 let steps e i = e.steps.(i)
 

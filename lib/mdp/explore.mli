@@ -17,8 +17,19 @@ type ('s, 'a) t
 
 (** [run ?max_states m] explores [m] from its start states.
     Raises {!Too_many_states} when the bound (default [5_000_000]) is
-    exceeded -- prefer {!run_budgeted}, which keeps the partial work. *)
-val run : ?max_states:int -> ('s, 'a) Core.Pa.t -> ('s, 'a) t
+    exceeded -- prefer {!run_budgeted}, which keeps the partial work.
+
+    [canon] (default identity) is applied to every state before
+    interning, so the exploration builds the quotient of [m] under the
+    kernel of [canon]: pass an orbit canonicalizer (certified by
+    [Analysis.Symmetry]) and the result is the orbit-reduced MDP,
+    indistinguishable to downstream consumers from an ordinary
+    fragment.  Soundness (that the quotient's verdicts match the full
+    automaton's) is the {e caller's} obligation; uncertified canon
+    functions yield garbage quietly.  {!index} canonicalizes its
+    argument, so looking up any orbit member finds the
+    representative. *)
+val run : ?max_states:int -> ?canon:('s -> 's) -> ('s, 'a) Core.Pa.t -> ('s, 'a) t
 
 (** A possibly-incomplete exploration.  When the budget ran out,
     [fragment] still holds every interned state; the [frontier] states
@@ -42,7 +53,7 @@ type ('s, 'a) partial = {
     expansion, so the interned count can overshoot it by the branching
     of the last expanded state. *)
 val run_budgeted :
-  ?budget:Core.Budget.t -> ?clock:Core.Budget.clock ->
+  ?budget:Core.Budget.t -> ?clock:Core.Budget.clock -> ?canon:('s -> 's) ->
   ('s, 'a) Core.Pa.t -> ('s, 'a) partial
 
 (** The automaton that was explored. *)
@@ -69,7 +80,8 @@ val num_branches : ('s, 'a) t -> int
 (** [state expl i] is the state with index [i]. *)
 val state : ('s, 'a) t -> int -> 's
 
-(** [index expl s] is the index of an explored state. *)
+(** [index expl s] is the index of an explored state; on a
+    canon-reduced fragment, the index of [s]'s orbit representative. *)
 val index : ('s, 'a) t -> 's -> int option
 
 (** Indices of the start states. *)

@@ -386,18 +386,3 @@ let min_reach_float ?pool (a : _ Arena.t) ~target ~ticks =
 
 let max_reach_float ?pool (a : _ Arena.t) ~target ~ticks =
   Approx.max_reach ?pool a ~plane:a.Arena.prob_f ~target ~ticks
-
-(* Deprecated compat shims: compile a throwaway arena from the fragment
-   and the per-call tick closure.  One PR only; callers should compile
-   once and reuse. *)
-let min_reach_explored ?pool expl ~is_tick ~target ~ticks =
-  min_reach ?pool (Arena.compile ~is_tick expl) ~target ~ticks
-
-let max_reach_explored ?pool expl ~is_tick ~target ~ticks =
-  max_reach ?pool (Arena.compile ~is_tick expl) ~target ~ticks
-
-let min_reach_float_explored ?pool expl ~is_tick ~target ~ticks =
-  min_reach_float ?pool (Arena.compile ~is_tick expl) ~target ~ticks
-
-let max_reach_float_explored ?pool expl ~is_tick ~target ~ticks =
-  max_reach_float ?pool (Arena.compile ~is_tick expl) ~target ~ticks

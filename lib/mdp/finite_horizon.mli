@@ -111,33 +111,3 @@ val max_reach_rational :
   ?pool:Parallel.Pool.t ->
   ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
   Proba.Rational.t array
-
-(** {1 Deprecated fragment entry points}
-
-    Compat shims for the pre-arena API: they compile a throwaway arena
-    from the fragment and the per-call [is_tick] closure on every
-    call.  Compile once with {!Arena.compile} and reuse instead. *)
-
-val min_reach_explored :
-  ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> Proba.Rational.t array
-[@@deprecated "compile an Arena.t once and use min_reach"]
-
-val max_reach_explored :
-  ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> Proba.Rational.t array
-[@@deprecated "compile an Arena.t once and use max_reach"]
-
-val min_reach_float_explored :
-  ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> float array
-[@@deprecated "compile an Arena.t once and use min_reach_float"]
-
-val max_reach_float_explored :
-  ?pool:Parallel.Pool.t ->
-  ('s, 'a) Explore.t -> is_tick:('a -> bool) -> target:bool array ->
-  ticks:int -> float array
-[@@deprecated "compile an Arena.t once and use max_reach_float"]

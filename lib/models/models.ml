@@ -132,62 +132,67 @@ let memo (type v) (cache : (string, v) Hashtbl.t) ~key ~(cost : v -> int)
   obtain ()
 
 let opt_int = function None -> "" | Some m -> string_of_int m
+let sym_str = Analysis.Symmetry.mode_to_string
 
 let lr_cache : (string, LR.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
-let lr ?max_states ?(g = 1) ?(k = 1) ~n () =
+let lr ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off) ~n () =
   memo lr_cache
-    ~key:(Printf.sprintf "lr?n=%d&g=%d&k=%d&max_states=%s" n g k
-            (opt_int max_states))
+    ~key:(Printf.sprintf "lr?n=%d&g=%d&k=%d&max_states=%s&sym=%s" n g k
+            (opt_int max_states) (sym_str sym))
     ~cost:(fun i ->
         approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.arena))
-    (fun () -> LR.Proof.build ?max_states ~g ~k ~n ())
+    (fun () -> LR.Proof.build ?max_states ~g ~k ~sym ~n ())
 
 let lr_topo_cache : (string, LR.Proof.topo_instance) Hashtbl.t =
   Hashtbl.create 8
 
-let lr_topo ?max_states ?(g = 1) ?(k = 1) ~topo () =
+let lr_topo ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off)
+    ~topo () =
   memo lr_topo_cache
-    ~key:(Printf.sprintf "lr-topo?topo=%s&g=%d&k=%d&max_states=%s"
-            (LR.Topology.name topo) g k (opt_int max_states))
+    ~key:(Printf.sprintf "lr-topo?topo=%s&g=%d&k=%d&max_states=%s&sym=%s"
+            (LR.Topology.name topo) g k (opt_int max_states) (sym_str sym))
     ~cost:(fun i ->
         approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.tarena))
-    (fun () -> LR.Proof.build_topo ?max_states ~g ~k ~topo ())
+    (fun () -> LR.Proof.build_topo ?max_states ~g ~k ~sym ~topo ())
 
 let election_cache : (string, IR.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
-let election ?max_states ?(g = 1) ?(k = 1) ~n () =
+let election ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off)
+    ~n () =
   memo election_cache
-    ~key:(Printf.sprintf "election?n=%d&g=%d&k=%d&max_states=%s" n g k
-            (opt_int max_states))
+    ~key:(Printf.sprintf "election?n=%d&g=%d&k=%d&max_states=%s&sym=%s" n g k
+            (opt_int max_states) (sym_str sym))
     ~cost:(fun i ->
         approx_cost ~states:(Mdp.Arena.num_states i.IR.Proof.arena))
-    (fun () -> IR.Proof.build ?max_states ~g ~k ~n ())
+    (fun () -> IR.Proof.build ?max_states ~g ~k ~sym ~n ())
 
 let coin_cache : (string, SC.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
-let coin ?max_states ?(g = 1) ?(k = 1) ~n ~bound () =
+let coin ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off) ~n
+    ~bound () =
   memo coin_cache
-    ~key:(Printf.sprintf "coin?n=%d&bound=%d&g=%d&k=%d&max_states=%s" n bound
-            g k (opt_int max_states))
+    ~key:(Printf.sprintf "coin?n=%d&bound=%d&g=%d&k=%d&max_states=%s&sym=%s"
+            n bound g k (opt_int max_states) (sym_str sym))
     ~cost:(fun i ->
         approx_cost ~states:(Mdp.Arena.num_states i.SC.Proof.arena))
-    (fun () -> SC.Proof.build ?max_states ~g ~k ~n ~bound ())
+    (fun () -> SC.Proof.build ?max_states ~g ~k ~sym ~n ~bound ())
 
 let consensus_cache : (string, BO.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
-let consensus ?max_states ?(g = 1) ?(k = 1) ~n ~f ~cap ~initial () =
+let consensus ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off)
+    ~n ~f ~cap ~initial () =
   let bits =
     String.concat "" (List.map (fun b -> if b then "1" else "0")
                         (Array.to_list initial))
   in
   memo consensus_cache
     ~key:(Printf.sprintf
-            "consensus?n=%d&f=%d&cap=%d&initial=%s&g=%d&k=%d&max_states=%s" n
-            f cap bits g k (opt_int max_states))
+            "consensus?n=%d&f=%d&cap=%d&initial=%s&g=%d&k=%d&max_states=%s\
+             &sym=%s" n f cap bits g k (opt_int max_states) (sym_str sym))
     ~cost:(fun i ->
         approx_cost ~states:(Mdp.Arena.num_states i.BO.Proof.arena))
-    (fun () -> BO.Proof.build ?max_states ~g ~k ~n ~f ~cap ~initial ())
+    (fun () -> BO.Proof.build ?max_states ~g ~k ~sym ~n ~f ~cap ~initial ())
 
 type stats = {
   explorations : int;
@@ -309,44 +314,60 @@ let sc_claims inst =
 (* Lint runners.  Each resolves its instance through the memoized
    builders above and hands the instance's arena to the analysis, so a
    process that both checks and lints a model explores and compiles it
-   once. *)
+   once.
 
-let lint_lr ~max_states () =
-  let inst = lr ~max_states ~n:3 () in
+   Every symmetry-declaring model also hands its declared spec to the
+   analysis, so [prtb lint] verifies the generators (PA030), the
+   predicate invariance (PA031) and nudges unreduced-but-symmetric runs
+   (PA032) alongside the classic PA checks.  [sym] selects the
+   exploration mode (the certificate gating the quotient is
+   re-derived inside the analysis pass; lint targets are small enough
+   that the duplicated verification is in the noise). *)
+
+let lint_lr ~max_states ?sym () =
+  let inst = lr ~max_states ?sym ~n:3 () in
   Analysis.run_explored ~arena:inst.LR.Proof.arena
     (Analysis.config ~name:"lr" ~is_tick:LR.Automaton.is_tick
        ~claims:(lr_claims inst) ~max_states
+       ~symmetry:(LR.Symmetry.ring ~n:3 ())
+       ~sym_reduced:(inst.LR.Proof.sym <> None)
        (Mdp.Explore.automaton inst.LR.Proof.expl))
     inst.LR.Proof.expl
 
-let lint_lr_topo name topo ~max_states () =
-  let inst = lr_topo ~max_states ~topo () in
+let lint_lr_topo name topo ~max_states ?sym () =
+  let inst = lr_topo ~max_states ?sym ~topo () in
   Analysis.run_explored ~arena:inst.LR.Proof.tarena
     (Analysis.config ~name ~is_tick:LR.Automaton.is_tick
        ~claims:(lr_topo_claims inst) ~max_states
+       ~symmetry:(LR.Symmetry.spec topo)
+       ~sym_reduced:(inst.LR.Proof.tsym <> None)
        (Mdp.Explore.automaton inst.LR.Proof.texpl))
     inst.LR.Proof.texpl
 
-let lint_election ~max_states () =
-  let inst = election ~max_states ~n:3 () in
+let lint_election ~max_states ?sym () =
+  let inst = election ~max_states ?sym ~n:3 () in
   Analysis.run_explored ~arena:inst.IR.Proof.arena
     (Analysis.config ~name:"election" ~is_tick:IR.Automaton.is_tick
        ~claims:(ir_claims inst) ~max_states
+       ~symmetry:(IR.Symmetry.spec inst.IR.Proof.params)
+       ~sym_reduced:(inst.IR.Proof.sym <> None)
        (Mdp.Explore.automaton inst.IR.Proof.expl))
     inst.IR.Proof.expl
 
-let lint_coin ~max_states () =
-  let inst = coin ~max_states ~n:2 ~bound:3 () in
+let lint_coin ~max_states ?sym () =
+  let inst = coin ~max_states ?sym ~n:2 ~bound:3 () in
   Analysis.run_explored ~arena:inst.SC.Proof.arena
     (Analysis.config ~name:"coin" ~is_tick:SC.Automaton.is_tick
        ~claims:(sc_claims inst) ~max_states
+       ~symmetry:(SC.Symmetry.spec inst.SC.Proof.params)
+       ~sym_reduced:(inst.SC.Proof.sym <> None)
        (Mdp.Explore.automaton inst.SC.Proof.expl))
     inst.SC.Proof.expl
 
-let lint_consensus ~max_states () =
+let lint_consensus ~max_states ?sym () =
   let n = 3 and f = 1 and cap = 2 in
   let initial = Array.init n (fun i -> i = n - 1) in
-  let inst = consensus ~max_states ~n ~f ~cap ~initial () in
+  let inst = consensus ~max_states ?sym ~n ~f ~cap ~initial () in
   let arrow =
     BO.Proof.decision_arrow inst ~rounds:cap ~prob:(Q.pow Q.half n)
   in
@@ -358,22 +379,24 @@ let lint_consensus ~max_states () =
   Analysis.run_explored ~arena:inst.BO.Proof.arena
     (Analysis.config ~name:"consensus" ~is_tick:BO.Automaton.is_tick
        ~claims ~max_states
+       ~symmetry:(BO.Symmetry.spec inst.BO.Proof.params ~initial)
+       ~sym_reduced:(inst.BO.Proof.sym <> None)
        (Mdp.Explore.automaton inst.BO.Proof.expl))
     inst.BO.Proof.expl
 
-let lint_walker ~max_states () =
+let lint_walker ~max_states ?sym:_ () =
   Analysis.run
     (Analysis.config ~name:"example:walker" ~is_tick:Walker.is_tick
        ~max_states Walker.pa)
 
-let lint_race ~max_states () =
+let lint_race ~max_states ?sym:_ () =
   Analysis.run
     (Analysis.config ~name:"example:race"
        ~accept_terminal:(fun s ->
            s.Race.p <> Race.Unflipped && s.Race.q <> Race.Unflipped)
        ~max_states Race.pa)
 
-let lint_lr_crash ~max_states () =
+let lint_lr_crash ~max_states ?sym:_ () =
   let config =
     { Faults.Lr.params = { LR.Automaton.n = 3; g = 1; k = 1 };
       faults = Faults.Fault.v ~crash:1 ();
@@ -400,9 +423,12 @@ let lint_lr_crash ~max_states () =
 (* The proof-module builders explore eagerly, so a tight state budget
    surfaces as [Too_many_states] before [Analysis.run_explored] can
    shield it; report it as PA000 like the library does instead of
-   letting the exception escape to the CLI. *)
-let guard name runner ~max_states () =
-  try runner ~max_states () with
+   letting the exception escape to the CLI.  [Not_certified] (a
+   [--sym on] build whose declared group failed to verify) likewise
+   becomes an error report, so [prtb lint --strict] fails on it
+   instead of crashing. *)
+let guard name runner ~max_states ?sym () =
+  try runner ~max_states ?sym () with
   | Mdp.Explore.Too_many_states n ->
     (* At raise time exactly [n] states had been interned, so [n] is
        the partial state count, not just the configured ceiling. *)
@@ -416,6 +442,13 @@ let guard name runner ~max_states () =
              "exploration stopped after interning %d states while building \
               the model; all checks skipped (raise --max-states)"
              n) ]
+  | Analysis.Symmetry.Not_certified msg ->
+    Analysis.Report.make
+      { Analysis.Report.model = name; states = 0; choices = 0;
+        branches = 0;
+        skipped = [ "all checks (symmetry certification failed)" ] }
+      [ Analysis.Diagnostic.v Analysis.Diagnostic.PA030
+          Analysis.Diagnostic.Error ~model:name msg ]
 
 (* ------------------------------------------------------------------ *)
 (* The registry *)
@@ -423,8 +456,16 @@ let guard name runner ~max_states () =
 type entry = {
   name : string;
   doc : string;
-  lint : max_states:int -> unit -> Analysis.Report.t;
+  lint :
+    max_states:int -> ?sym:Analysis.Symmetry.mode -> unit ->
+    Analysis.Report.t;
 }
+
+(* The [-sym] variants pin the exploration mode to [On]: they lint the
+   certified orbit quotient (and fail loudly if certification breaks),
+   whatever [--sym] the caller passed. *)
+let force_on runner ~max_states ?sym:_ () =
+  runner ~max_states ?sym:(Some Analysis.Symmetry.On) ()
 
 let entries =
   List.map (fun (name, doc, runner) ->
@@ -440,6 +481,14 @@ let entries =
     ("coin", "shared coin (n=2, barrier 3) + ladder claims", lint_coin);
     ("consensus", "Ben-Or (n=3, f=1, 2 rounds) + decision claim",
      lint_consensus);
+    ("lr-sym", "lr on the certified rotation-orbit quotient",
+     force_on lint_lr);
+    ("election-sym", "election on the certified transposition quotient",
+     force_on lint_election);
+    ("coin-sym", "coin on the certified transposition quotient",
+     force_on lint_coin);
+    ("consensus-sym", "consensus on the certified equal-input quotient",
+     force_on lint_consensus);
     ("lr-crash",
      "Lehmann-Rabin ring (n=3) under one crash + degraded claims",
      lint_lr_crash);

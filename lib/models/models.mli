@@ -26,29 +26,33 @@ module Race = Race
 (** {1 Memoized instance builders}
 
     Parameters mirror the proof modules' [build] functions; results are
-    cached per parameter tuple (including [max_states]) for the
-    lifetime of the process -- or, under {!set_capacity}, until evicted
-    by more recently used instances. *)
+    cached per parameter tuple (including [max_states] and [sym]) for
+    the lifetime of the process -- or, under {!set_capacity}, until
+    evicted by more recently used instances.  [sym] (default [Off])
+    selects orbit-reduced exploration, exactly as in the proof
+    modules' [build]. *)
 
 val lr :
-  ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit ->
-  Lehmann_rabin.Proof.instance
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  n:int -> unit -> Lehmann_rabin.Proof.instance
 
 val lr_topo :
-  ?max_states:int -> ?g:int -> ?k:int -> topo:Lehmann_rabin.Topology.t ->
-  unit -> Lehmann_rabin.Proof.topo_instance
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  topo:Lehmann_rabin.Topology.t -> unit ->
+  Lehmann_rabin.Proof.topo_instance
 
 val election :
-  ?max_states:int -> ?g:int -> ?k:int -> n:int -> unit ->
-  Itai_rodeh.Proof.instance
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  n:int -> unit -> Itai_rodeh.Proof.instance
 
 val coin :
-  ?max_states:int -> ?g:int -> ?k:int -> n:int -> bound:int -> unit ->
-  Shared_coin.Proof.instance
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  n:int -> bound:int -> unit -> Shared_coin.Proof.instance
 
 val consensus :
-  ?max_states:int -> ?g:int -> ?k:int -> n:int -> f:int -> cap:int ->
-  initial:bool array -> unit -> Ben_or.Proof.instance
+  ?max_states:int -> ?g:int -> ?k:int -> ?sym:Analysis.Symmetry.mode ->
+  n:int -> f:int -> cap:int -> initial:bool array -> unit ->
+  Ben_or.Proof.instance
 
 (** {1 Cache bounds}
 
@@ -87,7 +91,11 @@ val pp_stats : Format.formatter -> stats -> unit
 type entry = {
   name : string;  (** CLI name, e.g. ["lr"] or ["example:walker"] *)
   doc : string;  (** one-line description for [--help] *)
-  lint : max_states:int -> unit -> Analysis.Report.t;
+  lint :
+    max_states:int -> ?sym:Analysis.Symmetry.mode -> unit ->
+    Analysis.Report.t;
+      (** [sym] (default [Off]) selects the exploration mode; the
+          [*-sym] targets pin it to [On] regardless. *)
 }
 
 (** The built-in targets, in display order. *)
@@ -100,11 +108,16 @@ val find : string -> entry
 
 (** [guard name runner] downgrades a {!Mdp.Explore.Too_many_states}
     escape from an eagerly-exploring builder into a PA000 report, like
-    {!Analysis.run} does for its own exploration.  Exposed for external
-    targets registered alongside {!entries}. *)
+    {!Analysis.run} does for its own exploration, and an
+    {!Analysis.Symmetry.Not_certified} escape (a [sym=On] build whose
+    declared group failed to verify) into a PA030 error report.
+    Exposed for external targets registered alongside {!entries}. *)
 val guard :
-  string -> (max_states:int -> unit -> Analysis.Report.t) ->
-  max_states:int -> unit -> Analysis.Report.t
+  string ->
+  (max_states:int -> ?sym:Analysis.Symmetry.mode -> unit ->
+   Analysis.Report.t) ->
+  max_states:int -> ?sym:Analysis.Symmetry.mode -> unit ->
+  Analysis.Report.t
 
 (** The quickstart walker automaton (also a lint target). *)
 module Walker : sig

@@ -17,6 +17,7 @@ type check_query = {
   bound : int;
   cap : int;
   max_states : int option;
+  sym : string;
 }
 
 type simulate_query = {
@@ -28,7 +29,11 @@ type simulate_query = {
   within : int option;
 }
 
-type lint_query = { target : string; lint_max_states : int option }
+type lint_query = {
+  target : string;
+  lint_max_states : int option;
+  lint_sym : string;
+}
 
 type query =
   | Check of check_query
@@ -106,6 +111,13 @@ let positive name v =
   if v < 1 then reject 400 "SRV103" "field %S must be positive" name;
   v
 
+let sym_field fields =
+  match String.lowercase_ascii (str_field fields "sym" ~default:"off") with
+  | ("auto" | "on" | "off") as s -> s
+  | other ->
+    reject 400 "SRV103" "field \"sym\" must be auto, on or off (got %S)"
+      other
+
 (* ------------------------------------------------------------------ *)
 (* Endpoint dispatch. *)
 
@@ -128,7 +140,8 @@ let parse_check fields =
       topology;
       bound = positive "bound" (int_field fields "bound" ~default:4);
       cap = positive "cap" (int_field fields "cap" ~default:2);
-      max_states = Option.map (positive "max_states") (opt_int_field fields "max_states")
+      max_states = Option.map (positive "max_states") (opt_int_field fields "max_states");
+      sym = sym_field fields
     }
 
 let parse_simulate fields =
@@ -145,7 +158,8 @@ let parse_lint fields =
   Lint
     { target = str_field fields "target" ~default:"lr";
       lint_max_states =
-        Option.map (positive "max_states") (opt_int_field fields "max_states")
+        Option.map (positive "max_states") (opt_int_field fields "max_states");
+      lint_sym = sym_field fields
     }
 
 let parse_health fields =
@@ -167,26 +181,47 @@ let of_request (req : Http.request) =
   with Reject e -> Error e
 
 (* ------------------------------------------------------------------ *)
-(* Canonical keys. *)
+(* Canonical keys.
+
+   Every dimension the computation reads appears in the key with its
+   default filled in, and ceilings the server clamps ([max_states],
+   [trials]) are stored {e post-clamp}: a query spelling the server
+   default explicitly, one omitting it, and one asking beyond the
+   server's cap all compute the same body and now share one cache
+   entry. *)
 
 let opt_int = function None -> "" | Some i -> string_of_int i
 
-let canonical_key = function
+(* The effective ceiling: the client's ask clamped to the server's cap,
+   the cap itself when the client is silent.  With no server cap the
+   client value (or the empty default) passes through. *)
+let clamped ceiling client =
+  match ceiling, client with
+  | None, c -> opt_int c
+  | Some cap, None -> string_of_int cap
+  | Some cap, Some c -> string_of_int (Stdlib.min cap c)
+
+let canonical_key ?max_states ?max_trials = function
   | Check c ->
     Some
       (Printf.sprintf
          "check?model=%s&n=%d&g=%d&k=%d&topology=%s&bound=%d&cap=%d\
-          &max_states=%s"
+          &max_states=%s&sym=%s"
          (model_name c.model) c.n c.g c.k c.topology c.bound c.cap
-         (opt_int c.max_states))
+         (clamped max_states c.max_states) c.sym)
   | Simulate s ->
+    let trials =
+      match max_trials with
+      | None -> s.trials
+      | Some cap -> Stdlib.min cap s.trials
+    in
     Some
       (Printf.sprintf
          "simulate?model=%s&n=%d&scheduler=%s&trials=%d&seed=%d&within=%s"
-         (model_name s.sim_model) s.sim_n s.scheduler s.trials s.seed
+         (model_name s.sim_model) s.sim_n s.scheduler trials s.seed
          (opt_int s.within))
   | Lint l ->
     Some
-      (Printf.sprintf "lint?target=%s&max_states=%s" l.target
-         (opt_int l.lint_max_states))
+      (Printf.sprintf "lint?target=%s&max_states=%s&sym=%s" l.target
+         (clamped max_states l.lint_max_states) l.lint_sym)
   | Stats | Health _ -> None

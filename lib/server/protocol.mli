@@ -37,6 +37,7 @@ type check_query = {
   bound : int;  (** coin barrier *)
   cap : int;  (** consensus round cap *)
   max_states : int option;  (** client ceiling; the server clamps it *)
+  sym : string;  (** ["auto"], ["on"] or ["off"] (default) *)
 }
 
 type simulate_query = {
@@ -48,7 +49,11 @@ type simulate_query = {
   within : int option;
 }
 
-type lint_query = { target : string; lint_max_states : int option }
+type lint_query = {
+  target : string;
+  lint_max_states : int option;
+  lint_sym : string;  (** ["auto"], ["on"] or ["off"] (default) *)
+}
 
 type query =
   | Check of check_query
@@ -68,6 +73,11 @@ val error_body : error -> string
 val of_request : Http.request -> (query, error) result
 
 (** The canonical cache key of a query, with every default filled in
-    -- equal keys answer from the result cache.  [None] for [/stats]
-    and [/health], which are never cached. *)
-val canonical_key : query -> string option
+    -- equal keys answer from the result cache.  [max_states] and
+    [max_trials] are the server's ceilings: the key stores the
+    {e clamped} values, so a query spelling a ceiling explicitly, one
+    omitting it and one exceeding the server's cap share one entry
+    (they compute the same body).  [None] for [/stats] and [/health],
+    which are never cached. *)
+val canonical_key :
+  ?max_states:int -> ?max_trials:int -> query -> string option

@@ -47,6 +47,20 @@ let note_overload t = Atomic.incr t.overload
 let rat r = J.Str (Q.to_string r)
 let claim_str c = Format.asprintf "%a" Core.Claim.pp c
 
+(* Validated by [Protocol.sym_field]; [Off] is unreachable dead right. *)
+let sym_mode s =
+  Option.value (Analysis.Symmetry.mode_of_string s)
+    ~default:Analysis.Symmetry.Off
+
+(* The state count a body reports: for a certified orbit quotient, the
+   unreduced reachable count recovered from the certificate -- which is
+   what makes [sym=on] and [sym=off] bodies identical. *)
+let arena_states cert arena =
+  match cert with
+  | Some c when c.Analysis.Symmetry.reduced ->
+    c.Analysis.Symmetry.full_states
+  | _ -> Mdp.Arena.num_states arena
+
 let composed_json = function
   | Ok c -> J.Obj [ ("ok", J.Bool true); ("claim", J.Str (claim_str c)) ]
   | Error e -> J.Obj [ ("ok", J.Bool false); ("error", J.Str e) ]
@@ -92,10 +106,12 @@ let lr_arrow_json (a : LR.Proof.arrow) =
 
 let check_lr_ring ~max_states (c : Protocol.check_query) =
   let inst =
-    Models.lr ~max_states ~g:c.Protocol.g ~k:c.Protocol.k ~n:c.Protocol.n ()
+    Models.lr ~max_states ~g:c.Protocol.g ~k:c.Protocol.k
+      ~sym:(sym_mode c.Protocol.sym) ~n:c.Protocol.n ()
   in
   check_header ~verdict:"complete" c
-    [ ("states", J.Int (Mdp.Arena.num_states inst.LR.Proof.arena));
+    [ ("states",
+       J.Int (arena_states inst.LR.Proof.sym inst.LR.Proof.arena));
       ( "invariant",
         J.Str
           (match LR.Invariant.check inst.LR.Proof.expl with
@@ -114,9 +130,13 @@ let check_lr_topo ~max_states (c : Protocol.check_query) =
     | "line" -> LR.Topology.line c.Protocol.n
     | _ -> LR.Topology.star c.Protocol.n
   in
-  let inst = Models.lr_topo ~max_states ~g:c.Protocol.g ~k:c.Protocol.k ~topo () in
+  let inst =
+    Models.lr_topo ~max_states ~g:c.Protocol.g ~k:c.Protocol.k
+      ~sym:(sym_mode c.Protocol.sym) ~topo ()
+  in
   check_header ~verdict:"complete" c
-    [ ("states", J.Int (Mdp.Arena.num_states inst.LR.Proof.tarena));
+    [ ("states",
+       J.Int (arena_states inst.LR.Proof.tsym inst.LR.Proof.tarena));
       ( "invariant",
         J.Str
           (match LR.Proof.invariant_topo inst with
@@ -128,7 +148,10 @@ let check_lr_topo ~max_states (c : Protocol.check_query) =
       ("max_expected_time", J.Num (LR.Proof.max_expected_time_topo inst)) ]
 
 let check_election ~max_states (c : Protocol.check_query) =
-  let inst = Models.election ~max_states ~n:c.Protocol.n () in
+  let inst =
+    Models.election ~max_states ~sym:(sym_mode c.Protocol.sym)
+      ~n:c.Protocol.n ()
+  in
   let arrow (a : IR.Proof.arrow) =
     J.Obj
       [ ("label", J.Str a.IR.Proof.label);
@@ -138,7 +161,8 @@ let check_election ~max_states (c : Protocol.check_query) =
         ("holds", J.Bool (a.IR.Proof.claim <> None)) ]
   in
   check_header ~verdict:"complete" c
-    [ ("states", J.Int (Mdp.Arena.num_states inst.IR.Proof.arena));
+    [ ("states",
+       J.Int (arena_states inst.IR.Proof.sym inst.IR.Proof.arena));
       ("arrows", J.Arr (List.map arrow (IR.Proof.arrows inst)));
       ("composed", composed_json (IR.Proof.composed inst));
       ( "expected_bound",
@@ -147,7 +171,8 @@ let check_election ~max_states (c : Protocol.check_query) =
 
 let check_coin ~max_states (c : Protocol.check_query) =
   let inst =
-    Models.coin ~max_states ~n:c.Protocol.n ~bound:c.Protocol.bound ()
+    Models.coin ~max_states ~sym:(sym_mode c.Protocol.sym) ~n:c.Protocol.n
+      ~bound:c.Protocol.bound ()
   in
   let arrow (a : SC.Proof.arrow) =
     J.Obj
@@ -158,7 +183,8 @@ let check_coin ~max_states (c : Protocol.check_query) =
         ("holds", J.Bool (a.SC.Proof.claim <> None)) ]
   in
   check_header ~verdict:"complete" c
-    [ ("states", J.Int (Mdp.Arena.num_states inst.SC.Proof.arena));
+    [ ("states",
+       J.Int (arena_states inst.SC.Proof.sym inst.SC.Proof.arena));
       ("arrows", J.Arr (List.map arrow (SC.Proof.arrows inst)));
       ("composed", composed_json (SC.Proof.composed inst));
       ("direct_bound", rat (SC.Proof.direct_bound inst));
@@ -170,14 +196,16 @@ let check_consensus ~max_states (c : Protocol.check_query) =
   let f = (n - 1) / 2 in
   let initial = Array.init n (fun i -> i = n - 1) in
   let inst =
-    Models.consensus ~max_states ~n ~f ~cap:c.Protocol.cap ~initial ()
+    Models.consensus ~max_states ~sym:(sym_mode c.Protocol.sym) ~n ~f
+      ~cap:c.Protocol.cap ~initial ()
   in
   let curve =
     BO.Proof.decision_curve inst
       ~rounds:(List.init c.Protocol.cap (fun r -> r + 1))
   in
   check_header ~verdict:"complete" c
-    [ ("states", J.Int (Mdp.Arena.num_states inst.BO.Proof.arena));
+    [ ("states",
+       J.Int (arena_states inst.BO.Proof.sym inst.BO.Proof.arena));
       ("f", J.Int f);
       ( "agreement",
         J.Str
@@ -204,7 +232,8 @@ let check_json ?(max_states = default_max_states) (c : Protocol.check_query) =
     | `Election -> check_election ~max_states c
     | `Coin -> check_coin ~max_states c
     | `Consensus -> check_consensus ~max_states c
-  with Mdp.Explore.Too_many_states m ->
+  with
+  | Mdp.Explore.Too_many_states m ->
     check_header ~verdict:"exhausted" c
       [ ("states_interned", J.Int m);
         ("code", J.Str "SRV120");
@@ -214,6 +243,9 @@ let check_json ?(max_states = default_max_states) (c : Protocol.check_query) =
                "exploration stopped after interning %d states (ceiling %d); \
                 raise max_states or shrink the instance"
                m max_states) ) ]
+  | Analysis.Symmetry.Not_certified msg ->
+    check_header ~verdict:"not-certified" c
+      [ ("code", J.Str "SRV121"); ("message", J.Str msg) ]
 
 (* ------------------------------------------------------------------ *)
 (* /simulate. *)
@@ -331,7 +363,9 @@ let lint_json t (l : Protocol.lint_query) =
       | Some client -> Stdlib.min client t.config.max_states
       | None -> t.config.max_states
     in
-    let report = entry.Models.lint ~max_states () in
+    let report =
+      entry.Models.lint ~max_states ~sym:(sym_mode l.Protocol.lint_sym) ()
+    in
     Ok
       (J.Obj
          [ ("schema", J.Str "prtb-lint/1");
@@ -403,8 +437,12 @@ let error_reply t (e : Protocol.error) =
    consulted and filled outside any lock around [compute]: two workers
    racing the same cold key duplicate the work, the second insert wins,
    and both serve equal bodies (computations are deterministic). *)
+let canonical_key t query =
+  Protocol.canonical_key ~max_states:t.config.max_states
+    ~max_trials:t.config.max_trials query
+
 let with_cache t query compute =
-  match Protocol.canonical_key query with
+  match canonical_key t query with
   | None ->
     (match compute () with
      | Ok json -> ok_reply t (J.to_string json)
@@ -421,7 +459,7 @@ let with_cache t query compute =
         | Error e -> error_reply t e))
 
 let cached t query =
-  match Protocol.canonical_key query with
+  match canonical_key t query with
   | None -> false
   | Some key ->
     (* A stats-neutral probe would need a peek API; [find] counting a

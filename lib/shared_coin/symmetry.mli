@@ -1,0 +1,17 @@
+(** Declared symmetries of the shared-coin automaton.
+
+    The counter is shared state and the start clocks are uniform, so
+    any process permutation (acting on the clock array and the [Flip]
+    index) is a candidate automorphism; adjacent transpositions are
+    declared and generate the full symmetric group.  The random-walk
+    ladder rungs ([|counter| >= d]) are registered as invariant
+    predicates -- they do not mention processes at all. *)
+
+val generators :
+  Automaton.params ->
+  (Automaton.state, Automaton.action) Analysis.Symmetry.generator list
+
+val spec :
+  ?extra:(string * (Automaton.state -> bool)) list ->
+  Automaton.params ->
+  (Automaton.state, Automaton.action) Analysis.Symmetry.spec

@@ -138,6 +138,31 @@ let test_post_and_get_share_cache () =
   Alcotest.(check string) "same bytes" seed.Server.Http.resp_body
     posted.Server.Http.resp_body
 
+(* [sym] is a cache dimension with a canonical default: omitting it and
+   spelling [sym=off] share one entry, [sym=on] occupies another -- and
+   the two entries hold byte-identical bodies (the orbit quotient is
+   invisible in the answer, including the reported state count).  A
+   client [max_states] beyond the server's ceiling clamps into the
+   default entry too. *)
+let test_sym_cache_dimension () =
+  let base = "/check?model=consensus&n=3&cap=1" in
+  let plain = get base in
+  Alcotest.(check (option string)) "first query misses" (Some "miss")
+    (Server.Http.resp_header plain "x-prtb-cache");
+  let off = get (base ^ "&sym=off") in
+  Alcotest.(check (option string)) "explicit sym=off hits the default"
+    (Some "hit")
+    (Server.Http.resp_header off "x-prtb-cache");
+  let on = get (base ^ "&sym=on") in
+  Alcotest.(check (option string)) "sym=on is a distinct key" (Some "miss")
+    (Server.Http.resp_header on "x-prtb-cache");
+  Alcotest.(check string) "sym=on body == sym=off body"
+    off.Server.Http.resp_body on.Server.Http.resp_body;
+  let clamped = get (base ^ "&max_states=999999999") in
+  Alcotest.(check (option string)) "over-ceiling max_states clamps in"
+    (Some "hit")
+    (Server.Http.resp_header clamped "x-prtb-cache")
+
 let test_simulate_deterministic () =
   let target = "/simulate?model=election&n=3&trials=200&seed=7" in
   let a = get target in
@@ -303,6 +328,8 @@ let () =
             test_repeat_hits_cache;
           Alcotest.test_case "POST shares GET's cache entry" `Quick
             test_post_and_get_share_cache;
+          Alcotest.test_case "sym: distinct keys, identical bodies" `Quick
+            test_sym_cache_dimension;
           Alcotest.test_case "simulate deterministic + cached" `Quick
             test_simulate_deterministic;
           Alcotest.test_case "lint served" `Quick test_lint_served;
