@@ -236,13 +236,49 @@ let bench_tests () =
     [ Test.make ~name:"serve:throughput (/health round trip)"
         (Staged.stage (fun () -> roundtrip "/health"));
       Test.make ~name:"serve:cache-hit (/check lr n=3, warm)"
-        (Staged.stage (fun () -> roundtrip "/check?model=lr&n=3")) ]
+        (Staged.stage (fun () -> roundtrip "/check?model=lr&n=3"));
+      (* The degraded path end to end: an uncached query (the line
+         topology is never warmed, and SRV122 bodies are never cached)
+         whose 1 ms allowance expires mid-exploration, so every round
+         trip times arm-deadline + cut engines + build the SRV122
+         body. *)
+      Test.make ~name:"serve:deadline (/check lr line, 1ms, degraded)"
+        (Staged.stage (fun () ->
+             roundtrip "/check?model=lr&n=3&topology=line&deadline_ms=1")) ]
+  in
+  (* One mixed chaos round: garbage and a valid request from two
+     concurrent domains, fresh connections each.  A dedicated daemon --
+     the serve kernels above deliberately park the shared daemon's
+     single worker with their keep-alive connection. *)
+  let chaos_tests =
+    let d =
+      Server.Daemon.start
+        { Server.Daemon.default_config with
+          Server.Daemon.port = 0; domains = 3; cache_mb = 8;
+          read_timeout = 1.0 }
+    in
+    at_exit (fun () ->
+        Server.Daemon.stop d;
+        Server.Daemon.wait d);
+    let url =
+      { Server.Load.host = "127.0.0.1";
+        port = Server.Daemon.port d; target = "/" }
+    in
+    [ Test.make ~name:"chaos:mixed (1 round, 2 clients)"
+        (Staged.stage (fun () ->
+             let o =
+               Server.Chaos.run_scenario ~rounds:1 ~clients:2 ~seed:42 url
+                 Server.Chaos.Mixed
+             in
+             if o.Server.Chaos.failures <> [] then
+               failwith (List.hd o.Server.Chaos.failures);
+             o.Server.Chaos.answered)) ]
   in
   Test.make_grouped ~name:"prtb"
     ([ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; float_engine;
        rational_engine; arena_compile; arena_sweep; bisim;
        sym_canon; explore_lr4_reduced; sim ]
-     @ substrate @ serve_tests)
+     @ substrate @ serve_tests @ chaos_tests)
 
 (* ----------------------------------------------------------------- *)
 

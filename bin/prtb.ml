@@ -38,6 +38,23 @@ let install_domains = function
   | Some n -> Parallel.Pool.set_default (Some (Parallel.Pool.create ~domains:n))
 
 (* ----------------------------------------------------------------- *)
+(* --deadline: wall allowance in milliseconds *)
+
+let deadline_conv =
+  Arg.conv
+    ( (fun s ->
+         match Core.Budget.parse_wall s with
+         | Ok w when w > 0.0 ->
+           Ok (int_of_float (Float.ceil (w *. 1000.0)))
+         | Ok _ -> Error (`Msg "deadline must be positive")
+         | Error e -> Error (`Msg e)),
+      fun fmt ms -> Format.fprintf fmt "%dms" ms )
+
+let deadline_arg ~doc =
+  Arg.(value & opt (some deadline_conv) None
+       & info [ "deadline" ] ~docv:"DUR" ~doc)
+
+(* ----------------------------------------------------------------- *)
 (* --stats: registry work accounting *)
 
 let stats_arg =
@@ -398,7 +415,7 @@ let check_format_arg =
 (* The served and CLI JSON bodies are bit-identical because both print
    [Server.Service.check_json]; test/test_server.ml holds the two
    byte-for-byte equal. *)
-let check_json system n g k topology bound cap sym =
+let check_json system n g k topology bound cap sym deadline =
   let topology = Option.value topology ~default:"ring" in
   (match system, topology with
    | `Lr, ("ring" | "line" | "star") -> ()
@@ -408,21 +425,45 @@ let check_json system n g k topology bound cap sym =
      failwith (Printf.sprintf "topology %S applies to the lr system only" other));
   let q =
     { Server.Protocol.model = system; n; g; k; topology; bound; cap;
-      max_states = None; sym = Analysis.Symmetry.mode_to_string sym }
+      max_states = None; sym = Analysis.Symmetry.mode_to_string sym;
+      deadline_ms = deadline }
   in
   print_endline (Analysis.Json.to_string (Server.Service.check_json q))
 
+(* Text mode arms the same ambient deadline the server uses; when the
+   engines' poll points cut the run mid-sweep we print a structured
+   degraded verdict and exit 0, mirroring the served SRV122 body. *)
+let under_cli_deadline deadline f =
+  match deadline with
+  | None -> f ()
+  | Some ms ->
+    let clock =
+      Core.Budget.start
+        (Core.Budget.v ~wall:(float_of_int ms /. 1000.0) ())
+    in
+    (match Core.Budget.with_deadline clock f with
+     | () -> ()
+     | exception Core.Budget.Deadline_exceeded reason ->
+       Printf.printf
+         "verdict: deadline-exceeded (SRV122, deadline_ms=%d)\n\
+          %s\n\
+          the exact verification was abandoned mid-sweep; raise \
+          --deadline for the exact verdict\n"
+         ms reason)
+
 let check_cmd =
   let run domains stats format system n g k topology bound cap sym faults
-      budget release seed =
+      budget release seed deadline =
     install_domains domains;
     try
       Ok
         ((match format, faults with
          | `Json, Some _ ->
            failwith "--format json does not cover --faults runs; drop one"
-         | `Json, None -> check_json system n g k topology bound cap sym
+         | `Json, None ->
+           check_json system n g k topology bound cap sym deadline
          | `Text, _ ->
+           under_cli_deadline deadline @@ fun () ->
            match system with
          | `Lr ->
            (match faults, topology with
@@ -474,7 +515,13 @@ let check_cmd =
             (const run $ domains_arg $ stats_arg $ check_format_arg
              $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg
              $ bound_arg $ cap_arg $ sym_arg $ faults_arg $ budget_arg
-             $ release_arg $ check_seed_arg))
+             $ release_arg $ check_seed_arg
+             $ deadline_arg
+                 ~doc:"Wall deadline for the whole check, e.g. 50ms or \
+                       2s.  When it fires mid-sweep the command prints a \
+                       structured deadline-exceeded verdict (the JSON \
+                       format answers the same SRV122 body $(b,prtb \
+                       serve) would) and exits 0."))
 
 (* ----------------------------------------------------------------- *)
 (* simulate *)
@@ -752,13 +799,20 @@ let serve_cmd =
                    structured \"exhausted\" verdict instead of a wedged \
                    worker.")
   in
-  let run host port domains cache_mb accept_queue max_states =
+  let degraded_after =
+    Arg.(value & opt float d.Server.Daemon.degraded_after
+         & info [ "degraded-after" ] ~docv:"SECS"
+             ~doc:"Age of the oldest in-flight request beyond which \
+                   /health reports \"degraded\" instead of \"ok\".")
+  in
+  let run host port domains cache_mb accept_queue max_states deadline
+      degraded_after =
     if domains < 2 then
       Error (`Msg "serve needs --domains >= 2 (one accepts, the rest work)")
     else begin
       Server.Daemon.run
         { d with Server.Daemon.host; port; domains; cache_mb; accept_queue;
-          max_states };
+          max_states; deadline_ms = deadline; degraded_after };
       Ok ()
     end
   in
@@ -771,7 +825,14 @@ let serve_cmd =
              drains accepted connections and exits 0.")
     Term.(term_result
             (const run $ host $ port $ domains $ cache_mb $ accept_queue
-             $ max_states))
+             $ max_states
+             $ deadline_arg
+                 ~doc:"Server-side default deadline applied to every \
+                       compute request, e.g. 500ms.  A client \
+                       deadline_ms can only tighten it; on expiry the \
+                       request is answered with the degraded SRV122 \
+                       body instead of running to completion."
+             $ degraded_after))
 
 (* ----------------------------------------------------------------- *)
 (* loadtest *)
@@ -794,14 +855,36 @@ let loadtest_cmd =
          & info [ "requests" ] ~docv:"R"
              ~doc:"Total round trips, spread over the clients.")
   in
-  let run url clients requests =
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a 503-rejected request up to N times with \
+                   jittered exponential backoff, honouring the \
+                   server's Retry-After header.  Retries are counted \
+                   separately in the report; default 0 (a 503 counts \
+                   as the final answer).")
+  in
+  let run url clients requests retries deadline =
     if clients < 1 then Error (`Msg "--clients must be positive")
     else if requests < 1 then Error (`Msg "--requests must be positive")
+    else if retries < 0 then Error (`Msg "--retries must be nonnegative")
     else
       match Server.Load.parse_url url with
       | Error e -> Error (`Msg e)
       | Ok u ->
-        let r = Server.Load.run u ~clients ~requests in
+        let u =
+          match deadline with
+          | None -> u
+          | Some ms ->
+            let sep =
+              if String.contains u.Server.Load.target '?' then "&" else "?"
+            in
+            { u with
+              Server.Load.target =
+                Printf.sprintf "%s%sdeadline_ms=%d" u.Server.Load.target
+                  sep ms }
+        in
+        let r = Server.Load.run ~max_retries:retries u ~clients ~requests in
         Format.printf "%a@." Server.Load.pp r;
         if r.Server.Load.protocol_errors > 0 then
           Error
@@ -816,7 +899,101 @@ let loadtest_cmd =
              clients and report throughput and latency percentiles.  \
              Exits nonzero on any protocol error (503 rejections are \
              reported but are not protocol errors).")
-    Term.(term_result (const run $ url $ clients $ requests))
+    Term.(term_result
+            (const run $ url $ clients $ requests $ retries
+             $ deadline_arg
+                 ~doc:"Append deadline_ms=DUR to every request, \
+                       exercising the server's degraded SRV122 path \
+                       under load."))
+
+(* ----------------------------------------------------------------- *)
+(* chaos *)
+
+let chaos_cmd =
+  let url =
+    Arg.(required & opt (some string) None
+         & info [ "url" ] ~docv:"URL"
+             ~doc:"Base URL of the daemon under test, e.g. \
+                   http://127.0.0.1:8080/.  The path (plus query) is \
+                   the valid-traffic target for the mixed scenario; it \
+                   must compute a deterministic body.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"PRNG seed; a given seed replays the same byte \
+                   streams every run.")
+  in
+  let scenarios =
+    Arg.(value & opt (some string) None
+         & info [ "scenarios" ] ~docv:"LIST"
+             ~doc:(Printf.sprintf
+                     "Comma-separated scenario list (default all): %s."
+                     (String.concat ", "
+                        (List.map Server.Chaos.scenario_name
+                           Server.Chaos.all_scenarios))))
+  in
+  let rounds =
+    Arg.(value & opt int 5
+         & info [ "rounds" ] ~docv:"R"
+             ~doc:"Iterations per scenario.")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"C"
+             ~doc:"Concurrent domains for the mixed scenario.")
+  in
+  let idle_s =
+    Arg.(value & opt float 1.5
+         & info [ "idle-s" ] ~docv:"SECS"
+             ~doc:"Idle parking time for the idle-keepalive scenario.")
+  in
+  let run url seed scenarios rounds clients idle_s =
+    if rounds < 1 then Error (`Msg "--rounds must be positive")
+    else
+      match Server.Load.parse_url url with
+      | Error e -> Error (`Msg e)
+      | Ok u ->
+        let scenarios =
+          match scenarios with
+          | None -> Ok Server.Chaos.all_scenarios
+          | Some spec ->
+            List.fold_right
+              (fun part acc ->
+                 match acc with
+                 | Error _ as e -> e
+                 | Ok rest ->
+                   (match Server.Chaos.scenario_of_string part with
+                    | Ok s -> Ok (s :: rest)
+                    | Error e -> Error e))
+              (List.filter
+                 (fun p -> String.trim p <> "")
+                 (String.split_on_char ',' spec))
+              (Ok [])
+        in
+        (match scenarios with
+         | Error e -> Error (`Msg e)
+         | Ok [] -> Error (`Msg "--scenarios named no scenario")
+         | Ok scenarios ->
+           let r =
+             Server.Chaos.run ~scenarios ~rounds ~clients ~idle_s ~seed u
+           in
+           Format.printf "%a@." Server.Chaos.pp_report r;
+           if r.Server.Chaos.ok then Ok ()
+           else Error (`Msg "chaos harness found failures"))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Torture a running $(b,prtb serve) with a seeded adversarial \
+             client: trickled headers, connections closed mid-body, \
+             garbage and oversized frames, idle keep-alive squatting, \
+             and garbage interleaved with valid traffic.  Exits 0 only \
+             if every attempt reconciles (answered, rejected, or \
+             cleanly dropped), the daemon's 5xx counter did not grow, \
+             and /health returns to \"ok\" afterwards.")
+    Term.(term_result
+            (const run $ url $ seed $ scenarios $ rounds $ clients
+             $ idle_s))
 
 (* ----------------------------------------------------------------- *)
 
@@ -829,4 +1006,4 @@ let () =
   let info = Cmd.info "prtb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ experiments_cmd; check_cmd; simulate_cmd; export_dot_cmd;
-         lint_cmd; serve_cmd; loadtest_cmd ]))
+         lint_cmd; serve_cmd; loadtest_cmd; chaos_cmd ]))

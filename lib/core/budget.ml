@@ -115,3 +115,44 @@ let exhausted ?states c =
      | Some w when elapsed c >= w ->
        Some (Printf.sprintf "wall budget hit (%.1fs elapsed)" (elapsed c))
      | _ -> None)
+
+let remaining c =
+  Option.map (fun w -> w -. elapsed c) c.b.wall
+
+exception Deadline_exceeded of string
+
+(* The ambient deadline is per-domain state: pool workers spawned before
+   [with_deadline] ran never see it, which is why [deadline_stop] hands
+   the clock to the pool as a [?stop] probe instead. *)
+let ambient : clock option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_deadline () = !(Domain.DLS.get ambient)
+let set_deadline c = Domain.DLS.get ambient := c
+
+let with_deadline c f =
+  let cell = Domain.DLS.get ambient in
+  let saved = !cell in
+  cell := Some c;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let expired_reason c =
+  match c.b.wall with
+  | Some w when elapsed c >= w ->
+    Some
+      (Printf.sprintf "wall deadline of %.0f ms exceeded (%.0f ms elapsed)"
+         (w *. 1000.) (elapsed c *. 1000.))
+  | _ -> None
+
+let poll () =
+  match current_deadline () with
+  | None -> ()
+  | Some c ->
+    (match expired_reason c with
+     | Some reason -> raise (Deadline_exceeded reason)
+     | None -> ())
+
+let deadline_stop () =
+  match current_deadline () with
+  | Some c when c.b.wall <> None -> Some (fun () -> expired_reason c)
+  | Some _ | None -> None

@@ -30,6 +30,11 @@ val v : ?max_states:int -> ?wall:float -> ?retries:int -> unit -> t
     number of seconds or the suffixes [ms], [s], [m]. *)
 val of_string : string -> (t, string) result
 
+(** Parse one duration ([50ms], [30s], [2m], or plain seconds) to
+    seconds; the wall dimension of {!of_string}, exposed for flags like
+    [--deadline] that take a bare duration. *)
+val parse_wall : string -> (float, string) result
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
@@ -48,3 +53,46 @@ val elapsed : clock -> float
     naming the dimension that ran out ([states] is the current
     interned-state count of the consumer). *)
 val exhausted : ?states:int -> clock -> string option
+
+(** Seconds left on the wall allowance, or [None] if the budget has no
+    wall dimension.  Negative once the allowance is spent. *)
+val remaining : clock -> float option
+
+(** {1 Ambient deadlines}
+
+    A budget clock tracks consumption cooperatively: code that holds
+    the clock asks {!exhausted}.  A {e deadline} is the adversarial
+    variant: the caller (the serving layer, or [--deadline] on the CLI)
+    arms a per-domain ambient clock and every engine hot loop calls
+    {!poll}, which raises {!Deadline_exceeded} the moment the wall
+    allowance is spent -- cancellation reaches mid-sweep, not just
+    between phases.  [poll] is a few loads when no deadline is armed,
+    so it is safe in the innermost loops.
+
+    The ambient clock is domain-local.  Worker domains of a
+    {!Parallel}[.Pool] do {e not} inherit it; pass {!deadline_stop}
+    (evaluated on the calling domain) as the pool's [?stop] probe
+    instead, and translate the pool's [Cancelled] back into
+    {!Deadline_exceeded} at the call site. *)
+
+exception Deadline_exceeded of string
+
+(** [with_deadline c f] runs [f ()] with the ambient deadline set to
+    [c], restoring the previous deadline (even on exceptions).  Nesting
+    is allowed; the innermost deadline wins for the dynamic extent. *)
+val with_deadline : clock -> (unit -> 'a) -> 'a
+
+(** Low-level variants of {!with_deadline} for non-nested lifetimes
+    (e.g. one server request handled entirely on one worker domain). *)
+val set_deadline : clock option -> unit
+
+val current_deadline : unit -> clock option
+
+(** Raises {!Deadline_exceeded} iff the ambient deadline's wall
+    allowance is spent.  No-op (and near-free) otherwise. *)
+val poll : unit -> unit
+
+(** A [?stop] probe for {!Parallel}[.Pool] capturing the ambient
+    deadline of the {e calling} domain; [None] when no deadline with a
+    wall allowance is armed. *)
+val deadline_stop : unit -> (unit -> string option) option

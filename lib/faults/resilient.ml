@@ -23,28 +23,7 @@ type 's verdict =
 let check_arrow ?(budget = Core.Budget.unlimited) ?fallback ~pa ~is_tick
     ~granularity ~schema ~pre ~post ~time ~prob () =
   let clock = Core.Budget.start budget in
-  let part = Mdp.Explore.run_budgeted ~clock pa in
-  if part.Mdp.Explore.complete then begin
-    let expl = part.Mdp.Explore.fragment in
-    let arena = Mdp.Arena.compile ~is_tick expl in
-    let r =
-      Mdp.Checker.check_arrow arena ~granularity ~schema ~pre ~post
-        ~time ~prob
-    in
-    Exact
-      { attained = r.Mdp.Checker.attained;
-        meets = r.Mdp.Checker.claim <> None;
-        witness = r.Mdp.Checker.witness;
-        pre_states = r.Mdp.Checker.pre_states;
-        states = Mdp.Explore.num_states expl;
-        claim = r.Mdp.Checker.claim }
-  end
-  else begin
-    let reason =
-      Printf.sprintf "exact exploration stopped after %d states: %s"
-        (Mdp.Explore.num_states part.Mdp.Explore.fragment)
-        (Option.value part.Mdp.Explore.stopped ~default:"budget exhausted")
-    in
+  let degrade reason =
     match fallback with
     | None -> Exhausted reason
     | Some run ->
@@ -54,7 +33,39 @@ let check_arrow ?(budget = Core.Budget.unlimited) ?fallback ~pa ~is_tick
         >= Q.to_float prob
       in
       Estimate { est; meets_point; reason }
+  in
+  let part = Mdp.Explore.run_budgeted ~clock pa in
+  if part.Mdp.Explore.complete then begin
+    let expl = part.Mdp.Explore.fragment in
+    (* The exploration honoured the wall budget cooperatively, but the
+       arena compile and the checker sweeps used to run unbounded once
+       exploration squeaked in under the wire.  Arm the shared clock as
+       an ambient deadline so the engines' poll points cut the exact
+       check mid-sweep, then fall down the same ladder. *)
+    match
+      Core.Budget.with_deadline clock (fun () ->
+          let arena = Mdp.Arena.compile ~is_tick expl in
+          Mdp.Checker.check_arrow arena ~granularity ~schema ~pre ~post
+            ~time ~prob)
+    with
+    | r ->
+      Exact
+        { attained = r.Mdp.Checker.attained;
+          meets = r.Mdp.Checker.claim <> None;
+          witness = r.Mdp.Checker.witness;
+          pre_states = r.Mdp.Checker.pre_states;
+          states = Mdp.Explore.num_states expl;
+          claim = r.Mdp.Checker.claim }
+    | exception Core.Budget.Deadline_exceeded reason ->
+      degrade
+        (Printf.sprintf "exact check abandoned mid-sweep (%d states): %s"
+           (Mdp.Explore.num_states expl) reason)
   end
+  else
+    degrade
+      (Printf.sprintf "exact exploration stopped after %d states: %s"
+         (Mdp.Explore.num_states part.Mdp.Explore.fragment)
+         (Option.value part.Mdp.Explore.stopped ~default:"budget exhausted"))
 
 let pp_verdict fmt = function
   | Exact e ->

@@ -32,6 +32,7 @@ let refine (a : _ Arena.t) ~labels
   let blocks = Array.copy labels in
   let stable = ref false in
   while not !stable do
+    Core.Budget.poll ();
     let keys = Hashtbl.create (2 * n) in
     let fresh = ref 0 in
     let next = Array.make n 0 in

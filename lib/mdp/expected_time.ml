@@ -56,6 +56,7 @@ let value_iterate_seq (a : _ Arena.t) ~finite ~target ~best ~epsilon
     !delta
   in
   let rec go k =
+    Core.Budget.poll ();
     if k > max_sweeps then
       failwith "Expected_time: value iteration did not converge"
     else if sweep () > epsilon then go (k + 1)
@@ -73,11 +74,12 @@ let value_iterate_par pool (a : _ Arena.t) ~finite ~target ~best ~epsilon
   let init i =
     if target.(i) then 0.0 else if finite.(i) then 0.0 else infinity
   in
+  let stop = Core.Budget.deadline_stop () in
   let cur = ref (Array.init n init) in
   let nxt = ref (Array.make n 0.0) in
   let sweep () =
     let cur = !cur and nxt = !nxt in
-    Parallel.Pool.map_reduce pool ~n ~init:0.0 ~combine:Float.max
+    Parallel.Pool.map_reduce pool ?stop ~n ~init:0.0 ~combine:Float.max
       (fun i ->
          if (not target.(i)) && finite.(i)
             && a.Arena.step_off.(i + 1) > a.Arena.step_off.(i)
@@ -111,7 +113,9 @@ let value_iterate ?pool a ~finite ~target ~best ~epsilon ~max_sweeps =
   in
   match pool with
   | Some p ->
-    value_iterate_par p a ~finite ~target ~best ~epsilon ~max_sweeps
+    (try value_iterate_par p a ~finite ~target ~best ~epsilon ~max_sweeps
+     with Parallel.Pool.Cancelled reason ->
+       raise (Core.Budget.Deadline_exceeded reason))
   | None -> value_iterate_seq a ~finite ~target ~best ~epsilon ~max_sweeps
 
 let max_expected_ticks ?pool a ~target ?(epsilon = 1e-12)

@@ -64,6 +64,7 @@ let bfs ?hard_max ?(stop = fun ~interned:_ -> None) ?(canon = fun s -> s) m =
   let expanded = ref 0 in
   let stopped = ref None in
   while !stopped = None && not (Queue.is_empty queue) do
+    Core.Budget.poll ();
     match stop ~interned:!count with
     | Some _ as reason -> stopped := reason
     | None ->

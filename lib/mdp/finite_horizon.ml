@@ -84,11 +84,19 @@ module Engine (N : NUM) = struct
 
   (* Per-index parallel fill, or a plain loop when no pool is in
      effect.  Writes go to distinct slots, so results never depend on
-     the pool size. *)
+     the pool size.  Both paths observe the ambient deadline: the pool
+     via a [?stop] probe (consulted before every chunk claim), the
+     plain loop via one poll per fill. *)
   let pfor pool ~n f =
     match pool with
-    | Some p -> Parallel.Pool.parallel_for p ~n f
+    | Some p ->
+      (try
+         Parallel.Pool.parallel_for p ?stop:(Core.Budget.deadline_stop ())
+           ~n f
+       with Parallel.Pool.Cancelled reason ->
+         raise (Core.Budget.Deadline_exceeded reason))
     | None ->
+      Core.Budget.poll ();
       for i = 0 to n - 1 do
         f i
       done
@@ -157,7 +165,11 @@ module Engine (N : NUM) = struct
       !changed
     in
     let max_sweeps = c.n + 2 in
+    (* Poll per sweep, not per state: a sweep is the natural chunk of a
+       sequential layer, so a fired deadline aborts mid-layer instead
+       of after the whole backward induction. *)
     let rec go k =
+      Core.Budget.poll ();
       if k > max_sweeps then no_convergence max_sweeps
       else if sweep () then go (k + 1)
     in
@@ -174,14 +186,15 @@ module Engine (N : NUM) = struct
      state on a zero-time chain, which stays within the same
      [n + 2] cap. *)
   let layer_par pool c ~best ~init v_next =
+    let stop = Core.Budget.deadline_stop () in
     let tick_exp = Array.make (Array.length c.tick) N.zero in
-    Parallel.Pool.parallel_for pool ~n:c.n (fun s ->
+    Parallel.Pool.parallel_for pool ?stop ~n:c.n (fun s ->
         fill_tick_exp c tick_exp v_next c.step_off.(s) c.step_off.(s + 1));
     let cur = ref (Array.init c.n init) in
     let nxt = ref (Array.make c.n N.zero) in
     let sweep () =
       let cur = !cur and nxt = !nxt in
-      Parallel.Pool.map_reduce pool ~n:c.n ~init:false ~combine:( || )
+      Parallel.Pool.map_reduce pool ?stop ~n:c.n ~init:false ~combine:( || )
         (fun s ->
             let lo = c.step_off.(s) and hi = c.step_off.(s + 1) in
             if c.target.(s) || hi = lo then begin
@@ -218,7 +231,10 @@ module Engine (N : NUM) = struct
 
   let layer pool c ~best ~init v_next =
     match pool with
-    | Some p -> layer_par p c ~best ~init v_next
+    | Some p ->
+      (try layer_par p c ~best ~init v_next
+       with Parallel.Pool.Cancelled reason ->
+         raise (Core.Budget.Deadline_exceeded reason))
     | None -> layer_seq c ~best ~init v_next
 
   let min_init c s =

@@ -33,6 +33,7 @@ let safe_core (a : _ Arena.t) ~avoid =
      surely inside [s] (terminal states stay). *)
   let changed = ref true in
   while !changed do
+    Core.Budget.poll ();
     changed := false;
     for i = 0 to n - 1 do
       if s.(i) then begin
@@ -60,6 +61,7 @@ let can_avoid (a : _ Arena.t) ~target =
   let bad = Array.copy core in
   let changed = ref true in
   while !changed do
+    Core.Budget.poll ();
     changed := false;
     for i = 0 to n - 1 do
       if (not bad.(i)) && avoid.(i) then begin
@@ -87,6 +89,7 @@ let some_reaches_certainly (a : _ Arena.t) ~target =
     let r = Array.copy target in
     let inner_changed = ref true in
     while !inner_changed do
+      Core.Budget.poll ();
       inner_changed := false;
       for i = 0 to n - 1 do
         if (not r.(i)) && s_set.(i) then begin

@@ -6,13 +6,19 @@ type config = {
   cache_mb : int;
   max_states : int;
   read_timeout : float;
+  write_timeout : float;
+  conn_deadline : float;
   max_requests_per_conn : int;
+  deadline_ms : int option;
+  degraded_after : float;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 8080; domains = 2; accept_queue = 16;
     cache_mb = 64; max_states = 2_000_000; read_timeout = 10.0;
-    max_requests_per_conn = 1000 }
+    write_timeout = 10.0; conn_deadline = 60.0;
+    max_requests_per_conn = 1000; deadline_ms = None;
+    degraded_after = 5.0 }
 
 type t = {
   service : Service.t;
@@ -46,8 +52,13 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 (* ------------------------------------------------------------------ *)
 (* The per-connection keep-alive loop, run on a worker domain. *)
 
-let handle_conn service fd ~read_timeout ~max_requests =
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+let handle_conn service fd ~read_timeout ~write_timeout ~conn_deadline
+    ~max_requests =
+  (* SO_SNDTIMEO mirrors the read side: a peer that accepts our bytes
+     arbitrarily slowly (a slow-reader/slowloris on the write path)
+     trips EAGAIN in [write_all], which abandons the response and winds
+     the connection down instead of pinning the worker. *)
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO write_timeout
    with Unix.Unix_error _ -> ());
   (* A read timeout (or any socket error) reads as end-of-input: clean
      between requests, a 400 mid-request -- either way the connection
@@ -56,11 +67,28 @@ let handle_conn service fd ~read_timeout ~max_requests =
     try Unix.read fd buf off len with Unix.Unix_error _ -> 0
   in
   let r = Http.reader read in
+  let conn_start = Unix.gettimeofday () in
+  (* The per-connection total deadline: a client cannot hold a worker
+     past [conn_deadline] seconds by trickling requests that each stay
+     inside the per-read timeout.  The read timeout shrinks to the
+     remaining allowance before every request. *)
+  let arm_read_timeout () =
+    let left = conn_deadline -. (Unix.gettimeofday () -. conn_start) in
+    if left <= 0.0 then false
+    else begin
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+           (Stdlib.min read_timeout left)
+       with Unix.Unix_error _ -> ());
+      true
+    end
+  in
   let rec serve remaining =
-    if remaining > 0 then
+    if remaining > 0 && arm_read_timeout () then
       match Http.read_request r with
       | `Eof -> ()
       | `Error e ->
+        Service.note_protocol_error service;
         let body =
           Protocol.error_body
             (Protocol.error ~status:e.Http.status ~code:"SRV110"
@@ -79,7 +107,9 @@ let handle_conn service fd ~read_timeout ~max_requests =
   (try serve max_requests with _ -> ());
   close_quietly fd
 
-(* An accept-loop rejection: answered inline, never queued. *)
+(* An accept-loop rejection: answered inline, never queued.  The
+   Retry-After is advisory backoff guidance; [Load]'s retry mode and
+   any compliant client honor it. *)
 let reject_overloaded service fd =
   Service.note_overload service;
   let body =
@@ -87,14 +117,17 @@ let reject_overloaded service fd =
       (Protocol.error ~status:503 ~code:"SRV111"
          "server overloaded; retry later")
   in
-  write_all fd (Http.response ~keep_alive:false ~status:503 ~body ());
+  write_all fd
+    (Http.response
+       ~headers:[ ("Retry-After", "1") ]
+       ~keep_alive:false ~status:503 ~body ());
   close_quietly fd
 
 (* ------------------------------------------------------------------ *)
 (* The accept loop. *)
 
 let accept_loop ~service ~pool ~lsock ~stop_r ~stopping ~accept_queue
-    ~read_timeout ~max_requests =
+    ~read_timeout ~write_timeout ~conn_deadline ~max_requests =
   let rec loop () =
     if not (Atomic.get stopping) then
       match Unix.select [ lsock; stop_r ] [] [] (-1.0) with
@@ -111,7 +144,8 @@ let accept_loop ~service ~pool ~lsock ~stop_r ~stopping ~accept_queue
              else begin
                let accepted =
                  Parallel.Pool.submit pool (fun () ->
-                     handle_conn service fd ~read_timeout ~max_requests)
+                     handle_conn service fd ~read_timeout ~write_timeout
+                       ~conn_deadline ~max_requests)
                in
                if not accepted then close_quietly fd
              end);
@@ -140,7 +174,9 @@ let start config =
     Service.create
       { Service.max_states = config.max_states;
         cache_bytes = Some bytes;
-        max_trials = Service.default_config.Service.max_trials }
+        max_trials = Service.default_config.Service.max_trials;
+        deadline_ms = config.deadline_ms;
+        degraded_after = config.degraded_after }
   in
   let pool = Parallel.Pool.create ~domains:(Stdlib.max 2 config.domains) in
   let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -164,15 +200,22 @@ let start config =
         accept_loop ~service ~pool ~lsock ~stop_r ~stopping
           ~accept_queue:config.accept_queue
           ~read_timeout:config.read_timeout
+          ~write_timeout:config.write_timeout
+          ~conn_deadline:config.conn_deadline
           ~max_requests:config.max_requests_per_conn)
   in
   { service; pool; lsock; bound_port; stop_r; stop_w; stopping;
     accept_domain }
 
 let stop t =
-  if not (Atomic.exchange t.stopping true) then
+  if not (Atomic.exchange t.stopping true) then begin
+    (* /health flips to "draining" for the rest of the shutdown:
+       accepted requests still finish, new connections stop being
+       taken. *)
+    Service.set_draining t.service true;
     try ignore (Unix.write_substring t.stop_w "." 0 1)
     with Unix.Unix_error _ -> ()
+  end
 
 let wait t =
   Domain.join t.accept_domain;

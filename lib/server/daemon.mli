@@ -31,11 +31,24 @@ type config = {
                        result cache, each *)
   max_states : int;  (** per-request exploration ceiling *)
   read_timeout : float;  (** seconds a worker waits for request bytes *)
+  write_timeout : float;
+      (** seconds a blocked response write may stall (slow-reader
+          protection, [SO_SNDTIMEO]); on expiry the response is
+          abandoned and the connection closed *)
+  conn_deadline : float;
+      (** total seconds one connection may hold a worker, however many
+          keep-alive requests it spreads them over; the per-request
+          read timeout shrinks to the remaining allowance *)
   max_requests_per_conn : int;  (** keep-alive recycling bound *)
+  deadline_ms : int option;
+      (** server-wide default compute deadline per request (see
+          {!Service.config.deadline_ms}) *)
+  degraded_after : float;  (** /health degraded threshold, seconds *)
 }
 
-(** 127.0.0.1:8080, 2 domains, queue 16, 64 MiB, 2M states, 10 s,
-    1000 requests/connection. *)
+(** 127.0.0.1:8080, 2 domains, queue 16, 64 MiB, 2M states, 10 s reads
+    and writes, 60 s per connection, 1000 requests/connection, no
+    default compute deadline, degraded after 5 s. *)
 val default_config : config
 
 type t

@@ -136,6 +136,7 @@ type result = {
   requests : int;
   ok : int;
   rejected : int;
+  retries : int;
   http_errors : int;
   protocol_errors : int;
   duration_s : float;
@@ -153,48 +154,89 @@ let percentile sorted p =
     let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
     sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
 
-let run url ~clients ~requests =
+(* The advisory backoff from a 503: the server's Retry-After seconds
+   when present and parseable, else an exponential base.  Jitter
+   desynchronizes the retrying clients (each worker's deterministic
+   generator), and a hard cap keeps a stuck server from stretching the
+   run unboundedly. *)
+let backoff_delay rng ~attempt retry_after =
+  let base =
+    match retry_after with
+    | Some s -> s
+    | None -> 0.05 *. Float.of_int (1 lsl Stdlib.min attempt 6)
+  in
+  let jitter = 0.5 +. (0.5 *. Proba.Rng.float rng) in
+  Stdlib.min 5.0 (base *. jitter)
+
+let retry_after_s (r : Http.response_msg) =
+  match Http.resp_header r "retry-after" with
+  | None -> None
+  | Some v -> Option.map float_of_int (int_of_string_opt (String.trim v))
+
+let run ?(max_retries = 0) url ~clients ~requests =
   if clients < 1 then invalid_arg "Load.run: clients must be positive";
   if requests < 1 then invalid_arg "Load.run: requests must be positive";
+  if max_retries < 0 then
+    invalid_arg "Load.run: max_retries must be nonnegative";
   let share idx =
     (requests / clients) + if idx < requests mod clients then 1 else 0
   in
   let worker idx () =
     let conn = Conn.create url in
-    let ok = ref 0 and rejected = ref 0 in
+    let rng = Proba.Rng.create ~seed:(0x10ad + idx) in
+    let ok = ref 0 and rejected = ref 0 and retries = ref 0 in
     let http = ref 0 and proto = ref 0 in
     let lats = ref [] in
     for _ = 1 to share idx do
+      (* One logical request: its latency is the whole retry chain, so
+         backpressure shows up in the percentiles rather than
+         disappearing into averaged-out quick 503s. *)
       let t0 = Unix.gettimeofday () in
-      match Conn.request conn url.target with
-      | Ok r ->
-        lats := ((Unix.gettimeofday () -. t0) *. 1000.0) :: !lats;
-        if r.Http.status >= 200 && r.Http.status < 300 then incr ok
-        else if r.Http.status = 503 then incr rejected
-        else incr http
-      | Error _ -> incr proto
+      let rec attempt k =
+        match Conn.request conn url.target with
+        | Ok r when
+            r.Http.status = 503 && k < max_retries ->
+          incr retries;
+          Unix.sleepf (backoff_delay rng ~attempt:k (retry_after_s r));
+          attempt (k + 1)
+        | Ok r ->
+          lats := ((Unix.gettimeofday () -. t0) *. 1000.0) :: !lats;
+          if r.Http.status >= 200 && r.Http.status < 300 then incr ok
+          else if r.Http.status = 503 then incr rejected
+          else incr http
+        | Error _ -> incr proto
+      in
+      attempt 0
     done;
     Conn.close conn;
-    (!ok, !rejected, !http, !proto, !lats)
+    (!ok, !rejected, !retries, !http, !proto, !lats)
   in
   let t0 = Unix.gettimeofday () in
   let spawned = List.init clients (fun i -> Domain.spawn (worker i)) in
   let parts = List.map Domain.join spawned in
   let duration_s = Unix.gettimeofday () -. t0 in
-  let ok = List.fold_left (fun a (x, _, _, _, _) -> a + x) 0 parts in
-  let rejected = List.fold_left (fun a (_, x, _, _, _) -> a + x) 0 parts in
-  let http_errors = List.fold_left (fun a (_, _, x, _, _) -> a + x) 0 parts in
+  let ok = List.fold_left (fun a (x, _, _, _, _, _) -> a + x) 0 parts in
+  let rejected =
+    List.fold_left (fun a (_, x, _, _, _, _) -> a + x) 0 parts
+  in
+  let retries =
+    List.fold_left (fun a (_, _, x, _, _, _) -> a + x) 0 parts
+  in
+  let http_errors =
+    List.fold_left (fun a (_, _, _, x, _, _) -> a + x) 0 parts
+  in
   let protocol_errors =
-    List.fold_left (fun a (_, _, _, x, _) -> a + x) 0 parts
+    List.fold_left (fun a (_, _, _, _, x, _) -> a + x) 0 parts
   in
   let lats =
-    Array.of_list (List.concat_map (fun (_, _, _, _, l) -> l) parts)
+    Array.of_list (List.concat_map (fun (_, _, _, _, _, l) -> l) parts)
   in
   Array.sort compare lats;
   { clients;
     requests;
     ok;
     rejected;
+    retries;
     http_errors;
     protocol_errors;
     duration_s;
@@ -209,9 +251,11 @@ let run url ~clients ~requests =
 let pp ppf r =
   Format.fprintf ppf
     "@[<v>clients          %8d@,requests         %8d@,ok (2xx)         %8d@,\
-     rejected (503)   %8d@,http errors      %8d@,protocol errors  %8d@,\
+     rejected (503)   %8d@,retries (503)    %8d@,\
+     http errors      %8d@,protocol errors  %8d@,\
      duration         %10.3f s@,throughput       %8.1f req/s@,\
      latency p50      %10.3f ms@,latency p95      %10.3f ms@,\
      latency p99      %10.3f ms@,latency max      %10.3f ms@]"
-    r.clients r.requests r.ok r.rejected r.http_errors r.protocol_errors
-    r.duration_s r.throughput_rps r.p50_ms r.p95_ms r.p99_ms r.max_ms
+    r.clients r.requests r.ok r.rejected r.retries r.http_errors
+    r.protocol_errors r.duration_s r.throughput_rps r.p50_ms r.p95_ms
+    r.p99_ms r.max_ms

@@ -44,7 +44,10 @@ type result = {
   clients : int;
   requests : int;  (** attempted *)
   ok : int;  (** 2xx *)
-  rejected : int;  (** 503 *)
+  rejected : int;  (** 503, after any retries were spent *)
+  retries : int;
+      (** extra attempts consumed by 503 backoff; counted separately
+          so they never inflate [ok] or deflate [rejected] *)
   http_errors : int;  (** non-2xx other than 503 *)
   protocol_errors : int;
   duration_s : float;
@@ -56,8 +59,12 @@ type result = {
 }
 
 (** [run url ~clients ~requests] spreads [requests] round trips over
-    [clients] concurrent domains.  Raises [Invalid_argument] when
-    either count is non-positive. *)
-val run : url -> clients:int -> requests:int -> result
+    [clients] concurrent domains.  With [max_retries > 0] (default 0),
+    a 503 is retried up to that many times with jittered exponential
+    backoff, honoring the server's [Retry-After] header when present;
+    retry attempts are counted in [retries] and a request's latency
+    covers its whole retry chain.  Raises [Invalid_argument] when
+    either count is non-positive or [max_retries] is negative. *)
+val run : ?max_retries:int -> url -> clients:int -> requests:int -> result
 
 val pp : Format.formatter -> result -> unit

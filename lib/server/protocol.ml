@@ -18,6 +18,7 @@ type check_query = {
   cap : int;
   max_states : int option;
   sym : string;
+  deadline_ms : int option;
 }
 
 type simulate_query = {
@@ -27,12 +28,14 @@ type simulate_query = {
   trials : int;
   seed : int;
   within : int option;
+  sim_deadline_ms : int option;
 }
 
 type lint_query = {
   target : string;
   lint_max_states : int option;
   lint_sym : string;
+  lint_deadline_ms : int option;
 }
 
 type query =
@@ -111,6 +114,12 @@ let positive name v =
   if v < 1 then reject 400 "SRV103" "field %S must be positive" name;
   v
 
+(* A client deadline: positive milliseconds.  Deliberately NOT a
+   canonical-key dimension -- a cached complete body trivially meets any
+   deadline, and degraded (SRV122) bodies are never cached. *)
+let deadline_field fields =
+  Option.map (positive "deadline_ms") (opt_int_field fields "deadline_ms")
+
 let sym_field fields =
   match String.lowercase_ascii (str_field fields "sym" ~default:"off") with
   | ("auto" | "on" | "off") as s -> s
@@ -141,7 +150,8 @@ let parse_check fields =
       bound = positive "bound" (int_field fields "bound" ~default:4);
       cap = positive "cap" (int_field fields "cap" ~default:2);
       max_states = Option.map (positive "max_states") (opt_int_field fields "max_states");
-      sym = sym_field fields
+      sym = sym_field fields;
+      deadline_ms = deadline_field fields
     }
 
 let parse_simulate fields =
@@ -151,7 +161,8 @@ let parse_simulate fields =
       scheduler = str_field fields "scheduler" ~default:"uniform";
       trials = positive "trials" (int_field fields "trials" ~default:2000);
       seed = int_field fields "seed" ~default:1994;
-      within = Option.map (positive "within") (opt_int_field fields "within")
+      within = Option.map (positive "within") (opt_int_field fields "within");
+      sim_deadline_ms = deadline_field fields
     }
 
 let parse_lint fields =
@@ -159,7 +170,8 @@ let parse_lint fields =
     { target = str_field fields "target" ~default:"lr";
       lint_max_states =
         Option.map (positive "max_states") (opt_int_field fields "max_states");
-      lint_sym = sym_field fields
+      lint_sym = sym_field fields;
+      lint_deadline_ms = deadline_field fields
     }
 
 let parse_health fields =

@@ -22,7 +22,8 @@
     - SRV102 malformed JSON body       - SRV103 malformed field
     - SRV104 unknown model/target      - SRV105 malformed budget
     - SRV110 HTTP protocol error       - SRV111 overloaded (503)
-    - SRV120 budget exhausted          - SRV300 internal error *)
+    - SRV120 budget exhausted          - SRV122 deadline exceeded
+    - SRV300 internal error *)
 
 type model = [ `Lr | `Election | `Coin | `Consensus ]
 
@@ -38,6 +39,11 @@ type check_query = {
   cap : int;  (** consensus round cap *)
   max_states : int option;  (** client ceiling; the server clamps it *)
   sym : string;  (** ["auto"], ["on"] or ["off"] (default) *)
+  deadline_ms : int option;
+      (** wall deadline for the whole request; on expiry the answer
+          degrades (SRV122) instead of erroring.  Not a cache-key
+          dimension: complete cached bodies trivially meet any
+          deadline, and degraded bodies are never cached. *)
 }
 
 type simulate_query = {
@@ -47,12 +53,14 @@ type simulate_query = {
   trials : int;
   seed : int;
   within : int option;
+  sim_deadline_ms : int option;
 }
 
 type lint_query = {
   target : string;
   lint_max_states : int option;
   lint_sym : string;  (** ["auto"], ["on"] or ["off"] (default) *)
+  lint_deadline_ms : int option;
 }
 
 type query =

@@ -9,11 +9,13 @@ type config = {
   max_states : int;
   cache_bytes : int option;
   max_trials : int;
+  deadline_ms : int option;
+  degraded_after : float;
 }
 
 let default_config =
   { max_states = 2_000_000; cache_bytes = Some (64 * 1024 * 1024);
-    max_trials = 200_000 }
+    max_trials = 200_000; deadline_ms = None; degraded_after = 5.0 }
 
 let default_max_states = default_config.max_states
 
@@ -26,6 +28,14 @@ type t = {
   client_errors : int Atomic.t;
   server_errors : int Atomic.t;
   overload : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  draining : bool Atomic.t;
+  (* In-flight compute requests (check/simulate/lint), id -> start
+     time.  Read by /health to grade the daemon ok/degraded; a tiny
+     table under a mutex, touched twice per request. *)
+  inflight : (int, float) Hashtbl.t;
+  inflight_mu : Mutex.t;
+  inflight_id : int Atomic.t;
 }
 
 let create config =
@@ -37,9 +47,49 @@ let create config =
     ok = Atomic.make 0;
     client_errors = Atomic.make 0;
     server_errors = Atomic.make 0;
-    overload = Atomic.make 0 }
+    overload = Atomic.make 0;
+    protocol_errors = Atomic.make 0;
+    draining = Atomic.make false;
+    inflight = Hashtbl.create 16;
+    inflight_mu = Mutex.create ();
+    inflight_id = Atomic.make 0 }
 
 let note_overload t = Atomic.incr t.overload
+let note_protocol_error t = Atomic.incr t.protocol_errors
+let set_draining t v = Atomic.set t.draining v
+
+let track t f =
+  let id = Atomic.fetch_and_add t.inflight_id 1 in
+  Mutex.protect t.inflight_mu (fun () ->
+      Hashtbl.replace t.inflight id (Unix.gettimeofday ()));
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect t.inflight_mu (fun () -> Hashtbl.remove t.inflight id))
+    f
+
+(* ok | degraded | draining, plus the in-flight census: "degraded"
+   means some compute request has been running longer than
+   [degraded_after] seconds -- the daemon still answers, but new
+   expensive work will queue behind pinned workers. *)
+let health_json t =
+  let now = Unix.gettimeofday () in
+  let in_flight, oldest_start =
+    Mutex.protect t.inflight_mu (fun () ->
+        ( Hashtbl.length t.inflight,
+          Hashtbl.fold (fun _ st acc -> Float.min st acc) t.inflight now ))
+  in
+  let oldest_ms = Stdlib.max 0. ((now -. oldest_start) *. 1000.) in
+  let status =
+    if Atomic.get t.draining then "draining"
+    else if
+      in_flight > 0 && oldest_ms >= t.config.degraded_after *. 1000.
+    then "degraded"
+    else "ok"
+  in
+  J.Obj
+    [ ("status", J.Str status);
+      ("in_flight", J.Int in_flight);
+      ("oldest_ms", J.Int (int_of_float oldest_ms)) ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers. *)
@@ -219,33 +269,129 @@ let check_consensus ~max_states (c : Protocol.check_query) =
                 J.Obj [ ("rounds", J.Int (idx + 1)); ("min_prob", rat p) ])
              curve) ) ]
 
+(* The Estimate rung of the deadline ladder: one seeded Monte Carlo
+   trial (the budgeted estimator's at-least-one-trial guarantee, under
+   an already-expired clock) against the query's own instance, so a
+   degraded body still carries quantitative content.  Deterministic for
+   a fixed query: a fixed seed, a fixed horizon, and a trial count
+   pinned to 1 -- which is what lets tests fixture the body. *)
+let deadline_estimate (c : Protocol.check_query) =
+  let n = c.Protocol.n and g = c.Protocol.g and k = c.Protocol.k in
+  let estimate setup ~target ~within =
+    let expired = Core.Budget.start (Core.Budget.v ~wall:0.0 ~retries:1 ()) in
+    let b =
+      Sim.Monte_carlo.estimate_reach_budgeted setup ~target ~within
+        ~clock:expired ~initial_trials:1 ~seed:1994 ()
+    in
+    let lo, hi = Proba.Stat.Proportion.wilson_ci b.Sim.Monte_carlo.prop in
+    Some
+      (J.Obj
+         [ ("kind", J.Str "monte-carlo");
+           ("within", J.Int within);
+           ("trials", J.Int b.Sim.Monte_carlo.trials_run);
+           ( "estimate",
+             J.Num (Proba.Stat.Proportion.estimate b.Sim.Monte_carlo.prop) );
+           ("ci95", J.Arr [ J.Num lo; J.Num hi ]) ])
+  in
+  match c.Protocol.model with
+  | `Lr when c.Protocol.topology = "ring" ->
+    let params = { LR.Automaton.n; g; k } in
+    let pa = LR.Automaton.make params in
+    estimate
+      { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+        duration = LR.Automaton.duration;
+        start = LR.State.all_trying ~n ~g ~k }
+      ~target:(Core.Pred.mem LR.Regions.c) ~within:(13 * g)
+  | `Lr -> None
+  | `Election ->
+    let params = { IR.Automaton.n; g; k } in
+    let pa = IR.Automaton.make params in
+    estimate
+      { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+        duration = IR.Automaton.duration;
+        start = IR.Automaton.start params }
+      ~target:IR.Automaton.leader_elected ~within:(2 * n * g)
+  | `Coin ->
+    let params = { SC.Automaton.n; bound = c.Protocol.bound; g; k } in
+    let pa = SC.Automaton.make params in
+    estimate
+      { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+        duration = SC.Automaton.duration;
+        start = SC.Automaton.start params }
+      ~target:(SC.Automaton.decided params)
+      ~within:(4 * c.Protocol.bound * c.Protocol.bound * g)
+  | `Consensus ->
+    let f = (n - 1) / 2 in
+    let params = { BO.Automaton.n; f; cap = c.Protocol.cap; g; k } in
+    let initial = Array.init n (fun i -> i = n - 1) in
+    let pa = BO.Automaton.make ~initial params in
+    estimate
+      { Sim.Monte_carlo.pa; scheduler = Sim.Scheduler.uniform pa;
+        duration = BO.Automaton.duration;
+        start = BO.Automaton.start params initial }
+      ~target:BO.Automaton.some_decided ~within:(4 * c.Protocol.cap * g)
+
+(* The SRV122 body deliberately contains nothing timing-dependent
+   (no elapsed milliseconds, no interned-state count): where the
+   deadline fired varies run to run, but the degraded answer is a
+   fixed function of the query, so it can be asserted byte for byte. *)
+let deadline_exceeded_json (c : Protocol.check_query) ~deadline_ms =
+  let rungs =
+    match deadline_estimate c with
+    | Some est -> [ ("estimate", est) ]
+    | None -> [ ("estimate", J.Null) ]
+  in
+  check_header ~verdict:"deadline-exceeded" c
+    ([ ("code", J.Str "SRV122");
+       ("deadline_ms", J.Int deadline_ms);
+       ( "message",
+         J.Str
+           (Printf.sprintf
+              "deadline of %d ms exceeded before exact verification \
+               finished; the estimate below is Monte Carlo evidence, not \
+               a proof -- raise deadline_ms for the exact verdict"
+              deadline_ms) ) ]
+     @ rungs)
+
 let check_json ?(max_states = default_max_states) (c : Protocol.check_query) =
   let max_states =
     match c.Protocol.max_states with
     | Some client -> Stdlib.min client max_states
     | None -> max_states
   in
-  try
-    match c.Protocol.model with
-    | `Lr when c.Protocol.topology = "ring" -> check_lr_ring ~max_states c
-    | `Lr -> check_lr_topo ~max_states c
-    | `Election -> check_election ~max_states c
-    | `Coin -> check_coin ~max_states c
-    | `Consensus -> check_consensus ~max_states c
-  with
-  | Mdp.Explore.Too_many_states m ->
-    check_header ~verdict:"exhausted" c
-      [ ("states_interned", J.Int m);
-        ("code", J.Str "SRV120");
-        ( "message",
-          J.Str
-            (Printf.sprintf
-               "exploration stopped after interning %d states (ceiling %d); \
-                raise max_states or shrink the instance"
-               m max_states) ) ]
-  | Analysis.Symmetry.Not_certified msg ->
-    check_header ~verdict:"not-certified" c
-      [ ("code", J.Str "SRV121"); ("message", J.Str msg) ]
+  let compute () =
+    try
+      match c.Protocol.model with
+      | `Lr when c.Protocol.topology = "ring" -> check_lr_ring ~max_states c
+      | `Lr -> check_lr_topo ~max_states c
+      | `Election -> check_election ~max_states c
+      | `Coin -> check_coin ~max_states c
+      | `Consensus -> check_consensus ~max_states c
+    with
+    | Mdp.Explore.Too_many_states m ->
+      check_header ~verdict:"exhausted" c
+        [ ("states_interned", J.Int m);
+          ("code", J.Str "SRV120");
+          ( "message",
+            J.Str
+              (Printf.sprintf
+                 "exploration stopped after interning %d states (ceiling %d); \
+                  raise max_states or shrink the instance"
+                 m max_states) ) ]
+    | Analysis.Symmetry.Not_certified msg ->
+      check_header ~verdict:"not-certified" c
+        [ ("code", J.Str "SRV121"); ("message", J.Str msg) ]
+  in
+  match c.Protocol.deadline_ms with
+  | None -> compute ()
+  | Some ms ->
+    let clock =
+      Core.Budget.start (Core.Budget.v ~wall:(float_of_int ms /. 1000.) ())
+    in
+    (match Core.Budget.with_deadline clock compute with
+     | json -> json
+     | exception Core.Budget.Deadline_exceeded _ ->
+       deadline_exceeded_json c ~deadline_ms:ms)
 
 (* ------------------------------------------------------------------ *)
 (* /simulate. *)
@@ -408,6 +554,7 @@ let stats_json t =
             ("client_errors", J.Int (Atomic.get t.client_errors));
             ("server_errors", J.Int (Atomic.get t.server_errors));
             ("overload_rejected", J.Int (Atomic.get t.overload));
+            ("protocol_errors", J.Int (Atomic.get t.protocol_errors));
             ("uptime_s", J.Num (Unix.gettimeofday () -. t.started)) ] ) ]
 
 (* ------------------------------------------------------------------ *)
@@ -441,6 +588,14 @@ let canonical_key t query =
   Protocol.canonical_key ~max_states:t.config.max_states
     ~max_trials:t.config.max_trials query
 
+(* A deadline-degraded body must never enter the result cache: where
+   the deadline fired is timing-dependent, and the next client may
+   bring a larger allowance.  Complete (and SRV120/SRV121) bodies are
+   deterministic in the canonical key and cache as before. *)
+let is_degraded = function
+  | J.Obj fields -> List.assoc_opt "code" fields = Some (J.Str "SRV122")
+  | _ -> false
+
 let with_cache t query compute =
   match canonical_key t query with
   | None ->
@@ -452,6 +607,11 @@ let with_cache t query compute =
      | Some body -> ok_reply t ~headers:[ ("X-Prtb-Cache", "hit") ] body
      | None ->
        (match compute () with
+        | Ok json when is_degraded json ->
+          ok_reply t
+            ~headers:
+              [ ("X-Prtb-Cache", "miss"); ("X-Prtb-Degraded", "SRV122") ]
+            (J.to_string json)
         | Ok json ->
           let body = J.to_string json in
           Cache.add t.results key body;
@@ -466,19 +626,76 @@ let cached t query =
        hit is fine for the monitoring use this serves. *)
     Cache.find t.results key <> None
 
+(* The effective deadline is the tighter of the client's ask and the
+   server-wide default ([serve --deadline]). *)
+let effective_deadline t client =
+  match t.config.deadline_ms, client with
+  | None, c -> c
+  | (Some _ as d), None -> d
+  | Some server, Some client -> Some (Stdlib.min server client)
+
+(* Generic degraded body for the endpoints without a model-specific
+   Estimate rung (/simulate, /lint). *)
+let degraded_json ~schema fields ~deadline_ms =
+  J.Obj
+    ([ ("schema", J.Str schema) ]
+     @ fields
+     @ [ ("verdict", J.Str "deadline-exceeded");
+         ("code", J.Str "SRV122");
+         ("deadline_ms", J.Int deadline_ms);
+         ( "message",
+           J.Str
+             (Printf.sprintf
+              "deadline of %d ms exceeded; raise deadline_ms for the \
+               full answer" deadline_ms) ) ])
+
+let under_deadline deadline_ms degraded compute =
+  match deadline_ms with
+  | None -> compute ()
+  | Some ms ->
+    let clock =
+      Core.Budget.start (Core.Budget.v ~wall:(float_of_int ms /. 1000.) ())
+    in
+    (match Core.Budget.with_deadline clock compute with
+     | r -> r
+     | exception Core.Budget.Deadline_exceeded _ ->
+       Ok (degraded ~deadline_ms:ms))
+
 let handle t query =
   Atomic.incr t.requests;
   try
     match query with
     | Protocol.Health { sleep_ms } ->
       if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
-      ok_reply t (J.to_string (J.Obj [ ("status", J.Str "ok") ]))
+      ok_reply t (J.to_string (health_json t))
     | Protocol.Stats -> ok_reply t (J.to_string (stats_json t))
     | Protocol.Check c ->
-      with_cache t query (fun () ->
-          Ok (check_json ~max_states:t.config.max_states c))
-    | Protocol.Simulate s -> with_cache t query (fun () -> simulate_json t s)
-    | Protocol.Lint l -> with_cache t query (fun () -> lint_json t l)
+      let c =
+        { c with
+          Protocol.deadline_ms =
+            effective_deadline t c.Protocol.deadline_ms }
+      in
+      track t (fun () ->
+          with_cache t query (fun () ->
+              Ok (check_json ~max_states:t.config.max_states c)))
+    | Protocol.Simulate s ->
+      let dl = effective_deadline t s.Protocol.sim_deadline_ms in
+      track t (fun () ->
+          with_cache t query (fun () ->
+              under_deadline dl
+                (degraded_json ~schema:"prtb-simulate/1"
+                   [ ( "model",
+                       J.Str (Protocol.model_name s.Protocol.sim_model) );
+                     ("n", J.Int s.Protocol.sim_n) ])
+                (fun () -> simulate_json t s)))
+    | Protocol.Lint l ->
+      let dl = effective_deadline t l.Protocol.lint_deadline_ms in
+      track t (fun () ->
+          with_cache t query (fun () ->
+              under_deadline dl
+                (degraded_json ~schema:"prtb-lint/1"
+                   [ ("target", J.Str l.Protocol.target) ])
+                (fun () -> lint_json t l)))
   with e ->
     error_reply t
       (Protocol.error ~status:500 ~code:"SRV300"

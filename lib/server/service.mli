@@ -20,9 +20,17 @@ type config = {
   max_states : int;  (** hard per-request exploration ceiling *)
   cache_bytes : int option;  (** result-cache capacity *)
   max_trials : int;  (** per-request Monte Carlo trial clamp *)
+  deadline_ms : int option;
+      (** server-wide default wall deadline per request; the effective
+          deadline is the tighter of this and the client's
+          [deadline_ms] *)
+  degraded_after : float;
+      (** /health reports ["degraded"] once some in-flight compute
+          request is older than this many seconds *)
 }
 
-(** 2M states, 64 MiB results, 200k trials. *)
+(** 2M states, 64 MiB results, 200k trials, no default deadline,
+    degraded after 5 s. *)
 val default_config : config
 
 (** The ceiling {!check_json} applies when none is given: the
@@ -36,7 +44,12 @@ val create : config -> t
 (** The exact-check result for a query, as served and as printed by
     [prtb check --format json].  Catches budget exhaustion
     ([Mdp.Explore.Too_many_states]) and reports it as a
-    ["verdict": "exhausted"] object. *)
+    ["verdict": "exhausted"] object.  When the query carries a
+    [deadline_ms], the whole computation runs under an ambient
+    {!Core.Budget} deadline; on expiry the body degrades to
+    ["verdict": "deadline-exceeded"] / code [SRV122] with a one-trial
+    Monte Carlo estimate -- a deterministic function of the query (no
+    timing-dependent fields), so it can be asserted byte for byte. *)
 val check_json : ?max_states:int -> Protocol.check_query -> Analysis.Json.t
 
 type reply = {
@@ -57,6 +70,16 @@ val respond : t -> Http.request -> reply
     daemon calls this; it shows up under ["server"]["overload_rejected"]
     in [/stats]). *)
 val note_overload : t -> unit
+
+(** Count an HTTP-layer protocol failure answered below the dispatcher
+    (the daemon's SRV110 branch); ["server"]["protocol_errors"] in
+    [/stats].  Keeps the chaos harness's ledger balanced: every accept
+    is answered, rejected, or counted here. *)
+val note_protocol_error : t -> unit
+
+(** Flip the /health state to ["draining"] (the daemon sets it when a
+    graceful shutdown begins). *)
+val set_draining : t -> bool -> unit
 
 (** Whether [handle] would answer this query from the result cache. *)
 val cached : t -> Protocol.query -> bool

@@ -25,12 +25,19 @@ let run_trial setup ~target ~within rng =
   in
   outcome.Engine.why = Engine.Reached
 
+(* Fixed-trial batches observe the ambient deadline (per trial on the
+   sequential path, per chunk on the pooled one) and raise
+   [Core.Budget.Deadline_exceeded]; [estimate_reach_budgeted] is the
+   cooperative variant that degrades instead of raising and therefore
+   ignores the ambient clock -- its at-least-one-trial guarantee is what
+   the deadline-degraded serving path relies on. *)
 let estimate_reach ?pool setup ~target ~within ~trials ~seed =
   let root = Proba.Rng.create ~seed in
   match resolve_pool pool with
   | None ->
     let prop = Proba.Stat.Proportion.create () in
     for _ = 1 to trials do
+      Core.Budget.poll ();
       let rng = Proba.Rng.split root in
       Proba.Stat.Proportion.add prop (run_trial setup ~target ~within rng)
     done;
@@ -38,8 +45,12 @@ let estimate_reach ?pool setup ~target ~within ~trials ~seed =
   | Some p ->
     let rngs = split_rngs root trials in
     let successes =
-      Parallel.Pool.map_reduce p ~n:trials ~init:0 ~combine:( + ) (fun i ->
-          if run_trial setup ~target ~within rngs.(i) then 1 else 0)
+      try
+        Parallel.Pool.map_reduce p ?stop:(Core.Budget.deadline_stop ())
+          ~n:trials ~init:0 ~combine:( + ) (fun i ->
+            if run_trial setup ~target ~within rngs.(i) then 1 else 0)
+      with Parallel.Pool.Cancelled reason ->
+        raise (Core.Budget.Deadline_exceeded reason)
     in
     Proba.Stat.Proportion.of_counts ~trials ~successes
 
@@ -149,6 +160,7 @@ let run_times ?pool setup ~target ~trials ~seed ~max_steps record =
   | None ->
     let missed = ref 0 in
     for _ = 1 to trials do
+      Core.Budget.poll ();
       let rng = Proba.Rng.split root in
       match time_trial setup ~target ~max_steps rng with
       | Some t -> record t
@@ -158,8 +170,12 @@ let run_times ?pool setup ~target ~trials ~seed ~max_steps record =
   | Some p ->
     let rngs = split_rngs root trials in
     let times = Array.make trials None in
-    Parallel.Pool.parallel_for p ~n:trials (fun i ->
-        times.(i) <- time_trial setup ~target ~max_steps rngs.(i));
+    (try
+       Parallel.Pool.parallel_for p ?stop:(Core.Budget.deadline_stop ())
+         ~n:trials (fun i ->
+           times.(i) <- time_trial setup ~target ~max_steps rngs.(i))
+     with Parallel.Pool.Cancelled reason ->
+       raise (Core.Budget.Deadline_exceeded reason));
     let missed = ref 0 in
     Array.iter
       (function Some t -> record t | None -> incr missed)

@@ -340,6 +340,45 @@ let test_check_budgeted_degrades () =
     Alcotest.fail "200 states cannot hold the wrapped space"
   | Faults.Resilient.Exhausted r -> Alcotest.fail r
 
+(* Satellite regression: a 50 ms wall allowance must come back promptly
+   with a structured verdict.  The ambient deadline's poll points cut
+   the exploration / arena compile / checker sweeps mid-flight -- a
+   verdict only "after the sweep" would take seconds here. *)
+let test_wall_deadline_returns_promptly () =
+  let t0 = Unix.gettimeofday () in
+  let verdict =
+    FL.check_budgeted
+      ~budget:(Core.Budget.v ~wall:0.05 ~retries:1 ())
+      ~seed:11 (lr_config ())
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "returned in %.0f ms, not after the full sweep"
+       (elapsed *. 1000.))
+    true (elapsed < 5.0);
+  match verdict with
+  | Faults.Resilient.Estimate e ->
+    Alcotest.(check bool) "at least one trial despite the tiny wall" true
+      (e.Faults.Resilient.est.Sim.Monte_carlo.trials_run >= 1);
+    Alcotest.(check bool) "says why" true (e.Faults.Resilient.reason <> "")
+  | Faults.Resilient.Exact _ ->
+    (* A machine fast enough to finish the 9700-state exact check
+       inside 50 ms satisfies the bound trivially. *)
+    ()
+  | Faults.Resilient.Exhausted r -> Alcotest.fail r
+
+(* An already-expired ambient deadline must cut the BFS inner loop via
+   its poll point, not only between phases. *)
+let test_ambient_deadline_cuts_exploration () =
+  let pa = FL.make (lr_config ()) in
+  let clock = Core.Budget.start (Core.Budget.v ~wall:0.0 ()) in
+  (match Core.Budget.with_deadline clock (fun () -> Mdp.Explore.run pa) with
+   | exception Core.Budget.Deadline_exceeded _ -> ()
+   | _ -> Alcotest.fail "expired ambient deadline did not cut the BFS");
+  (* and the ambient cell is restored on the way out *)
+  Alcotest.(check bool) "deadline unset after with_deadline" true
+    (Core.Budget.current_deadline () = None)
+
 let test_check_arrow_exhausted_without_fallback () =
   let config = lr_config () in
   let pa = FL.make config in
@@ -392,5 +431,9 @@ let () =
             test_check_budgeted_exact;
           Alcotest.test_case "check_budgeted degrades" `Quick
             test_check_budgeted_degrades;
+          Alcotest.test_case "50ms wall returns promptly" `Quick
+            test_wall_deadline_returns_promptly;
+          Alcotest.test_case "ambient deadline cuts BFS" `Quick
+            test_ambient_deadline_cuts_exploration;
           Alcotest.test_case "exhausted without fallback" `Quick
             test_check_arrow_exhausted_without_fallback ] ) ]

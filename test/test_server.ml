@@ -78,10 +78,14 @@ let cli args =
 
 (* ------------------------------------------------------------------ *)
 
+(* At rest the body is a fixed string: nothing in flight, so the
+   supervision fields are zero.  ("status" stays the first field; the
+   CI smoke greps for the '"status":"ok"' prefix.) *)
 let test_health () =
   let r = get "/health" in
   Alcotest.(check int) "200" 200 r.Server.Http.status;
-  Alcotest.(check string) "body" "{\"status\":\"ok\"}"
+  Alcotest.(check string) "body"
+    "{\"status\":\"ok\",\"in_flight\":0,\"oldest_ms\":0}"
     r.Server.Http.resp_body
 
 (* Acceptance: the served body and the CLI's --format json output are
@@ -188,6 +192,50 @@ let test_budget_exhausted_verdict () =
   Alcotest.(check string) "verdict" "exhausted" (str_at [ "verdict" ] j);
   Alcotest.(check string) "code" "SRV120" (str_at [ "code" ] j)
 
+(* Acceptance: a deadlined request is answered 200 with the degraded
+   SRV122 body -- a deterministic function of the query, so the same
+   request twice yields the same bytes, and neither reply is cached
+   (a degraded answer must never shadow the exact one). *)
+let test_deadline_degraded_deterministic () =
+  let target = "/check?model=election&n=4&deadline_ms=1" in
+  let a = get target in
+  Alcotest.(check int) "still a 200" 200 a.Server.Http.status;
+  let j = parse_body a in
+  Alcotest.(check string) "verdict" "deadline-exceeded"
+    (str_at [ "verdict" ] j);
+  Alcotest.(check string) "code" "SRV122" (str_at [ "code" ] j);
+  Alcotest.(check int) "echoes the deadline" 1 (int_at [ "deadline_ms" ] j);
+  Alcotest.(check string) "estimate rung present" "monte-carlo"
+    (str_at [ "estimate"; "kind" ] j);
+  Alcotest.(check bool) "at least one trial" true
+    (int_at [ "estimate"; "trials" ] j >= 1);
+  Alcotest.(check (option string)) "degraded marker"
+    (Some "SRV122")
+    (Server.Http.resp_header a "x-prtb-degraded");
+  let b = get target in
+  Alcotest.(check string) "byte-identical on repeat"
+    a.Server.Http.resp_body b.Server.Http.resp_body;
+  Alcotest.(check (option string)) "degraded bodies are never cached"
+    (Some "miss")
+    (Server.Http.resp_header b "x-prtb-cache");
+  (* and the CLI prints the same bytes for the same query *)
+  let printed = cli "check election -n 4 --deadline 1ms --format json" in
+  Alcotest.(check string) "served == prtb check --deadline"
+    printed
+    (a.Server.Http.resp_body ^ "\n")
+
+(* A cached complete body trivially meets any deadline: deadline_ms is
+   not part of the cache key, so a warmed query answers the exact body
+   from cache even when the deadline could never be met live. *)
+let test_deadline_cached_body_wins () =
+  let warm = get "/check?model=coin&n=2&bound=2" in
+  let hit = get "/check?model=coin&n=2&bound=2&deadline_ms=1" in
+  Alcotest.(check (option string)) "cache hit despite deadline"
+    (Some "hit")
+    (Server.Http.resp_header hit "x-prtb-cache");
+  Alcotest.(check string) "exact body, not SRV122"
+    warm.Server.Http.resp_body hit.Server.Http.resp_body
+
 let test_structured_errors () =
   List.iter
     (fun (target, status, code) ->
@@ -231,6 +279,131 @@ let test_garbage_request_line () =
        Alcotest.(check bool) "SRV110 body" true
          (Astring.String.is_infix ~affix:"SRV110" answer));
   test_health ()
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: the seeded adversarial client against the shared daemon. *)
+
+module C = Server.Chaos
+
+let chaos_url target = url target
+
+let check_outcome name (o : C.outcome) =
+  Alcotest.(check (list string)) (name ^ ": no failures") [] o.C.failures;
+  Alcotest.(check int) (name ^ ": ledger reconciles") o.C.attempts
+    (o.C.answered + o.C.rejected + o.C.dropped)
+
+(* A request trickled one byte at a time is still answered 200. *)
+let test_chaos_trickle () =
+  check_outcome "trickle"
+    (C.run_scenario ~rounds:2 ~seed:42 (chaos_url "/") C.Trickle);
+  test_health ()
+
+(* A POST abandoned mid-body is answered 4xx or cleanly dropped --
+   never a 2xx, never a crash -- and the daemon keeps serving. *)
+let test_chaos_midbody_close () =
+  check_outcome "midbody-close"
+    (C.run_scenario ~rounds:3 ~seed:42 (chaos_url "/") C.Midbody_close);
+  test_health ()
+
+(* Garbage and valid traffic interleaved from concurrent domains: the
+   valid answers must be byte-identical, as if the garbage next door
+   did not exist. *)
+let test_chaos_mixed_valid_unharmed () =
+  check_outcome "mixed"
+    (C.run_scenario ~rounds:3 ~clients:4 ~seed:42
+       (chaos_url "/check?model=lr&n=2") C.Mixed);
+  test_health ()
+
+(* An idle keep-alive connection parked past the connection deadline is
+   dropped (the read timeout shrinks to the remaining allowance), and a
+   fresh connection is served immediately afterwards.  Dedicated daemon
+   with sub-second limits so the test stays quick. *)
+let test_idle_keepalive_past_conn_deadline () =
+  let d =
+    D.start
+      { D.default_config with
+        D.port = 0; domains = 2; cache_mb = 8;
+        read_timeout = 0.3; conn_deadline = 0.5 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      D.stop d;
+      D.wait d)
+    (fun () ->
+       let u = { L.host = "127.0.0.1"; port = D.port d; target = "/" } in
+       let o =
+         C.run_scenario ~rounds:2 ~idle_s:0.8 ~seed:42 u C.Idle_keepalive
+       in
+       Alcotest.(check (list string)) "no failures" [] o.C.failures;
+       (* each round: the pre-idle request answered, the post-idle one
+          dropped by the expired connection deadline *)
+       Alcotest.(check int) "pre-idle answered" 2 o.C.answered;
+       Alcotest.(check int) "post-idle dropped" 2 o.C.dropped;
+       let conn = L.Conn.create u in
+       (match L.Conn.request conn "/health" with
+        | Ok r ->
+          Alcotest.(check int) "fresh connection served" 200
+            r.Server.Http.status
+        | Error e -> Alcotest.failf "daemon wedged after idle abuse: %s" e);
+       L.Conn.close conn)
+
+(* Every 503 carries Retry-After.  One worker is pinned by a slow
+   probe; with a zero-length accept queue the concurrent probe must be
+   rejected -- and the rejection names the backoff. *)
+let test_retry_after_on_503 () =
+  let d =
+    D.start
+      { D.default_config with
+        D.port = 0; domains = 2; accept_queue = 0; cache_mb = 8 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      D.stop d;
+      D.wait d)
+    (fun () ->
+       let u target = { L.host = "127.0.0.1"; port = D.port d; target } in
+       (* Two sleepers: one occupies the single worker, the second sits
+          in the pool's queue, so the probe below arrives with pending
+          work beyond the zero-length accept queue.  Staggered, so the
+          first is already executing (pending back to 0) when the
+          second is accepted. *)
+       let sleeper () =
+         Domain.spawn (fun () ->
+             let conn = L.Conn.create (u "/health?sleep_ms=600") in
+             let r = L.Conn.request conn "/health?sleep_ms=600" in
+             L.Conn.close conn;
+             r)
+       in
+       let first = sleeper () in
+       Unix.sleepf 0.15;
+       let second = sleeper () in
+       let pinned = [ first; second ] in
+       Unix.sleepf 0.15;
+       let rec probe tries =
+         let conn = L.Conn.create (u "/health") in
+         let r = L.Conn.request conn "/health" in
+         L.Conn.close conn;
+         match r with
+         | Ok r when r.Server.Http.status = 503 -> r
+         | Ok _ when tries > 0 ->
+           Unix.sleepf 0.05;
+           probe (tries - 1)
+         | Ok r ->
+           Alcotest.failf "never rejected (last status %d)"
+             r.Server.Http.status
+         | Error e -> Alcotest.failf "probe failed: %s" e
+       in
+       let rejected = probe 5 in
+       Alcotest.(check (option string)) "Retry-After present" (Some "1")
+         (Server.Http.resp_header rejected "retry-after");
+       List.iter
+         (fun p ->
+            match Domain.join p with
+            | Ok r ->
+              Alcotest.(check int) "pinned request completed" 200
+                r.Server.Http.status
+            | Error e -> Alcotest.failf "pinned request failed: %s" e)
+         pinned)
 
 (* Acceptance: >= 8 concurrent keep-alive clients, zero protocol
    errors. *)
@@ -334,12 +507,26 @@ let () =
             test_simulate_deterministic;
           Alcotest.test_case "lint served" `Quick test_lint_served;
           Alcotest.test_case "budget exhaustion verdict" `Quick
-            test_budget_exhausted_verdict ] );
+            test_budget_exhausted_verdict;
+          Alcotest.test_case "deadline: SRV122 deterministic" `Quick
+            test_deadline_degraded_deterministic;
+          Alcotest.test_case "deadline: cached body wins" `Quick
+            test_deadline_cached_body_wins ] );
       ( "hostile input",
         [ Alcotest.test_case "structured errors" `Quick
             test_structured_errors;
           Alcotest.test_case "garbage request line" `Quick
-            test_garbage_request_line ] );
+            test_garbage_request_line;
+          Alcotest.test_case "chaos: trickled request" `Quick
+            test_chaos_trickle;
+          Alcotest.test_case "chaos: close mid-body" `Quick
+            test_chaos_midbody_close;
+          Alcotest.test_case "chaos: mixed valid+garbage" `Quick
+            test_chaos_mixed_valid_unharmed;
+          Alcotest.test_case "idle keep-alive past conn deadline" `Quick
+            test_idle_keepalive_past_conn_deadline;
+          Alcotest.test_case "Retry-After on 503" `Quick
+            test_retry_after_on_503 ] );
       ( "load",
         [ Alcotest.test_case "loadtest smoke (8 clients)" `Quick
             test_loadtest_smoke;
