@@ -128,14 +128,38 @@ let bench_tests () =
            Mdp.Finite_horizon.max_reach_float arena ~target:lr3_target
              ~ticks:13))
   in
+  let bisim_labels =
+    Array.init (Mdp.Arena.num_states arena) (fun i ->
+        if Core.Pred.mem LR.Regions.c (Mdp.Arena.state arena i) then 1
+        else 0)
+  in
   let bisim =
-    let labels =
-      Array.init (Mdp.Arena.num_states arena) (fun i ->
-          if Core.Pred.mem LR.Regions.c (Mdp.Arena.state arena i) then 1
-          else 0)
-    in
     Test.make ~name:"engine:bisim refine (n=3)"
-      (Staged.stage (fun () -> Mdp.Bisim.refine arena ~labels ()))
+      (Staged.stage (fun () -> Mdp.Bisim.refine arena ~labels:bisim_labels ()))
+  in
+  (* The interval plane, measured on its own: the signature refinement
+     with float-point keys (vs the exact-plane escape hatch above --
+     [engine:bisim] resolves the session default, Interval), and the
+     certified two-sided VI bracket that only the interval plane can
+     produce.  [interval:bisim] and [engine:bisim] differing is the
+     point: same partition, cheaper plane. *)
+  let interval_bisim =
+    Test.make ~name:"interval:bisim (float-point signatures, n=3)"
+      (Staged.stage (fun () ->
+           Mdp.Bisim.refine arena ~labels:bisim_labels
+             ~plane:Mdp.Plane.Interval ()))
+  in
+  let exact_bisim =
+    Test.make ~name:"interval:bisim-exact-plane (escape hatch, n=3)"
+      (Staged.stage (fun () ->
+           Mdp.Bisim.refine arena ~labels:bisim_labels
+             ~plane:Mdp.Plane.Exact ()))
+  in
+  let interval_vi =
+    Test.make ~name:"interval:vi (certified E[T] bracket, n=3)"
+      (Staged.stage (fun () ->
+           Mdp.Expected_time.max_expected_ticks_interval arena
+             ~target:lr3_target ()))
   in
   (* Symmetry reduction: the canonicalizer is the per-successor cost
      --sym adds to exploration (orbit closure + minimum); the lr4
@@ -277,6 +301,7 @@ let bench_tests () =
   Test.make_grouped ~name:"prtb"
     ([ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; float_engine;
        rational_engine; arena_compile; arena_sweep; bisim;
+       interval_bisim; exact_bisim; interval_vi;
        sym_canon; explore_lr4_reduced; sim ]
      @ substrate @ serve_tests @ chaos_tests)
 
@@ -369,14 +394,26 @@ let baseline_rows path =
      | Some _ | None ->
        failwith (Printf.sprintf "%s: missing \"results\" array" path))
 
-(* The tier-1-covered kernels: the e1-e12 experiment pipelines, all of
-   which are exercised by `dune runtest`.  The substrate and sim micro-
+(* The tier-1-covered kernels: the e1-e12 experiment pipelines plus
+   the subsystem kernels whose fast paths the suite also exercises
+   (symmetry canonicalization, the certified lr4 orbit quotient, the
+   served degraded path, the chaos round, bisimulation refinement and
+   the interval-plane kernels).  The substrate and sim micro-
    benchmarks are too jittery for even a coarse CI gate. *)
+let guarded_prefixes =
+  [ "prtb/sym:"; "prtb/explore:"; "prtb/serve:deadline";
+    "prtb/chaos:"; "prtb/engine:bisim"; "prtb/interval:" ]
+
 let guarded name =
-  let prefix = "prtb/e" in
-  String.length name > String.length prefix
-  && String.sub name 0 (String.length prefix) = prefix
-  && (match name.[String.length prefix] with '0' .. '9' -> true | _ -> false)
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  (has_prefix "prtb/e"
+   && (match name.[String.length "prtb/e"] with
+       | '0' .. '9' -> true
+       | _ -> false))
+  || List.exists has_prefix guarded_prefixes
 
 let check_against ~path rows =
   let baseline = baseline_rows path in

@@ -63,8 +63,12 @@ let stats_arg =
            ~doc:"After the command, print how much exploration and                  compilation work the model registry actually performed                  (CI asserts [prtb check lr --stats] reports one                  exploration and one arena compile).")
 
 let report_stats enabled =
-  if enabled then
-    Format.printf "%a@." Models.pp_stats (Models.stats ())
+  if enabled then begin
+    Format.printf "%a@." Models.pp_stats (Models.stats ());
+    (* second line: how much exact work the interval plane proved
+       skippable (all zeros when running --plane exact) *)
+    Format.printf "%a@." Mdp.Plane.pp_stats (Mdp.Plane.stats ())
+  end
 
 (* ----------------------------------------------------------------- *)
 (* experiments *)
@@ -157,6 +161,21 @@ let sym_arg =
                  falls back to the unreduced space instead of failing; \
                  $(b,off) (default) never reduces.  Verdicts are \
                  identical either way -- only the state count shrinks.")
+
+let plane_arg =
+  Arg.(value
+       & opt (enum [ ("interval", Mdp.Plane.Interval);
+                     ("exact", Mdp.Plane.Exact) ])
+           Mdp.Plane.Interval
+       & info [ "plane" ] ~docv:"PLANE"
+           ~doc:"Probability plane the threshold engines consult first: \
+                 $(b,interval) (default) sweeps outward-rounded double \
+                 intervals and falls back to exact rationals only on \
+                 the residue the intervals cannot decide; $(b,exact) \
+                 disables the interval oracle entirely.  Verdicts and \
+                 bounds are bit-identical either way -- the flag is an \
+                 escape hatch and a differential-testing lever \
+                 (--stats reports how much exact work was skipped).")
 
 (* [reachable states] under a certified quotient: the representative
    count plus the full space it stands for, so logs stay comparable
@@ -452,9 +471,10 @@ let under_cli_deadline deadline f =
          ms reason)
 
 let check_cmd =
-  let run domains stats format system n g k topology bound cap sym faults
-      budget release seed deadline =
+  let run domains stats format plane system n g k topology bound cap sym
+      faults budget release seed deadline =
     install_domains domains;
+    Mdp.Plane.set_default plane;
     try
       Ok
         ((match format, faults with
@@ -513,6 +533,7 @@ let check_cmd =
              exceeded.")
     Term.(term_result
             (const run $ domains_arg $ stats_arg $ check_format_arg
+             $ plane_arg
              $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg
              $ bound_arg $ cap_arg $ sym_arg $ faults_arg $ budget_arg
              $ release_arg $ check_seed_arg

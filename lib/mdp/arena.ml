@@ -11,7 +11,8 @@ type ('s, 'a) t = {
   prob_f : float array;
   tick : bool array;
   actions : 'a array;
-  mutable dyadic : Proba.Dyadic.t array option;
+  dyadic : Proba.Dyadic.t array option Atomic.t;
+  interval : (float array * float array) option Atomic.t;
 }
 
 (* Process-wide count of compilations, surfaced through [Models.stats]
@@ -64,22 +65,51 @@ let compile ?is_tick expl =
     prob_f;
     tick;
     actions = Array.of_list (List.rev !actions_rev);
-    dyadic = None }
+    dyadic = Atomic.make None;
+    interval = Atomic.make None }
 
 let of_pa ?max_states ?is_tick pa =
   compile ?is_tick (Explore.run ?max_states pa)
 
-(* The dyadic plane is derived on demand and memoized; [of_rational]
-   raises [Not_dyadic] before anything is cached, so a failed
-   conversion leaves the arena unchanged and every later caller
+(* Derived planes are computed on demand and memoized with a CAS:
+   worker domains sweeping one shared arena may race here, in which
+   case both compute the (identical, immutable) plane and the loser
+   adopts the published copy — no lock, no torn reads. *)
+
+(* [of_rational] raises [Not_dyadic] before anything is cached, so a
+   failed conversion leaves the arena unchanged and every later caller
    re-raises consistently. *)
 let dyadic_plane a =
-  match a.dyadic with
+  match Atomic.get a.dyadic with
   | Some plane -> plane
   | None ->
     let plane = Array.map Proba.Dyadic.of_rational a.prob_q in
-    a.dyadic <- Some plane;
-    plane
+    if Atomic.compare_and_set a.dyadic None (Some plane) then plane
+    else begin
+      match Atomic.get a.dyadic with
+      | Some published -> published
+      | None -> plane (* unreachable: the memo is write-once *)
+    end
+
+let interval_plane a =
+  match Atomic.get a.interval with
+  | Some plane -> plane
+  | None ->
+    let num_branches = Array.length a.tgt in
+    let lo = Array.make num_branches 0.0 in
+    let hi = Array.make num_branches 0.0 in
+    for o = 0 to num_branches - 1 do
+      let iv = Proba.Interval.of_rational a.prob_q.(o) in
+      lo.(o) <- Proba.Interval.lo iv;
+      hi.(o) <- Proba.Interval.hi iv
+    done;
+    let plane = (lo, hi) in
+    if Atomic.compare_and_set a.interval None (Some plane) then plane
+    else begin
+      match Atomic.get a.interval with
+      | Some published -> published
+      | None -> plane
+    end
 
 let explored a = a.expl
 let automaton a = Explore.automaton a.expl

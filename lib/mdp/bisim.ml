@@ -23,21 +23,126 @@ let state_signature ~action_key blocks (a : _ Arena.t) i : signature =
   done;
   List.sort_uniq compare !sigs
 
+(* Unified weight keys for the interval-guided refinement.  Every
+   weight that is exactly representable as a double is encoded as
+   [P f] -- both by the point fast path (whose per-block sums are
+   doubles by construction) and by the exact fallback (which checks
+   representability with the directed conversions) -- while the rest
+   carry their exact rational as [E q].  Key equality therefore
+   coincides with exact weight equality no matter which path computed
+   the weight, so the partition trajectory is identical to the
+   pure-exact refinement. *)
+type wkey = P of float | E of Q.t
+
 let refine (a : _ Arena.t) ~labels
-    ?(action_key = fun x -> Marshal.to_string x []) () =
+    ?(action_key = fun x -> Marshal.to_string x []) ?plane () =
   let n = a.Arena.n in
   if Array.length labels <> n then
     invalid_arg "Bisim.refine: labels array has wrong length";
-  (* Current partition as block ids; refine until stable. *)
+  let mode = Plane.resolve plane in
+  let step_off = a.Arena.step_off and out_off = a.Arena.out_off in
+  let tgt = a.Arena.tgt and prob_q = a.Arena.prob_q in
+  (* Action keys are block-independent: collapse each step's action
+     once instead of re-marshalling it every round (the historical
+     code paid one [Marshal.to_string] per step per round). *)
+  let skey = Array.map action_key a.Arena.actions in
+  let exact_step_sig blocks k =
+    let tally = Hashtbl.create 8 in
+    for o = out_off.(k) to out_off.(k + 1) - 1 do
+      let b = blocks.(tgt.(o)) in
+      let cur = try Hashtbl.find tally b with Not_found -> Q.zero in
+      Hashtbl.replace tally b (Q.add cur prob_q.(o))
+    done;
+    let entries = Hashtbl.fold (fun b w acc -> (b, w) :: acc) tally [] in
+    (skey.(k), List.sort (fun (x, _) (y, _) -> compare x y) entries)
+  in
+  (* The legacy state signature (exact plane, memoized action keys). *)
+  let state_key_exact blocks i =
+    let sigs = ref [] in
+    for k = step_off.(i + 1) - 1 downto step_off.(i) do
+      sigs := exact_step_sig blocks k :: !sigs
+    done;
+    List.sort_uniq compare !sigs
+  in
+  (* Interval-guided state signature.  Per-block weight sums run on
+     the interval plane's endpoint arrays, accumulated in branch
+     order.  When every per-step sum collapses to a point the whole
+     signature is made of [P] keys with no exact arithmetic at all --
+     on dyadic models that is every state after warm-up.  Any widened
+     sum sends the state down the exact path, whose weights embed into
+     the same key space via the directed conversions. *)
+  let plo, phi =
+    match mode with
+    | Plane.Interval -> Arena.interval_plane a
+    | Plane.Exact -> ([||], [||])
+  in
+  let wkey_of_q q =
+    let f = Q.to_float_down q in
+    (* [+. 0.0] normalizes -0. to 0.: [Hashtbl.hash] distinguishes the
+       zero bit patterns even though [compare] does not *)
+    if Float.equal f (Q.to_float_up q) then P (f +. 0.0) else E q
+  in
+  let exception Widened in
+  let tally_step blocks k =
+    (* small assoc list in first-encounter order; each branch's
+       endpoints are folded into its block's running outward sums *)
+    let rec bump acc b l h =
+      match acc with
+      | [] -> [ (b, l, h) ]
+      | (b', l', h') :: tl when b' = b ->
+        (b', Proba.Interval.add_down l' l, Proba.Interval.add_up h' h)
+        :: tl
+      | hd :: tl -> hd :: bump tl b l h
+    in
+    let entries = ref [] in
+    for o = out_off.(k) to out_off.(k + 1) - 1 do
+      entries :=
+        bump !entries blocks.(Array.unsafe_get tgt o)
+          (Array.unsafe_get plo o) (Array.unsafe_get phi o)
+    done;
+    List.sort (fun (x, _, _) (y, _, _) -> compare x y) !entries
+  in
+  let points = ref 0 and residue = ref 0 in
+  let state_key_interval blocks i =
+    try
+      let sigs = ref [] in
+      for k = step_off.(i + 1) - 1 downto step_off.(i) do
+        let entries =
+          List.map
+            (fun (b, l, h) ->
+               if Float.equal l h then (b, P (l +. 0.0)) else raise Widened)
+            (tally_step blocks k)
+        in
+        sigs := (skey.(k), entries) :: !sigs
+      done;
+      incr points;
+      List.sort_uniq compare !sigs
+    with Widened ->
+      incr residue;
+      let sigs = ref [] in
+      for k = step_off.(i + 1) - 1 downto step_off.(i) do
+        let key, entries = exact_step_sig blocks k in
+        sigs :=
+          (key, List.map (fun (b, q) -> (b, wkey_of_q q)) entries)
+          :: !sigs
+      done;
+      List.sort_uniq compare !sigs
+  in
+  (* Current partition as block ids; refine until stable.  [round] is
+     polymorphic in the signature type: the exact mode groups by the
+     legacy rational signatures, the interval mode by unified keys --
+     equal keys mean equal exact signatures either way, so both modes
+     walk the same partition trajectory with the same first-encounter
+     block numbering. *)
   let blocks = Array.copy labels in
   let stable = ref false in
-  while not !stable do
+  let round state_key =
     Core.Budget.poll ();
     let keys = Hashtbl.create (2 * n) in
     let fresh = ref 0 in
     let next = Array.make n 0 in
     for i = 0 to n - 1 do
-      let key = (blocks.(i), state_signature ~action_key blocks a i) in
+      let key = (blocks.(i), state_key blocks i) in
       let b =
         match Hashtbl.find_opt keys key with
         | Some b -> b
@@ -51,7 +156,15 @@ let refine (a : _ Arena.t) ~labels
     done;
     stable := Array.for_all2 ( = ) blocks next;
     Array.blit next 0 blocks 0 n
+  in
+  while not !stable do
+    match mode with
+    | Plane.Interval -> round state_key_interval
+    | Plane.Exact -> round state_key_exact
   done;
+  (match mode with
+   | Plane.Interval -> Plane.record_pass ~points:!points ~residue:!residue
+   | Plane.Exact -> ());
   blocks
 
 let num_blocks partition =

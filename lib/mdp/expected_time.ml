@@ -5,6 +5,14 @@
    and the fixpoints are bit-identical -- just without the per-access
    conversion cost. *)
 
+(* Which way the adversary optimizes.  Passed as a variant (rather
+   than [Float.max]/[Float.min] closures) so the hot sequential sweep
+   below can make direct, float-unboxed calls; the closure form
+   remains for the pooled path. *)
+type objective = Maximize | Minimize
+
+let best_of = function Maximize -> Float.max | Minimize -> Float.min
+
 let expectation (a : _ Arena.t) v k =
   let acc = ref 0.0 in
   for o = a.Arena.out_off.(k) to a.Arena.out_off.(k + 1) - 1 do
@@ -19,41 +27,87 @@ let state_value (a : _ Arena.t) ~finite ~target ~best v i =
     let lo = a.Arena.step_off.(i) and hi = a.Arena.step_off.(i + 1) in
     if hi = lo then infinity
     else begin
-      let acc = ref None in
-      for k = lo to hi - 1 do
+      let candidate k =
         let cost = if a.Arena.tick.(k) then 1.0 else 0.0 in
-        let e = cost +. expectation a v k in
-        match !acc with
-        | None -> acc := Some e
-        | Some cur -> acc := Some (best cur e)
+        cost +. expectation a v k
+      in
+      let acc = ref (candidate lo) in
+      for k = lo + 1 to hi - 1 do
+        acc := best !acc (candidate k)
       done;
-      Option.get !acc
+      !acc
     end
   end
 
-let value_iterate_seq (a : _ Arena.t) ~finite ~target ~best ~epsilon
+(* The sequential sweep is the hot loop of the [e3] kernel, so it is
+   written allocation-free: CSR arrays hoisted into locals, bounds
+   checks elided (offsets are trusted by construction), folds carried
+   in unboxed float accumulators, and the objective dispatched to
+   direct [Float.max]/[Float.min] calls.  The arithmetic -- a left
+   fold [acc +. p *. v] per step in branch order, then a left
+   [best]-fold over steps seeded with the first candidate -- is the
+   exact operation sequence of the historical option-fold code, so
+   fixpoints are bit-identical. *)
+let value_iterate_seq (a : _ Arena.t) ~finite ~target ~obj ~epsilon
     ~max_sweeps =
   let n = a.Arena.n in
+  let step_off = a.Arena.step_off and out_off = a.Arena.out_off in
+  let tgt = a.Arena.tgt and prob_f = a.Arena.prob_f in
+  let tick = a.Arena.tick in
   let v =
     Array.init n (fun i ->
         if target.(i) then 0.0
         else if finite.(i) then 0.0
         else infinity)
   in
+  (* Loop-carried floats live in a scratch float array: float-array
+     stores are unboxed (and barrier-free), whereas refs and function
+     arguments would box one float per branch.  Slot 0 carries the
+     running best over steps, slot 1 the branch-sum of the current
+     step, slot 2 the sweep delta.  The seeds ([-inf] for max, [+inf]
+     for min) and the inlined comparisons return the same values as
+     the historical seeded [Float.max]/[Float.min] folds: the iterates
+     are nan-free and never produce [-0.], the only inputs where the
+     formulations differ. *)
+  let scratch = Array.make 3 0.0 in
+  let state i lo hi maximize =
+    Array.unsafe_set scratch 0 (if maximize then neg_infinity else infinity);
+    for k = lo to hi - 1 do
+      Array.unsafe_set scratch 1 0.0;
+      for o = Array.unsafe_get out_off k
+              to Array.unsafe_get out_off (k + 1) - 1 do
+        Array.unsafe_set scratch 1
+          (Array.unsafe_get scratch 1
+           +. Array.unsafe_get prob_f o
+              *. Array.unsafe_get v (Array.unsafe_get tgt o))
+      done;
+      let e =
+        (if Array.unsafe_get tick k then 1.0 else 0.0)
+        +. Array.unsafe_get scratch 1
+      in
+      let cur = Array.unsafe_get scratch 0 in
+      Array.unsafe_set scratch 0
+        (if maximize then (if e > cur then e else cur)
+         else if e < cur then e
+         else cur)
+    done;
+    let fresh = Array.unsafe_get scratch 0 in
+    let d = Float.abs (fresh -. Array.unsafe_get v i) in
+    if d > Array.unsafe_get scratch 2 then Array.unsafe_set scratch 2 d;
+    Array.unsafe_set v i fresh
+  in
+  let maximize = match obj with Maximize -> true | Minimize -> false in
   let sweep () =
-    let delta = ref 0.0 in
+    Array.unsafe_set scratch 2 0.0;
     for i = 0 to n - 1 do
-      if (not target.(i)) && finite.(i) then begin
-        if a.Arena.step_off.(i + 1) > a.Arena.step_off.(i) then begin
-          let fresh = state_value a ~finite ~target ~best v i in
-          let d = Float.abs (fresh -. v.(i)) in
-          if d > !delta then delta := d;
-          v.(i) <- fresh
-        end
-        else v.(i) <- infinity
+      if (not (Array.unsafe_get target i)) && Array.unsafe_get finite i
+      then begin
+        let lo = Array.unsafe_get step_off i in
+        let hi = Array.unsafe_get step_off (i + 1) in
+        if hi > lo then state i lo hi maximize else v.(i) <- infinity
       end
     done;
-    !delta
+    Array.unsafe_get scratch 2
   in
   let rec go k =
     Core.Budget.poll ();
@@ -107,32 +161,117 @@ let value_iterate_par pool (a : _ Arena.t) ~finite ~target ~best ~epsilon
   go 0;
   !cur
 
-let value_iterate ?pool a ~finite ~target ~best ~epsilon ~max_sweeps =
+let value_iterate ?pool a ~finite ~target ~obj ~epsilon ~max_sweeps =
   let pool =
     match pool with Some _ -> pool | None -> Parallel.Pool.get_default ()
   in
   match pool with
   | Some p ->
-    (try value_iterate_par p a ~finite ~target ~best ~epsilon ~max_sweeps
+    (try
+       value_iterate_par p a ~finite ~target ~best:(best_of obj) ~epsilon
+         ~max_sweeps
      with Parallel.Pool.Cancelled reason ->
        raise (Core.Budget.Deadline_exceeded reason))
-  | None -> value_iterate_seq a ~finite ~target ~best ~epsilon ~max_sweeps
+  | None -> value_iterate_seq a ~finite ~target ~obj ~epsilon ~max_sweeps
 
 let max_expected_ticks ?pool a ~target ?(epsilon = 1e-12)
     ?(max_sweeps = 1_000_000) () =
   let finite = Qualitative.always_reaches a ~target in
-  value_iterate ?pool a ~finite ~target ~best:Float.max ~epsilon ~max_sweeps
+  value_iterate ?pool a ~finite ~target ~obj:Maximize ~epsilon ~max_sweeps
 
 let min_expected_ticks ?pool a ~target ?(epsilon = 1e-12)
     ?(max_sweeps = 1_000_000) () =
   let finite = Qualitative.some_reaches_certainly a ~target in
-  value_iterate ?pool a ~finite ~target ~best:Float.min ~epsilon ~max_sweeps
+  value_iterate ?pool a ~finite ~target ~obj:Minimize ~epsilon ~max_sweeps
+
+(* Certified two-sided bracket of the max-expected-time iteration: the
+   same Gauss-Seidel schedule as [value_iterate_seq], carried on the
+   outward-rounded interval plane.  At every sweep
+   [vlo.(i) <= (real-arithmetic iterate) <= vhi.(i)], so the returned
+   envelope soundly brackets what exact real value iteration would
+   have produced at the same stopping point -- a certificate the bare
+   float plane cannot give.  The [Maximize] objective keeps all
+   successors of finite states finite (always-reach is closed under
+   steps), so no infinite endpoints enter the arithmetic. *)
+let max_expected_ticks_interval (a : _ Arena.t) ~target
+    ?(epsilon = 1e-12) ?(max_sweeps = 1_000_000) () =
+  let module I = Proba.Interval in
+  let finite = Qualitative.always_reaches a ~target in
+  let n = a.Arena.n in
+  let plo, phi = Arena.interval_plane a in
+  let step_off = a.Arena.step_off and out_off = a.Arena.out_off in
+  let tgt = a.Arena.tgt and tick = a.Arena.tick in
+  let init i =
+    if target.(i) then 0.0 else if finite.(i) then 0.0 else infinity
+  in
+  let vlo = Array.init n init in
+  let vhi = Array.init n init in
+  let candidate k =
+    let fin = Array.unsafe_get out_off (k + 1) in
+    let rec go o l h =
+      if o >= fin then (l, h)
+      else begin
+        let j = Array.unsafe_get tgt o in
+        go (o + 1)
+          (I.add_down l
+             (I.mul_down (Array.unsafe_get plo o) (Array.unsafe_get vlo j)))
+          (I.add_up h
+             (I.mul_up (Array.unsafe_get phi o) (Array.unsafe_get vhi j)))
+      end
+    in
+    let l, h = go (Array.unsafe_get out_off k) 0.0 0.0 in
+    if Array.unsafe_get tick k then (I.add_down 1.0 l, I.add_up 1.0 h)
+    else (l, h)
+  in
+  let state lo hi =
+    let rec go k l h =
+      if k >= hi then (l, h)
+      else begin
+        let cl, ch = candidate k in
+        go (k + 1) (Float.max l cl) (Float.max h ch)
+      end
+    in
+    let l0, h0 = candidate lo in
+    go (lo + 1) l0 h0
+  in
+  let sweep () =
+    let delta = ref 0.0 in
+    for i = 0 to n - 1 do
+      if (not target.(i)) && finite.(i) then begin
+        let lo = step_off.(i) and hi = step_off.(i + 1) in
+        if hi > lo then begin
+          let l, h = state lo hi in
+          let d =
+            Float.max
+              (Float.abs (l -. vlo.(i)))
+              (Float.abs (h -. vhi.(i)))
+          in
+          if d > !delta then delta := d;
+          vlo.(i) <- l;
+          vhi.(i) <- h
+        end
+        else begin
+          vlo.(i) <- infinity;
+          vhi.(i) <- infinity
+        end
+      end
+    done;
+    !delta
+  in
+  let rec go k =
+    Core.Budget.poll ();
+    if k > max_sweeps then
+      failwith "Expected_time: value iteration did not converge"
+    else if sweep () > epsilon then go (k + 1)
+  in
+  go 0;
+  (vlo, vhi)
 
 let max_expected_ticks_with_policy ?pool (a : _ Arena.t) ~target
     ?(epsilon = 1e-12) ?(max_sweeps = 1_000_000) () =
   let finite = Qualitative.always_reaches a ~target in
   let v =
-    value_iterate ?pool a ~finite ~target ~best:Float.max ~epsilon
+    value_iterate ?pool a ~finite ~target ~obj:Maximize ~epsilon
       ~max_sweeps
   in
   let n = a.Arena.n in

@@ -41,18 +41,26 @@ exception No_convergence of string
     state is visited within [ticks] ticks (a state already in [target]
     has value 1).  Raises [Invalid_argument] if [ticks < 0].
 
-    When every transition probability is dyadic (the case for all
-    fair-coin protocols) the computation runs on {!Proba.Dyadic}
-    arithmetic -- exactly the same results, several times faster than
-    general rationals; otherwise it falls back transparently. *)
+    [?plane] (default: {!Plane.get_default}) selects the sweeping
+    strategy; the returned rationals are bit-identical either way.
+    Under {!Plane.Interval} each layer runs an outward-rounded
+    interval fixpoint first and recomputes exactly only the residue
+    states whose interval stayed wide (see docs/PERFORMANCE.md).
+    Under {!Plane.Exact}: when every transition probability is dyadic
+    (the case for all fair-coin protocols) the computation runs on
+    {!Proba.Dyadic} arithmetic -- exactly the same results, several
+    times faster than general rationals; otherwise it falls back
+    transparently to pure rationals. *)
 val min_reach :
   ?pool:Parallel.Pool.t ->
+  ?plane:Plane.t ->
   ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
   Proba.Rational.t array
 
 (** Maximum over all adversaries (best-case scheduling). *)
 val max_reach :
   ?pool:Parallel.Pool.t ->
+  ?plane:Plane.t ->
   ('s, 'a) Arena.t -> target:bool array -> ticks:int ->
   Proba.Rational.t array
 

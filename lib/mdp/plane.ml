@@ -1,0 +1,69 @@
+(* Probability-plane selection for the certifying engines.
+
+   [Interval] (the default) sweeps the outward-rounded interval plane
+   first and re-derives exact rationals only for residue states;
+   [Exact] is the escape hatch that forces the legacy pure-exact
+   sweeps.  Both planes produce bit-identical verdicts and bounds —
+   the interval pass is an oracle, never an answer — so the choice is
+   purely about speed.
+
+   The default and the skip counters are process-global [Atomic]s:
+   engines run inside worker domains ([Parallel.Pool]) and the server
+   mutates the default from the control domain. *)
+
+type t = Exact | Interval
+
+let to_string = function Exact -> "exact" | Interval -> "interval"
+
+let default = Atomic.make Interval
+let set_default m = Atomic.set default m
+let get_default () = Atomic.get default
+let resolve = function Some m -> m | None -> get_default ()
+
+(* ------------------------------------------------------------------ *)
+(* Interval-pass statistics (surfaced by [prtb check --stats]). *)
+
+type stats = {
+  interval_passes : int;
+  point_states : int;
+  residue_states : int;
+  exact_fallbacks : int;
+}
+
+let interval_passes = Atomic.make 0
+let point_states = Atomic.make 0
+let residue_states = Atomic.make 0
+let exact_fallbacks = Atomic.make 0
+
+let record_pass ~points ~residue =
+  ignore (Atomic.fetch_and_add interval_passes 1);
+  ignore (Atomic.fetch_and_add point_states points);
+  ignore (Atomic.fetch_and_add residue_states residue)
+
+let record_fallback () = ignore (Atomic.fetch_and_add exact_fallbacks 1)
+
+let reset_stats () =
+  Atomic.set interval_passes 0;
+  Atomic.set point_states 0;
+  Atomic.set residue_states 0;
+  Atomic.set exact_fallbacks 0
+
+let stats () =
+  {
+    interval_passes = Atomic.get interval_passes;
+    point_states = Atomic.get point_states;
+    residue_states = Atomic.get residue_states;
+    exact_fallbacks = Atomic.get exact_fallbacks;
+  }
+
+let pp_stats fmt s =
+  let total = s.point_states + s.residue_states in
+  let residue_pct =
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int s.residue_states /. float_of_int total
+  in
+  Format.fprintf fmt
+    "plane: interval passes: %d, point states: %d, residue states: %d \
+     (%.2f%%), exact fallbacks: %d"
+    s.interval_passes s.point_states s.residue_states residue_pct
+    s.exact_fallbacks

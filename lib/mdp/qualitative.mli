@@ -15,7 +15,12 @@
     fixpoints: the largest sub-MDP the adversary can stay in while
     avoiding the target (greatest fixpoint), and the states from which
     the adversary can steer into that region with positive probability
-    while avoiding the target (least fixpoint). *)
+    while avoiding the target (least fixpoint).
+
+    These fixpoints are support-only: they read the transition
+    {e structure}, never a probability plane, so {!Plane} gating does
+    not apply here -- the qualitative pass is already free of exact
+    arithmetic and is shared verbatim by both planes. *)
 
 (** [always_reaches arena ~target] is the boolean vector of states where
     [Pmin(eventually target) = 1].  Terminal states count as staying

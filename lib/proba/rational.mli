@@ -37,6 +37,23 @@ val num : t -> Bigint.t
 val den : t -> Bigint.t
 val to_float : t -> float
 
+(** {1 Directed float conversions}
+
+    Every finite IEEE double is a dyadic rational, so [of_float_exact]
+    loses nothing, and the directed conversions below are correctly
+    rounded: [to_float_down q] is the largest double [<= q] and
+    [to_float_up q] the smallest double [>= q].  Magnitudes beyond
+    [max_float] saturate to [max_float] on the inward side and to the
+    matching infinity on the outward side.  These are the foundation of
+    {!Interval}'s outward rounding. *)
+
+(** Exact rational value of a finite double.
+    Raises [Invalid_argument] on nan/infinities. *)
+val of_float_exact : float -> t
+
+val to_float_down : t -> float
+val to_float_up : t -> float
+
 (** {1 Comparisons} *)
 
 val compare : t -> t -> int

@@ -1005,6 +1005,191 @@ let test_policy_search_finds_adversary () =
     (Float.equal mean r.Sim.Search.score)
 
 (* ------------------------------------------------------------------ *)
+(* Probability planes: the interval oracle must never change an
+   answer.  [test_reach_differential] above already pins the session
+   default (interval) against the legacy engines; these pin the two
+   planes against each other explicitly -- full models at every pool
+   size, budgeted partial fragments, the certified orbit quotient, a
+   non-dyadic model where the oracle leaves residue, bisimulation
+   signatures, and the refusal path. *)
+
+let test_plane_reach_differential () =
+  List.iter
+    (fun (Fixture f) ->
+       List.iter
+         (fun d ->
+            with_opt_pool d (fun pool ->
+                let ctx what =
+                  Printf.sprintf "%s %s planes (%s)" f.name what (pool_label d)
+                in
+                check_q_arrays (ctx "min_reach")
+                  (Mdp.Finite_horizon.min_reach ?pool ~plane:Mdp.Plane.Exact
+                     f.arena ~target:f.target ~ticks:f.ticks)
+                  (Mdp.Finite_horizon.min_reach ?pool
+                     ~plane:Mdp.Plane.Interval f.arena ~target:f.target
+                     ~ticks:f.ticks);
+                check_q_arrays (ctx "max_reach")
+                  (Mdp.Finite_horizon.max_reach ?pool ~plane:Mdp.Plane.Exact
+                     f.arena ~target:f.target ~ticks:f.ticks)
+                  (Mdp.Finite_horizon.max_reach ?pool
+                     ~plane:Mdp.Plane.Interval f.arena ~target:f.target
+                     ~ticks:f.ticks)))
+         pools)
+    (Lazy.force fixtures)
+
+let test_plane_bisim_differential () =
+  List.iter
+    (fun (Fixture f) ->
+       let labels = Array.map (fun b -> if b then 1 else 0) f.target in
+       let bi =
+         Mdp.Bisim.refine f.arena ~labels ~plane:Mdp.Plane.Interval ()
+       in
+       let be = Mdp.Bisim.refine f.arena ~labels ~plane:Mdp.Plane.Exact () in
+       (* Identical partition INCLUDING block numbering: both planes
+          number blocks in first-encounter order of the same sweep. *)
+       check_int_arrays (f.name ^ " bisim planes") be bi)
+    (Lazy.force fixtures)
+
+let test_plane_partial_fragment () =
+  let pa = LR.Automaton.make { LR.Automaton.n = 3; g = 1; k = 1 } in
+  let partial =
+    Mdp.Explore.run_budgeted ~budget:(Core.Budget.v ~max_states:500 ()) pa
+  in
+  let expl = partial.Mdp.Explore.fragment in
+  let arena = Mdp.Arena.compile ~is_tick:LR.Automaton.is_tick expl in
+  let target = Mdp.Explore.indicator expl LR.Regions.c in
+  check_q_arrays "partial min_reach planes"
+    (Mdp.Finite_horizon.min_reach ~plane:Mdp.Plane.Exact arena ~target
+       ~ticks:4)
+    (Mdp.Finite_horizon.min_reach ~plane:Mdp.Plane.Interval arena ~target
+       ~ticks:4);
+  check_q_arrays "partial max_reach planes"
+    (Mdp.Finite_horizon.max_reach ~plane:Mdp.Plane.Exact arena ~target
+       ~ticks:4)
+    (Mdp.Finite_horizon.max_reach ~plane:Mdp.Plane.Interval arena ~target
+       ~ticks:4)
+
+let test_plane_sym_quotient () =
+  (* The orbit quotient's weights are orbit-summed, so this also runs
+     the planes over non-trivial (but still dyadic) merged branches. *)
+  let inst = LR.Proof.build ~sym:Analysis.Symmetry.On ~n:3 () in
+  let arena = inst.LR.Proof.arena in
+  let target = Mdp.Arena.indicator arena LR.Regions.c in
+  check_q_arrays "sym-on min_reach planes"
+    (Mdp.Finite_horizon.min_reach ~plane:Mdp.Plane.Exact arena ~target
+       ~ticks:5)
+    (Mdp.Finite_horizon.min_reach ~plane:Mdp.Plane.Interval arena ~target
+       ~ticks:5)
+
+(* A model whose probabilities are not dyadic: 1/3 has no finite
+   binary expansion, so its interval is one ulp wide, layer values stay
+   wide, and the oracle must hand those states to the exact engine
+   (which itself falls back from the dyadic to the rational path). *)
+type third_state = TA | TB | TGoal
+
+let third_arena =
+  lazy
+    (let enabled = function
+       | TA ->
+         (* best value 1/3*0 + 2/3*1 = 2/3: no finite binary expansion,
+            so the layer never closes to a point at TA *)
+         [ { Core.Pa.action = "roll";
+             dist =
+               Proba.Dist.make
+                 [ (TB, Q.of_ints 1 3); (TGoal, Q.of_ints 2 3) ] };
+           { Core.Pa.action = "tick"; dist = Proba.Dist.point TA } ]
+       | TB -> []
+       | TGoal -> []
+     in
+     let pa = Core.Pa.make ~start:[ TA ] ~enabled () in
+     let arena = Mdp.Arena.of_pa ~is_tick:(fun a -> a = "tick") pa in
+     let target =
+       Mdp.Arena.indicator arena
+         (Core.Pred.make "goal" (fun s -> s = TGoal))
+     in
+     (arena, target))
+
+let test_plane_nondyadic_residue () =
+  let arena, target = Lazy.force third_arena in
+  Mdp.Plane.reset_stats ();
+  let vi =
+    Mdp.Finite_horizon.max_reach ~plane:Mdp.Plane.Interval arena ~target
+      ~ticks:2
+  in
+  let ve =
+    Mdp.Finite_horizon.max_reach ~plane:Mdp.Plane.Exact arena ~target
+      ~ticks:2
+  in
+  check_q_arrays "non-dyadic planes" ve vi;
+  let s = Mdp.Plane.stats () in
+  Alcotest.(check bool) "oracle ran" true (s.Mdp.Plane.interval_passes > 0);
+  Alcotest.(check bool) "1/3 values leave residue" true
+    (s.Mdp.Plane.residue_states > 0)
+
+let test_plane_stats_dyadic_all_points () =
+  let (Fixture f) = List.hd (Lazy.force fixtures) in
+  Mdp.Plane.reset_stats ();
+  ignore
+    (Mdp.Finite_horizon.min_reach ~plane:Mdp.Plane.Interval f.arena
+       ~target:f.target ~ticks:f.ticks);
+  let s = Mdp.Plane.stats () in
+  Alcotest.(check bool) "passes recorded" true
+    (s.Mdp.Plane.interval_passes > 0);
+  Alcotest.(check bool) "points recorded" true (s.Mdp.Plane.point_states > 0);
+  (* Every weight of the LR arena is dyadic, so the correctly-rounded
+     interval plane decides every state: zero residue, zero fallbacks. *)
+  Alcotest.(check int) "no residue" 0 s.Mdp.Plane.residue_states;
+  Alcotest.(check int) "no fallbacks" 0 s.Mdp.Plane.exact_fallbacks
+
+let test_plane_no_convergence () =
+  (* The zero-time probabilistic cycle must be refused on BOTH planes:
+     the diverging layer iterates are strictly monotone, so they never
+     collapse to a point and the interval pass cannot mask the
+     refusal. *)
+  let module Bad = struct
+    type state = S | Goal
+
+    let enabled = function
+      | S ->
+        [ { Core.Pa.action = "flip"; dist = Proba.Dist.coin S Goal };
+          { Core.Pa.action = "tick"; dist = Proba.Dist.point S } ]
+      | Goal -> []
+
+    let pa = Core.Pa.make ~start:[ S ] ~enabled ()
+  end in
+  let arena = Mdp.Arena.of_pa ~is_tick:(fun a -> a = "tick") Bad.pa in
+  let target =
+    Mdp.Arena.indicator arena (Core.Pred.make "goal" (fun s -> s = Bad.Goal))
+  in
+  List.iter
+    (fun plane ->
+       Alcotest.(check bool)
+         (Printf.sprintf "refuses on %s" (Mdp.Plane.to_string plane))
+         true
+         (try
+            ignore (Mdp.Finite_horizon.max_reach ~plane arena ~target ~ticks:1);
+            false
+          with Mdp.Finite_horizon.No_convergence _ -> true))
+    [ Mdp.Plane.Interval; Mdp.Plane.Exact ]
+
+let test_interval_vi_bracket () =
+  let (Fixture f) = List.hd (Lazy.force fixtures) in
+  let vlo, vhi =
+    Mdp.Expected_time.max_expected_ticks_interval f.arena ~target:f.target ()
+  in
+  let v = Mdp.Expected_time.max_expected_ticks f.arena ~target:f.target () in
+  Array.iteri
+    (fun i x ->
+       if Float.is_finite x then begin
+         if not (vlo.(i) <= x && x <= vhi.(i)) then
+           Alcotest.failf "state %d: %h outside [%h, %h]" i x vlo.(i)
+             vhi.(i)
+       end
+       else if Float.is_finite vhi.(i) then
+         Alcotest.failf "state %d: infinite VI but finite bracket" i)
+    v
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "arena"
@@ -1023,6 +1208,22 @@ let () =
             test_expected_time_differential;
           Alcotest.test_case "budgeted partial fragment" `Quick
             test_partial_fragment_differential ] );
+      ( "plane",
+        [ Alcotest.test_case "interval vs exact (all pools)" `Quick
+            test_plane_reach_differential;
+          Alcotest.test_case "bisim partitions" `Quick
+            test_plane_bisim_differential;
+          Alcotest.test_case "partial fragment" `Quick
+            test_plane_partial_fragment;
+          Alcotest.test_case "orbit quotient" `Quick test_plane_sym_quotient;
+          Alcotest.test_case "non-dyadic residue" `Quick
+            test_plane_nondyadic_residue;
+          Alcotest.test_case "dyadic stats all points" `Quick
+            test_plane_stats_dyadic_all_points;
+          Alcotest.test_case "no-convergence refusal" `Quick
+            test_plane_no_convergence;
+          Alcotest.test_case "interval VI bracket" `Quick
+            test_interval_vi_bracket ] );
       ( "structure",
         [ Alcotest.test_case "CSR mirrors the fragment" `Quick
             test_arena_structure ] );
