@@ -224,6 +224,41 @@ let bench_tests () =
              Proba.Dist.bind (Proba.Dist.coin 0 1) (fun x ->
                  Proba.Dist.coin x (x + 2)))) ]
   in
+  (* The certificate pipeline, with the claim proved once outside the
+     measured region: [cert:emit] times the total serialization
+     (Claim.fold + Merkle hashing + JSON rendering), [cert:verify] the
+     strict parse + the independent rule re-check -- the whole
+     [verify-cert] hot path, which by design explores nothing. *)
+  let cert_tests =
+    let claim =
+      match LR.Proof.composed lr3 with
+      | Ok c -> c
+      | Error e -> failwith ("cert bench: " ^ e)
+    in
+    let config =
+      { Cert.Node.model = "lr"; n = 3; plane = "interval"; sym = "off";
+        faults = "none"; budget = "states:2000000";
+        params = [ ("g", "1"); ("k", "1"); ("topology", "ring") ] }
+    in
+    let fingerprint = Mdp.Arena.fingerprint arena in
+    let emit () =
+      Analysis.Json.to_string
+        (Cert.Node.to_json (Cert.Emit.emit ~config ~fingerprint claim))
+    in
+    let body = emit () in
+    [ Test.make ~name:"cert:emit (lr n=3 claim DAG)"
+        (Staged.stage emit);
+      Test.make ~name:"cert:verify (lr n=3, parse + re-check)"
+        (Staged.stage (fun () ->
+             match Cert.Node.of_string body with
+             | Error e -> failwith ("cert bench: " ^ e)
+             | Ok cert -> (
+                 match Cert.Verify.run cert with
+                 | Ok s -> s.Cert.Verify.nodes
+                 | Error e ->
+                   failwith ("cert bench: " ^ Cert.Verify.error_to_string e))))
+    ]
+  in
   (* The verification service, measured through a real socket: one
      keep-alive round trip per run against an in-process daemon.  The
      /check kernel is pre-warmed so it times a result-cache hit (HTTP +
@@ -303,7 +338,7 @@ let bench_tests () =
        rational_engine; arena_compile; arena_sweep; bisim;
        interval_bisim; exact_bisim; interval_vi;
        sym_canon; explore_lr4_reduced; sim ]
-     @ substrate @ serve_tests @ chaos_tests)
+     @ substrate @ cert_tests @ serve_tests @ chaos_tests)
 
 (* ----------------------------------------------------------------- *)
 

@@ -431,10 +431,14 @@ let check_format_arg =
                  parameters (byte for byte); $(b,text) is the \
                  human-readable report.")
 
+let plane_to_string = function
+  | Mdp.Plane.Interval -> "interval"
+  | Mdp.Plane.Exact -> "exact"
+
 (* The served and CLI JSON bodies are bit-identical because both print
-   [Server.Service.check_json]; test/test_server.ml holds the two
-   byte-for-byte equal. *)
-let check_json system n g k topology bound cap sym deadline =
+   [Server.Service.check_json] (and [cert_json] for certificates);
+   test/test_server.ml holds the two byte-for-byte equal. *)
+let cli_check_query system n g k topology bound cap sym plane deadline =
   let topology = Option.value topology ~default:"ring" in
   (match system, topology with
    | `Lr, ("ring" | "line" | "star") -> ()
@@ -442,12 +446,28 @@ let check_json system n g k topology bound cap sym deadline =
    | _, "ring" -> ()
    | _, other ->
      failwith (Printf.sprintf "topology %S applies to the lr system only" other));
-  let q =
-    { Server.Protocol.model = system; n; g; k; topology; bound; cap;
-      max_states = None; sym = Analysis.Symmetry.mode_to_string sym;
-      deadline_ms = deadline }
-  in
+  { Server.Protocol.model = system; n; g; k; topology; bound; cap;
+    max_states = None; sym = Analysis.Symmetry.mode_to_string sym;
+    plane = plane_to_string plane;
+    deadline_ms = deadline }
+
+let check_json system n g k topology bound cap sym plane deadline =
+  let q = cli_check_query system n g k topology bound cap sym plane deadline in
   print_endline (Analysis.Json.to_string (Server.Service.check_json q))
+
+(* --emit-cert prints the /cert body.  A non-certificate header
+   (uncertified, exhausted, ...) still prints -- same bytes the server
+   would serve -- but exits nonzero so scripts cannot mistake it for a
+   certificate. *)
+let emit_cert_json system n g k topology bound cap sym plane deadline =
+  let q = cli_check_query system n g k topology bound cap sym plane deadline in
+  let body = Server.Service.cert_json q in
+  print_endline (Analysis.Json.to_string body);
+  match body with
+  | Analysis.Json.Obj fields
+    when List.mem_assoc "verdict" fields ->
+    failwith "no certificate was emitted (see the body's verdict field)"
+  | _ -> ()
 
 (* Text mode arms the same ambient deadline the server uses; when the
    engines' poll points cut the run mid-sweep we print a structured
@@ -470,19 +490,33 @@ let under_cli_deadline deadline f =
           --deadline for the exact verdict\n"
          ms reason)
 
+let emit_cert_arg =
+  Arg.(value & flag
+       & info [ "emit-cert" ]
+           ~doc:"Instead of a report, print the proof certificate: the \
+                 composed claim's whole derivation as a versioned DAG \
+                 whose leaves carry the arena fingerprint and the full \
+                 configuration (exactly the body $(b,prtb serve) answers \
+                 on /cert, byte for byte).  Feed it to $(b,prtb \
+                 verify-cert).  Incompatible with --faults.")
+
 let check_cmd =
-  let run domains stats format plane system n g k topology bound cap sym
-      faults budget release seed deadline =
+  let run domains stats format plane emit_cert system n g k topology bound
+      cap sym faults budget release seed deadline =
     install_domains domains;
     Mdp.Plane.set_default plane;
     try
       Ok
-        ((match format, faults with
-         | `Json, Some _ ->
+        ((match format, emit_cert, faults with
+         | _, true, Some _ ->
+           failwith "--emit-cert does not cover --faults runs; drop one"
+         | _, true, None ->
+           emit_cert_json system n g k topology bound cap sym plane deadline
+         | `Json, false, Some _ ->
            failwith "--format json does not cover --faults runs; drop one"
-         | `Json, None ->
-           check_json system n g k topology bound cap sym deadline
-         | `Text, _ ->
+         | `Json, false, None ->
+           check_json system n g k topology bound cap sym plane deadline
+         | `Text, false, _ ->
            under_cli_deadline deadline @@ fun () ->
            match system with
          | `Lr ->
@@ -533,7 +567,7 @@ let check_cmd =
              exceeded.")
     Term.(term_result
             (const run $ domains_arg $ stats_arg $ check_format_arg
-             $ plane_arg
+             $ plane_arg $ emit_cert_arg
              $ system_arg $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg
              $ bound_arg $ cap_arg $ sym_arg $ faults_arg $ budget_arg
              $ release_arg $ check_seed_arg
@@ -543,6 +577,59 @@ let check_cmd =
                        structured deadline-exceeded verdict (the JSON \
                        format answers the same SRV122 body $(b,prtb \
                        serve) would) and exits 0."))
+
+(* ----------------------------------------------------------------- *)
+(* verify-cert *)
+
+let verify_cert_cmd =
+  let run file =
+    let body =
+      try
+        if file = "-" then In_channel.input_all stdin
+        else In_channel.with_open_bin file In_channel.input_all
+      with Sys_error msg -> (
+        Printf.eprintf "error: %s\n%!" msg;
+        exit 1)
+    in
+    match Cert.Node.of_string body with
+    | Error msg ->
+      Printf.eprintf "invalid certificate: %s\n%!" msg;
+      exit 1
+    | Ok cert ->
+      (match Cert.Verify.run cert with
+       | Error e ->
+         Printf.eprintf "invalid certificate: %s\n%!"
+           (Cert.Verify.error_to_string e);
+         exit 1
+       | Ok s ->
+         Printf.printf
+           "certificate: OK (model %s, digest %s)\n\
+            claim: %s\n\
+            nodes: %d (%d checked leaves, %d assumptions)\n\
+            fully verified: %s\n"
+           cert.Cert.Node.model cert.Cert.Node.digest s.Cert.Verify.root_claim
+           s.Cert.Verify.nodes s.Cert.Verify.leaves s.Cert.Verify.axioms
+           (if s.Cert.Verify.fully_verified then "yes"
+            else "no (assumption leaves remain)");
+         Ok ())
+  in
+  let file_arg =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Certificate file as printed by $(b,prtb check \
+                   --emit-cert) or served on /cert; $(b,-) reads stdin.")
+  in
+  Cmd.v
+    (Cmd.info "verify-cert"
+       ~doc:"Independently re-check a proof certificate without \
+             re-exploring any state space: recompute every node hash and \
+             the certificate digest, and re-run the arithmetic and side \
+             conditions of every rule application (composition, union, \
+             weakening) with a second implementation of the paper's \
+             rules.  Exits 1 naming the failing node on any mismatch -- \
+             a single flipped byte anywhere in the DAG is detected.")
+    Term.(term_result (const run $ file_arg))
 
 (* ----------------------------------------------------------------- *)
 (* simulate *)
@@ -1026,5 +1113,5 @@ let () =
   in
   let info = Cmd.info "prtb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ experiments_cmd; check_cmd; simulate_cmd; export_dot_cmd;
-         lint_cmd; serve_cmd; loadtest_cmd; chaos_cmd ]))
+       [ experiments_cmd; check_cmd; verify_cert_cmd; simulate_cmd;
+         export_dot_cmd; lint_cmd; serve_cmd; loadtest_cmd; chaos_cmd ]))

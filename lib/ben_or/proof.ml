@@ -57,6 +57,31 @@ let decision_arrow inst ~rounds ~prob =
     attained = result.Mdp.Checker.attained;
     claim = result.Mdp.Checker.claim }
 
+(* The certified termination statement at the exact attained bound: a
+   first sweep at prob 0 always yields a claim and reports the true
+   minimum, a second names that minimum as the bound so the minted
+   leaf is as tight as the checker can certify.  The second sweep
+   reuses the arena's memoized planes; only the backward induction
+   runs twice. *)
+let composed inst ~rounds =
+  if rounds < 1 || rounds > inst.params.Automaton.cap then
+    Error
+      (Printf.sprintf "rounds=%d outside the modelled cap %d" rounds
+         inst.params.Automaton.cap)
+  else begin
+    let probe = decision_arrow inst ~rounds ~prob:Q.zero in
+    if Q.is_zero probe.attained then
+      Error
+        (Printf.sprintf
+           "the adversary can block every decision within %d round(s) \
+            (attained minimum 0)" rounds)
+    else begin
+      match (decision_arrow inst ~rounds ~prob:probe.attained).claim with
+      | Some claim -> Ok claim
+      | None -> Error "checker refused its own attained bound" (* unreachable *)
+    end
+  end
+
 let decision_curve inst ~rounds =
   let target = Mdp.Arena.indicator inst.arena decided_pred in
   let i = List.hd (Mdp.Arena.start_indices inst.arena) in

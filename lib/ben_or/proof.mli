@@ -61,6 +61,16 @@ type arrow = {
 val decision_arrow :
   instance -> rounds:int -> prob:Proba.Rational.t -> arrow
 
+(** The certified termination claim
+    [Init -(3 rounds)->_p Decided] at the {e exact} attained bound
+    [p]: a probe sweep finds the adversary's minimum, a second sweep
+    certifies it, so the minted leaf is as tight as the checker can
+    prove.  [Error] when [rounds] exceeds the modelled cap or the
+    attained minimum is 0 (a fixed round the adversary can block --
+    the deterministic-consensus impossibility showing through). *)
+val composed :
+  instance -> rounds:int -> (Automaton.state Core.Claim.t, string) result
+
 (** Exact [min P(some process decides within 3 rounds time units)] for
     each requested round count. *)
 val decision_curve : instance -> rounds:int list -> Proba.Rational.t list

@@ -1,0 +1,75 @@
+let inclusion_of incl =
+  { Node.sub = Core.Pred.name (Core.Inclusion.sub incl);
+    sup = Core.Pred.name (Core.Inclusion.sup incl);
+    incl_evidence = Core.Inclusion.evidence incl;
+    assumed = Core.Inclusion.is_axiom incl }
+
+let emit ~config ~fingerprint claim =
+  (* Nodes are appended bottom-up as the fold returns, so children
+     always precede parents; structural dedup by hash keeps repeated
+     identical sub-derivations (e.g. the same trivial inclusion used
+     twice) as one shared node. *)
+  let by_hash = Hashtbl.create 64 in
+  let rev_nodes = ref [] in
+  let count = ref 0 in
+  let add node =
+    match Hashtbl.find_opt by_hash node.Node.hash with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      rev_nodes := node :: !rev_nodes;
+      Hashtbl.add by_hash node.Node.hash i;
+      i
+  in
+  let hash_of i = (List.nth !rev_nodes (!count - 1 - i)).Node.hash in
+  let root =
+    Core.Claim.fold
+      (fun c child_indices ->
+         let rule =
+           match Core.Claim.rule c, child_indices with
+           | Core.Claim.Checked_leaf evidence, [] ->
+             Node.Checked { evidence; fingerprint; config }
+           | Core.Claim.Axiom_leaf reason, [] -> Node.Axiom { reason }
+           | Core.Claim.Trivial_leaf incl, [] ->
+             Node.Trivial (inclusion_of incl)
+           | Core.Claim.Composed _, [ a; b ] -> Node.Compose (a, b)
+           | Core.Claim.Unioned (_, u), [ a ] ->
+             Node.Union (a, Core.Pred.name u)
+           | Core.Claim.Prob_weakened _, [ a ] -> Node.Weaken_prob a
+           | Core.Claim.Time_relaxed _, [ a ] -> Node.Relax_time a
+           | Core.Claim.Pre_strengthened (_, incl), [ a ] ->
+             Node.Strengthen_pre (a, inclusion_of incl)
+           | Core.Claim.Post_weakened (_, incl), [ a ] ->
+             Node.Weaken_post (a, inclusion_of incl)
+           | _, _ ->
+             (* [subclaims] and [rule] agree on arity by construction. *)
+             invalid_arg "Cert.Emit: rule/children arity mismatch"
+         in
+         let unhashed =
+           { Node.pre = Core.Pred.name (Core.Claim.pre c);
+             post = Core.Pred.name (Core.Claim.post c);
+             time = Core.Claim.time c;
+             prob = Core.Claim.prob c;
+             node_schema = Core.Schema.name (Core.Claim.schema c);
+             closed = Core.Schema.execution_closed (Core.Claim.schema c);
+             rule;
+             hash = "" }
+         in
+         let child_hashes = List.map hash_of child_indices in
+         add { unhashed with Node.hash = Node.node_hash unhashed ~child_hashes })
+      claim
+  in
+  let nodes = Array.of_list (List.rev !rev_nodes) in
+  let claim_str = Format.asprintf "%a" Core.Claim.pp claim in
+  let digest =
+    Node.certificate_digest ~version:1 ~model:config.Node.model
+      ~claim:claim_str ~root
+      ~node_hashes:(List.map (fun n -> n.Node.hash) (Array.to_list nodes))
+  in
+  { Node.version = 1;
+    model = config.Node.model;
+    claim = claim_str;
+    root;
+    nodes;
+    digest }

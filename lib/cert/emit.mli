@@ -1,0 +1,21 @@
+(** Reifying an audited {!Core.Claim} derivation into a certificate.
+
+    [emit] is a total serializer built on {!Core.Claim.fold}: every
+    constructor of the proof DSL maps to a {!Node.rule}, sub-derivations
+    shared physically in the claim map to a single shared node, and
+    structurally identical sub-derivations are deduplicated by hash --
+    the emitted DAG is as compact as the proof, never exponential in
+    it.  Nodes are laid out bottom-up (children strictly before
+    parents), hashes and the certificate digest are stamped, and the
+    output is deterministic: the same claim, fingerprint and
+    configuration always produce byte-identical certificates (what
+    makes the served [/cert] body equal to the CLI's). *)
+
+(** [emit ~config ~fingerprint claim] builds the certificate.
+    [fingerprint] is {!Mdp.Arena.fingerprint} of the arena every
+    {!Core.Claim.checked} leaf was discharged on; [config] records the
+    query that built that arena.  Both are stamped into every checked
+    leaf. *)
+val emit :
+  config:Node.leaf_config -> fingerprint:string -> 's Core.Claim.t ->
+  Node.t

@@ -1,0 +1,381 @@
+module J = Analysis.Json
+module Q = Proba.Rational
+
+let wire_schema = "prtb-cert/1"
+
+type leaf_config = {
+  model : string;
+  n : int;
+  plane : string;
+  sym : string;
+  faults : string;
+  budget : string;
+  params : (string * string) list;
+}
+
+type inclusion = {
+  sub : string;
+  sup : string;
+  incl_evidence : string;
+  assumed : bool;
+}
+
+type rule =
+  | Checked of {
+      evidence : string;
+      fingerprint : string;
+      config : leaf_config;
+    }
+  | Axiom of { reason : string }
+  | Trivial of inclusion
+  | Compose of int * int
+  | Union of int * string
+  | Weaken_prob of int
+  | Relax_time of int
+  | Strengthen_pre of int * inclusion
+  | Weaken_post of int * inclusion
+
+type node = {
+  pre : string;
+  post : string;
+  time : Q.t;
+  prob : Q.t;
+  node_schema : string;
+  closed : bool;
+  rule : rule;
+  hash : string;
+}
+
+type t = {
+  version : int;
+  model : string;
+  claim : string;
+  root : int;
+  nodes : node array;
+  digest : string;
+}
+
+let children = function
+  | Checked _ | Axiom _ | Trivial _ -> []
+  | Compose (a, b) -> [ a; b ]
+  | Union (a, _) | Weaken_prob a | Relax_time a
+  | Strengthen_pre (a, _) | Weaken_post (a, _) -> [ a ]
+
+let rule_name = function
+  | Checked _ -> "checked"
+  | Axiom _ -> "axiom"
+  | Trivial _ -> "trivial"
+  | Compose _ -> "compose"
+  | Union _ -> "union"
+  | Weaken_prob _ -> "weaken_prob"
+  | Relax_time _ -> "relax_time"
+  | Strengthen_pre _ -> "strengthen_pre"
+  | Weaken_post _ -> "weaken_post"
+
+(* ------------------------------------------------------------------ *)
+(* Hashing.
+
+   Every field is length-prefixed ("len:bytes") before digesting, so
+   no concatenation of fields can collide with another split of the
+   same bytes; rationals contribute their canonical wire form.  The
+   children contribute their *hashes*, not their indices: a parent is
+   bound to its children's full content (Merkle-style), which is what
+   localizes a tamper at the node that owns the flipped byte. *)
+
+let enc buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let enc_inclusion buf i =
+  enc buf i.sub;
+  enc buf i.sup;
+  enc buf i.incl_evidence;
+  enc buf (if i.assumed then "1" else "0")
+
+let enc_config buf (c : leaf_config) =
+  enc buf c.model;
+  enc buf (string_of_int c.n);
+  enc buf c.plane;
+  enc buf c.sym;
+  enc buf c.faults;
+  enc buf c.budget;
+  List.iter
+    (fun (k, v) ->
+       enc buf k;
+       enc buf v)
+    c.params
+
+let node_hash n ~child_hashes =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "cert-node/1|";
+  enc buf n.pre;
+  enc buf n.post;
+  enc buf (Q.to_wire n.time);
+  enc buf (Q.to_wire n.prob);
+  enc buf n.node_schema;
+  enc buf (if n.closed then "1" else "0");
+  enc buf (rule_name n.rule);
+  (match n.rule with
+   | Checked { evidence; fingerprint; config } ->
+     enc buf evidence;
+     enc buf fingerprint;
+     enc_config buf config
+   | Axiom { reason } -> enc buf reason
+   | Trivial i -> enc_inclusion buf i
+   | Compose _ | Weaken_prob _ | Relax_time _ -> ()
+   | Union (_, u) -> enc buf u
+   | Strengthen_pre (_, i) | Weaken_post (_, i) -> enc_inclusion buf i);
+  Buffer.add_char buf '|';
+  List.iter (enc buf) child_hashes;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let certificate_digest ~version ~model ~claim ~root ~node_hashes =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "prtb-cert-digest/1|";
+  enc buf (string_of_int version);
+  enc buf model;
+  enc buf claim;
+  enc buf (string_of_int root);
+  List.iter (enc buf) node_hashes;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization. *)
+
+let config_to_json (c : leaf_config) =
+  J.Obj
+    [ ("model", J.Str c.model);
+      ("n", J.Int c.n);
+      ("plane", J.Str c.plane);
+      ("sym", J.Str c.sym);
+      ("faults", J.Str c.faults);
+      ("budget", J.Str c.budget);
+      ("params", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) c.params)) ]
+
+let inclusion_to_json i =
+  J.Obj
+    [ ("sub", J.Str i.sub);
+      ("sup", J.Str i.sup);
+      ("evidence", J.Str i.incl_evidence);
+      ("assumed", J.Bool i.assumed) ]
+
+let node_to_json n =
+  let extras =
+    match n.rule with
+    | Checked { evidence; fingerprint; config } ->
+      [ ("evidence", J.Str evidence);
+        ("fingerprint", J.Str fingerprint);
+        ("config", config_to_json config) ]
+    | Axiom { reason } -> [ ("reason", J.Str reason) ]
+    | Trivial i -> [ ("inclusion", inclusion_to_json i) ]
+    | Compose (a, b) -> [ ("children", J.Arr [ J.Int a; J.Int b ]) ]
+    | Union (a, u) -> [ ("child", J.Int a); ("with", J.Str u) ]
+    | Weaken_prob a | Relax_time a -> [ ("child", J.Int a) ]
+    | Strengthen_pre (a, i) | Weaken_post (a, i) ->
+      [ ("child", J.Int a); ("inclusion", inclusion_to_json i) ]
+  in
+  J.Obj
+    ([ ("rule", J.Str (rule_name n.rule));
+       ("pre", J.Str n.pre);
+       ("post", J.Str n.post);
+       ("time", J.Str (Q.to_wire n.time));
+       ("prob", J.Str (Q.to_wire n.prob));
+       ("schema", J.Str n.node_schema);
+       ("closed", J.Bool n.closed) ]
+     @ extras
+     @ [ ("hash", J.Str n.hash) ])
+
+let to_json t =
+  J.Obj
+    [ ("schema", J.Str wire_schema);
+      ("version", J.Int t.version);
+      ("model", J.Str t.model);
+      ("claim", J.Str t.claim);
+      ("root", J.Int t.root);
+      ("nodes", J.Arr (List.map node_to_json (Array.to_list t.nodes)));
+      ("digest", J.Str t.digest) ]
+
+let to_string t = J.to_string (to_json t)
+
+(* ------------------------------------------------------------------ *)
+(* Strict parsing.  [Reject] carries a message; every object's key set
+   must match its shape exactly, so a tampered-in extra field (which
+   the hash would not cover) is a parse error, not silent slack. *)
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+let obj_fields what = function
+  | J.Obj fields -> fields
+  | _ -> reject "%s must be a JSON object" what
+
+let check_keys what ~expected fields =
+  let got = List.map fst fields in
+  let missing = List.filter (fun k -> not (List.mem k got)) expected in
+  let extra = List.filter (fun k -> not (List.mem k expected)) got in
+  (match missing with
+   | k :: _ -> reject "%s: missing field %S" what k
+   | [] -> ());
+  match extra with
+  | k :: _ -> reject "%s: unknown field %S" what k
+  | [] -> ()
+
+let str_field what fields name =
+  match List.assoc_opt name fields with
+  | Some (J.Str s) -> s
+  | Some _ -> reject "%s: field %S must be a string" what name
+  | None -> reject "%s: missing field %S" what name
+
+let int_field what fields name =
+  match List.assoc_opt name fields with
+  | Some (J.Int i) -> i
+  | Some _ | None -> reject "%s: field %S must be an integer" what name
+
+let bool_field what fields name =
+  match List.assoc_opt name fields with
+  | Some (J.Bool b) -> b
+  | Some _ | None -> reject "%s: field %S must be a boolean" what name
+
+let rational_field what fields name =
+  let s = str_field what fields name in
+  match Q.of_wire s with
+  | Ok q -> q
+  | Error e -> reject "%s: field %S: %s" what name e
+
+let inclusion_of_json what j =
+  let fields = obj_fields what j in
+  check_keys what ~expected:[ "sub"; "sup"; "evidence"; "assumed" ] fields;
+  { sub = str_field what fields "sub";
+    sup = str_field what fields "sup";
+    incl_evidence = str_field what fields "evidence";
+    assumed = bool_field what fields "assumed" }
+
+let config_of_json what j =
+  let fields = obj_fields what j in
+  check_keys what
+    ~expected:[ "model"; "n"; "plane"; "sym"; "faults"; "budget"; "params" ]
+    fields;
+  let params =
+    match List.assoc_opt "params" fields with
+    | Some (J.Obj kvs) ->
+      List.map
+        (fun (k, v) ->
+           match v with
+           | J.Str s -> (k, s)
+           | _ -> reject "%s: param %S must be a string" what k)
+        kvs
+    | Some _ | None -> reject "%s: field \"params\" must be an object" what
+  in
+  { model = str_field what fields "model";
+    n = int_field what fields "n";
+    plane = str_field what fields "plane";
+    sym = str_field what fields "sym";
+    faults = str_field what fields "faults";
+    budget = str_field what fields "budget";
+    params }
+
+let node_of_json idx j =
+  let what = Printf.sprintf "node %d" idx in
+  let fields = obj_fields what j in
+  let common = [ "rule"; "pre"; "post"; "time"; "prob"; "schema"; "closed" ] in
+  let rule_tag = str_field what fields "rule" in
+  let child name =
+    match List.assoc_opt name fields with
+    | Some (J.Int i) -> i
+    | Some _ | None -> reject "%s: field %S must be a node index" what name
+  in
+  let rule =
+    match rule_tag with
+    | "checked" ->
+      check_keys what
+        ~expected:(common @ [ "evidence"; "fingerprint"; "config"; "hash" ])
+        fields;
+      Checked
+        { evidence = str_field what fields "evidence";
+          fingerprint = str_field what fields "fingerprint";
+          config =
+            config_of_json (what ^ " config")
+              (Option.get (List.assoc_opt "config" fields)) }
+    | "axiom" ->
+      check_keys what ~expected:(common @ [ "reason"; "hash" ]) fields;
+      Axiom { reason = str_field what fields "reason" }
+    | "trivial" ->
+      check_keys what ~expected:(common @ [ "inclusion"; "hash" ]) fields;
+      Trivial
+        (inclusion_of_json (what ^ " inclusion")
+           (Option.get (List.assoc_opt "inclusion" fields)))
+    | "compose" ->
+      check_keys what ~expected:(common @ [ "children"; "hash" ]) fields;
+      (match List.assoc_opt "children" fields with
+       | Some (J.Arr [ J.Int a; J.Int b ]) -> Compose (a, b)
+       | Some _ | None ->
+         reject "%s: \"children\" must be a two-index array" what)
+    | "union" ->
+      check_keys what ~expected:(common @ [ "child"; "with"; "hash" ]) fields;
+      Union (child "child", str_field what fields "with")
+    | "weaken_prob" ->
+      check_keys what ~expected:(common @ [ "child"; "hash" ]) fields;
+      Weaken_prob (child "child")
+    | "relax_time" ->
+      check_keys what ~expected:(common @ [ "child"; "hash" ]) fields;
+      Relax_time (child "child")
+    | "strengthen_pre" ->
+      check_keys what
+        ~expected:(common @ [ "child"; "inclusion"; "hash" ]) fields;
+      Strengthen_pre
+        ( child "child",
+          inclusion_of_json (what ^ " inclusion")
+            (Option.get (List.assoc_opt "inclusion" fields)) )
+    | "weaken_post" ->
+      check_keys what
+        ~expected:(common @ [ "child"; "inclusion"; "hash" ]) fields;
+      Weaken_post
+        ( child "child",
+          inclusion_of_json (what ^ " inclusion")
+            (Option.get (List.assoc_opt "inclusion" fields)) )
+    | other -> reject "%s: unknown rule tag %S" what other
+  in
+  { pre = str_field what fields "pre";
+    post = str_field what fields "post";
+    time = rational_field what fields "time";
+    prob = rational_field what fields "prob";
+    node_schema = str_field what fields "schema";
+    closed = bool_field what fields "closed";
+    rule;
+    hash = str_field what fields "hash" }
+
+let of_json j =
+  try
+    let what = "certificate" in
+    let fields = obj_fields what j in
+    check_keys what
+      ~expected:
+        [ "schema"; "version"; "model"; "claim"; "root"; "nodes"; "digest" ]
+      fields;
+    let schema = str_field what fields "schema" in
+    if schema <> wire_schema then
+      reject "unsupported certificate schema %S (expected %S)" schema
+        wire_schema;
+    let version = int_field what fields "version" in
+    if version <> 1 then reject "unsupported certificate version %d" version;
+    let nodes =
+      match List.assoc_opt "nodes" fields with
+      | Some (J.Arr items) -> Array.of_list (List.mapi node_of_json items)
+      | Some _ | None -> reject "%s: \"nodes\" must be an array" what
+    in
+    if Array.length nodes = 0 then reject "certificate has no nodes";
+    Ok
+      { version;
+        model = str_field what fields "model";
+        claim = str_field what fields "claim";
+        root = int_field what fields "root";
+        nodes;
+        digest = str_field what fields "digest" }
+  with Reject msg -> Error msg
+
+let of_string s =
+  match J.of_string s with
+  | Error e -> Error (Printf.sprintf "JSON parse error: %s" e)
+  | Ok j -> of_json j

@@ -1,0 +1,121 @@
+(** The certificate data model and its wire form ([prtb-cert/1]).
+
+    A certificate reifies one audited {!Core.Claim} derivation as a
+    compact DAG: an array of {!node}s in strict bottom-up order (every
+    child index precedes its parent), a [root] index, and integrity
+    metadata.  Interior nodes are the paper's rule applications
+    (Theorem 3.4 composition, Proposition 3.2 union, the weakening
+    rules of Proposition 4.2); leaves are model-checking results
+    carrying the {!Mdp.Arena} fingerprint and the full configuration
+    that produced them, so a verifier knows exactly {e which} explored
+    system discharged them.
+
+    Integrity is layered: each node stores an MD5 over its own
+    canonical payload plus its children's hashes (a Merkle link, so a
+    tampered byte surfaces at the node that owns it), and the
+    certificate stores a digest over the version, model, claim
+    rendering, root index and all node hashes.  Rational weights
+    travel as {!Proba.Rational.to_wire} bytes -- exact at any
+    magnitude and with a unique spelling, so no tamper can hide
+    behind a non-canonical alias.
+
+    This module only defines the data and its (de)serialization;
+    {!Emit} produces values from claims, {!Verify} re-checks them
+    independently. *)
+
+(** The wire schema tag, ["prtb-cert/1"]. *)
+val wire_schema : string
+
+(** The configuration a leaf was checked under.  [params] carries the
+    model-specific knobs (g, k, topology, bound, cap, ...) as sorted
+    key/value strings. *)
+type leaf_config = {
+  model : string;
+  n : int;
+  plane : string;  (** ["interval"] or ["exact"] *)
+  sym : string;  (** ["auto"], ["on"] or ["off"] *)
+  faults : string;  (** ["none"] or a fault spec *)
+  budget : string;  (** e.g. ["states:2000000"] *)
+  params : (string * string) list;
+}
+
+(** A certified (or assumed) set inclusion, by predicate name. *)
+type inclusion = {
+  sub : string;
+  sup : string;
+  incl_evidence : string;
+  assumed : bool;
+}
+
+(** One rule application.  Children are node indices into the
+    certificate's [nodes] array (always strictly below the parent's
+    own index). *)
+type rule =
+  | Checked of {
+      evidence : string;
+      fingerprint : string;  (** {!Mdp.Arena.fingerprint} of the arena *)
+      config : leaf_config;
+    }
+  | Axiom of { reason : string }
+  | Trivial of inclusion
+  | Compose of int * int  (** Theorem 3.4 *)
+  | Union of int * string  (** Proposition 3.2; the added set's name *)
+  | Weaken_prob of int
+  | Relax_time of int
+  | Strengthen_pre of int * inclusion
+  | Weaken_post of int * inclusion
+
+type node = {
+  pre : string;
+  post : string;
+  time : Proba.Rational.t;
+  prob : Proba.Rational.t;
+  node_schema : string;  (** adversary-schema name *)
+  closed : bool;  (** execution-closed (Theorem 3.4 premise) *)
+  rule : rule;
+  hash : string;  (** MD5 hex over payload + child hashes *)
+}
+
+type t = {
+  version : int;
+  model : string;
+  claim : string;  (** one-line rendering of the root statement *)
+  root : int;
+  nodes : node array;
+  digest : string;  (** MD5 hex over version, model, claim, root, hashes *)
+}
+
+(** Child indices of a rule, in order. *)
+val children : rule -> int list
+
+(** The wire tag of a rule (["checked"], ["compose"], ...). *)
+val rule_name : rule -> string
+
+(** [node_hash n ~child_hashes] is the canonical hash of [n]'s payload
+    (everything except [n.hash]) linked to its children's hashes.
+    {!Emit} stamps it; {!Verify} recomputes and compares. *)
+val node_hash : node -> child_hashes:string list -> string
+
+(** The certificate-level digest over everything the DAG does not
+    already chain: version, model, claim rendering, root index, and
+    every node hash in array order. *)
+val certificate_digest :
+  version:int -> model:string -> claim:string -> root:int ->
+  node_hashes:string list -> string
+
+(** {1 Wire form} *)
+
+val to_json : t -> Analysis.Json.t
+
+(** Strict parse: unknown or missing object keys, non-canonical
+    rational spellings, and malformed rule shapes are errors (the
+    whole surface a tamper could touch).  Hashes are {e not} checked
+    here -- that is {!Verify.run}'s job, which can name the failing
+    node. *)
+val of_json : Analysis.Json.t -> (t, string) result
+
+(** [to_json] rendered compactly. *)
+val to_string : t -> string
+
+(** Parse then [of_json]. *)
+val of_string : string -> (t, string) result

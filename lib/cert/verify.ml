@@ -1,0 +1,277 @@
+module Q = Proba.Rational
+
+type summary = {
+  nodes : int;
+  leaves : int;
+  axioms : int;
+  fully_verified : bool;
+  root_claim : string;
+}
+
+type error = {
+  node : int option;
+  rule : string option;
+  reason : string;
+}
+
+let error_to_string e =
+  match e.node, e.rule with
+  | Some i, Some r -> Printf.sprintf "node %d (%s): %s" i r e.reason
+  | Some i, None -> Printf.sprintf "node %d: %s" i e.reason
+  | None, _ -> e.reason
+
+exception Fail of error
+
+let fail ?node ?rule fmt =
+  Printf.ksprintf (fun reason -> raise (Fail { node; rule; reason })) fmt
+
+let is_hex_digest s =
+  String.length s = 32
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+(* The certificate's own rendering of a statement; must match what the
+   emitter produced from the claim, which we re-derive here from node
+   data alone. *)
+let render (n : Node.node) =
+  Printf.sprintf "%s --%s-->_%s %s  [%s]" n.Node.pre (Q.to_string n.Node.time)
+    (Q.to_string n.Node.prob) n.Node.post n.Node.node_schema
+
+(* Re-derive the name [Pred.union] would give the united sets. *)
+let union_name p u = Printf.sprintf "%s ∪ %s" p u
+
+let check_leaf_config i rule (c : Node.leaf_config) =
+  if c.Node.model = "" then fail ~node:i ~rule "empty model name in leaf config";
+  if c.Node.n < 1 then fail ~node:i ~rule "leaf config has n=%d < 1" c.Node.n;
+  (match c.Node.plane with
+   | "exact" | "interval" -> ()
+   | p -> fail ~node:i ~rule "leaf config has unknown plane %S" p);
+  (match c.Node.sym with
+   | "auto" | "on" | "off" -> ()
+   | s -> fail ~node:i ~rule "leaf config has unknown sym mode %S" s);
+  if c.Node.faults = "" then
+    fail ~node:i ~rule "empty faults field in leaf config (expected \"none\")";
+  if c.Node.budget = "" then fail ~node:i ~rule "empty budget in leaf config"
+
+let check_inclusion i rule (incl : Node.inclusion) =
+  if incl.Node.sub = "" || incl.Node.sup = "" then
+    fail ~node:i ~rule "inclusion with an empty predicate name";
+  if (not incl.Node.assumed) && incl.Node.incl_evidence = "" then
+    fail ~node:i ~rule "certified inclusion %s ⊆ %s carries no evidence"
+      incl.Node.sub incl.Node.sup
+
+(* Premises every rule shares with its child: same schema, same
+   closedness flag (the weakening rules of Prop 4.2 and the union of
+   Prop 3.2 never change the adversary schema). *)
+let check_same_schema i rule (n : Node.node) (c : Node.node) =
+  if n.Node.node_schema <> c.Node.node_schema then
+    fail ~node:i ~rule "schema %S differs from child's %S" n.Node.node_schema
+      c.Node.node_schema;
+  if n.Node.closed <> c.Node.closed then
+    fail ~node:i ~rule "execution-closedness flag differs from child's"
+
+let check_node cert i (n : Node.node) =
+  let rule = Node.rule_name n.Node.rule in
+  let nodes = cert.Node.nodes in
+  (* Children strictly below the parent: indices are a topological
+     order, so cycles are impossible by construction. *)
+  let child j =
+    if j < 0 || j >= i then
+      fail ~node:i ~rule
+        "child index %d out of range (must be in [0, %d))" j i;
+    nodes.(j)
+  in
+  (* Integrity first: a tampered byte should be reported as tampering,
+     not as a confusing rule violation. *)
+  let child_hashes =
+    List.map (fun j -> (child j).Node.hash) (Node.children n.Node.rule)
+  in
+  let recomputed = Node.node_hash n ~child_hashes in
+  if recomputed <> n.Node.hash then
+    fail ~node:i ~rule
+      "stored hash %s does not match recomputed %s (payload or a \
+       descendant was altered)"
+      n.Node.hash recomputed;
+  (* Definition 3.1 sanity on the statement itself. *)
+  if not (Q.is_probability n.Node.prob) then
+    fail ~node:i ~rule "probability %s outside [0, 1]"
+      (Q.to_string n.Node.prob);
+  if Q.sign n.Node.time < 0 then
+    fail ~node:i ~rule "negative time bound %s" (Q.to_string n.Node.time);
+  if n.Node.pre = "" || n.Node.post = "" then
+    fail ~node:i ~rule "empty predicate name";
+  if n.Node.node_schema = "" then fail ~node:i ~rule "empty schema name";
+  match n.Node.rule with
+  | Node.Checked { evidence; fingerprint; config } ->
+    if evidence = "" then fail ~node:i ~rule "checked leaf without evidence";
+    if not (is_hex_digest fingerprint) then
+      fail ~node:i ~rule "malformed arena fingerprint %S" fingerprint;
+    check_leaf_config i rule config
+  | Node.Axiom { reason } ->
+    if reason = "" then fail ~node:i ~rule "axiom without a reason"
+  | Node.Trivial incl ->
+    check_inclusion i rule incl;
+    if n.Node.pre <> incl.Node.sub then
+      fail ~node:i ~rule "pre %S is not the inclusion's sub-set %S" n.Node.pre
+        incl.Node.sub;
+    if n.Node.post <> incl.Node.sup then
+      fail ~node:i ~rule "post %S is not the inclusion's super-set %S"
+        n.Node.post incl.Node.sup;
+    if not (Q.is_zero n.Node.time) then
+      fail ~node:i ~rule "trivial claim must have time 0, found %s"
+        (Q.to_string n.Node.time);
+    if not (Q.equal n.Node.prob Q.one) then
+      fail ~node:i ~rule "trivial claim must have probability 1, found %s"
+        (Q.to_string n.Node.prob)
+  | Node.Compose (a, b) ->
+    (* Theorem 3.4, re-checked from scratch. *)
+    let ca = child a and cb = child b in
+    check_same_schema i rule n ca;
+    check_same_schema i rule n cb;
+    if not n.Node.closed then
+      fail ~node:i ~rule
+        "composition requires an execution-closed schema (Theorem 3.4)";
+    if ca.Node.post <> cb.Node.pre then
+      fail ~node:i ~rule
+        "first child's post %S is not the second child's pre %S" ca.Node.post
+        cb.Node.pre;
+    if n.Node.pre <> ca.Node.pre then
+      fail ~node:i ~rule "pre %S is not the first child's pre %S" n.Node.pre
+        ca.Node.pre;
+    if n.Node.post <> cb.Node.post then
+      fail ~node:i ~rule "post %S is not the second child's post %S"
+        n.Node.post cb.Node.post;
+    let t = Q.add ca.Node.time cb.Node.time in
+    if not (Q.equal n.Node.time t) then
+      fail ~node:i ~rule "time %s is not the children's sum %s"
+        (Q.to_string n.Node.time) (Q.to_string t);
+    let p = Q.mul ca.Node.prob cb.Node.prob in
+    if not (Q.equal n.Node.prob p) then
+      fail ~node:i ~rule "probability %s is not the children's product %s"
+        (Q.to_string n.Node.prob) (Q.to_string p)
+  | Node.Union (a, u) ->
+    (* Proposition 3.2: both sides gain [∪ u], nothing else moves. *)
+    let c = child a in
+    check_same_schema i rule n c;
+    if u = "" then fail ~node:i ~rule "union with an empty set name";
+    if n.Node.pre <> union_name c.Node.pre u then
+      fail ~node:i ~rule "pre %S is not %S" n.Node.pre
+        (union_name c.Node.pre u);
+    if n.Node.post <> union_name c.Node.post u then
+      fail ~node:i ~rule "post %S is not %S" n.Node.post
+        (union_name c.Node.post u);
+    if not (Q.equal n.Node.time c.Node.time) then
+      fail ~node:i ~rule "union must preserve the time bound";
+    if not (Q.equal n.Node.prob c.Node.prob) then
+      fail ~node:i ~rule "union must preserve the probability bound"
+  | Node.Weaken_prob a ->
+    let c = child a in
+    check_same_schema i rule n c;
+    if n.Node.pre <> c.Node.pre || n.Node.post <> c.Node.post then
+      fail ~node:i ~rule "probability weakening must preserve the sets";
+    if not (Q.equal n.Node.time c.Node.time) then
+      fail ~node:i ~rule "probability weakening must preserve the time bound";
+    if not (Q.leq n.Node.prob c.Node.prob) then
+      fail ~node:i ~rule "probability %s exceeds the child's %s"
+        (Q.to_string n.Node.prob) (Q.to_string c.Node.prob)
+  | Node.Relax_time a ->
+    let c = child a in
+    check_same_schema i rule n c;
+    if n.Node.pre <> c.Node.pre || n.Node.post <> c.Node.post then
+      fail ~node:i ~rule "time relaxation must preserve the sets";
+    if not (Q.equal n.Node.prob c.Node.prob) then
+      fail ~node:i ~rule "time relaxation must preserve the probability";
+    if not (Q.geq n.Node.time c.Node.time) then
+      fail ~node:i ~rule "time %s is below the child's %s"
+        (Q.to_string n.Node.time) (Q.to_string c.Node.time)
+  | Node.Strengthen_pre (a, incl) ->
+    let c = child a in
+    check_same_schema i rule n c;
+    check_inclusion i rule incl;
+    if incl.Node.sup <> c.Node.pre then
+      fail ~node:i ~rule
+        "inclusion's super-set %S is not the child's pre %S" incl.Node.sup
+        c.Node.pre;
+    if n.Node.pre <> incl.Node.sub then
+      fail ~node:i ~rule "pre %S is not the inclusion's sub-set %S" n.Node.pre
+        incl.Node.sub;
+    if n.Node.post <> c.Node.post then
+      fail ~node:i ~rule "pre-strengthening must preserve the post-set";
+    if not (Q.equal n.Node.time c.Node.time && Q.equal n.Node.prob c.Node.prob)
+    then fail ~node:i ~rule "pre-strengthening must preserve the bounds"
+  | Node.Weaken_post (a, incl) ->
+    let c = child a in
+    check_same_schema i rule n c;
+    check_inclusion i rule incl;
+    if incl.Node.sub <> c.Node.post then
+      fail ~node:i ~rule "inclusion's sub-set %S is not the child's post %S"
+        incl.Node.sub c.Node.post;
+    if n.Node.post <> incl.Node.sup then
+      fail ~node:i ~rule "post %S is not the inclusion's super-set %S"
+        n.Node.post incl.Node.sup;
+    if n.Node.pre <> c.Node.pre then
+      fail ~node:i ~rule "post-weakening must preserve the pre-set";
+    if not (Q.equal n.Node.time c.Node.time && Q.equal n.Node.prob c.Node.prob)
+    then fail ~node:i ~rule "post-weakening must preserve the bounds"
+
+let run cert =
+  try
+    let nodes = cert.Node.nodes in
+    let count = Array.length nodes in
+    if cert.Node.root < 0 || cert.Node.root >= count then
+      fail "root index %d out of range (certificate has %d nodes)"
+        cert.Node.root count;
+    Array.iteri (check_node cert) nodes;
+    (* Every node must feed the root: a stray island is either junk or
+       a smuggled statement hoping to be mistaken for the verified one. *)
+    let reachable = Array.make count false in
+    let rec mark i =
+      if not reachable.(i) then begin
+        reachable.(i) <- true;
+        List.iter mark (Node.children nodes.(i).Node.rule)
+      end
+    in
+    mark cert.Node.root;
+    Array.iteri
+      (fun i r ->
+         if not r then
+           fail ~node:i
+             ~rule:(Node.rule_name nodes.(i).Node.rule)
+             "node is not reachable from the root")
+      reachable;
+    (* The top-level claim text and digest are re-derived, never
+       trusted. *)
+    let rendered = render nodes.(cert.Node.root) in
+    if cert.Node.claim <> rendered then
+      fail "claim text %S does not match the root statement %S"
+        cert.Node.claim rendered;
+    let digest =
+      Node.certificate_digest ~version:cert.Node.version
+        ~model:cert.Node.model ~claim:cert.Node.claim ~root:cert.Node.root
+        ~node_hashes:
+          (List.map (fun n -> n.Node.hash) (Array.to_list nodes))
+    in
+    if digest <> cert.Node.digest then
+      fail "certificate digest %s does not match recomputed %s"
+        cert.Node.digest digest;
+    let leaves = ref 0 and axioms = ref 0 in
+    Array.iter
+      (fun n ->
+         match n.Node.rule with
+         | Node.Checked _ -> incr leaves
+         | Node.Axiom _ -> incr axioms
+         | Node.Trivial incl
+         | Node.Strengthen_pre (_, incl)
+         | Node.Weaken_post (_, incl) ->
+           if incl.Node.assumed then incr axioms
+         | Node.Compose _ | Node.Union _ | Node.Weaken_prob _
+         | Node.Relax_time _ -> ())
+      nodes;
+    Ok
+      { nodes = count;
+        leaves = !leaves;
+        axioms = !axioms;
+        fully_verified = !axioms = 0;
+        root_claim = rendered }
+  with Fail e -> Error e

@@ -1,0 +1,48 @@
+(** Independent certificate re-checker.
+
+    [run] validates a {!Node.t} without touching [lib/core] or
+    [lib/mdp]: it is deliberately a {e second implementation} of the
+    paper's composition rules (Theorem 3.4, Propositions 3.2 and 4.2),
+    working only on the serialized node data, so it cross-audits the
+    engines that emitted the certificate.  It re-checks, per node:
+
+    - structural sanity (children strictly below the parent, all
+      indices in range, every node reachable from the root);
+    - integrity (the stored node hash equals the recomputed
+      Merkle-linked hash; the certificate digest matches), so flipping
+      any byte of a weight, rule tag, fingerprint or evidence string is
+      detected {e at the node that owns it};
+    - the arithmetic and side conditions of every rule application
+      ([compose] re-adds times and re-multiplies probabilities from the
+      children's wire values; weakenings re-check the inequalities;
+      unions re-derive the predicate names);
+    - leaf well-formedness (non-empty evidence, well-formed arena
+      fingerprints, a sane configuration).
+
+    What it does {e not} do is re-explore: trusting a certificate means
+    trusting its [checked] leaves' evidence for the named arena
+    fingerprint, plus this verifier's rule arithmetic -- never the
+    emitting engine's. *)
+
+type summary = {
+  nodes : int;
+  leaves : int;  (** [checked] leaves *)
+  axioms : int;  (** [axiom] leaves + assumed inclusions *)
+  fully_verified : bool;  (** [axioms = 0] *)
+  root_claim : string;  (** re-rendered from the root node *)
+}
+
+(** A failed check, pinned to the node that owns it when one does
+    ([node = None] for certificate-level failures such as a digest
+    mismatch). *)
+type error = {
+  node : int option;
+  rule : string option;
+  reason : string;
+}
+
+(** ["node 7 (compose): ..."], or just the reason for
+    certificate-level errors. *)
+val error_to_string : error -> string
+
+val run : Node.t -> (summary, error) result

@@ -146,6 +146,23 @@ let rec iter_derivation f c =
   f c;
   List.iter (iter_derivation f) (subclaims c)
 
+(* Memoized on physical identity: a sub-derivation shared by several
+   rule applications is folded once and its result reused, so the
+   traversal is linear in the derivation DAG even when the unfolded
+   proof tree is exponential.  An assq list suffices -- derivations
+   are built by hand and have tens of nodes, not thousands. *)
+let fold f c =
+  let memo = ref [] in
+  let rec go c =
+    match List.assq_opt c !memo with
+    | Some r -> r
+    | None ->
+      let r = f c (List.map go (subclaims c)) in
+      memo := (c, r) :: !memo;
+      r
+  in
+  go c
+
 let pp fmt c =
   Format.fprintf fmt "@[%s --%s-->_%s %s  [%s]@]" (Pred.name c.pre)
     (Q.to_string c.time) (Q.to_string c.prob) (Pred.name c.post)

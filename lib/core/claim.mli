@@ -116,6 +116,16 @@ val subclaims : 's t -> 's t list
     root first. *)
 val iter_derivation : ('s t -> unit) -> 's t -> unit
 
+(** [fold f c] reduces the whole derivation bottom-up: [f] is applied
+    to each node together with the results of its sub-derivations (in
+    {!subclaims} order).  Unlike {!iter_derivation}, which revisits
+    shared sub-derivations, [fold] memoizes on physical identity and
+    visits each distinct node exactly once -- the traversal is linear
+    in the derivation {e DAG}.  Together with {!rule} this is a total
+    serializer: every constructor of the proof DSL is reachable, which
+    is what the certificate emitter ([lib/cert]) is built on. *)
+val fold : ('s t -> 'a list -> 'a) -> 's t -> 'a
+
 (** {1 Printing} *)
 
 (** One-line rendering ["U --t-->_p U'  [schema]"]. *)

@@ -13,6 +13,7 @@ type ('s, 'a) t = {
   actions : 'a array;
   dyadic : Proba.Dyadic.t array option Atomic.t;
   interval : (float array * float array) option Atomic.t;
+  fp : string option Atomic.t;
 }
 
 (* Process-wide count of compilations, surfaced through [Models.stats]
@@ -66,7 +67,8 @@ let compile ?is_tick expl =
     tick;
     actions = Array.of_list (List.rev !actions_rev);
     dyadic = Atomic.make None;
-    interval = Atomic.make None }
+    interval = Atomic.make None;
+    fp = Atomic.make None }
 
 let of_pa ?max_states ?is_tick pa =
   compile ?is_tick (Explore.run ?max_states pa)
@@ -109,6 +111,50 @@ let interval_plane a =
       match Atomic.get a.interval with
       | Some published -> published
       | None -> plane
+    end
+
+(* The fingerprint digests only deterministic inputs: the CSR skeleton
+   (offsets, targets), the exact probability plane rendered through
+   [Rational.to_wire] (canonical bytes, Bigint-tier safe), the tick
+   mask, and a structural hash of each interned state and action in
+   index order.  [Stdlib.Hashtbl.hash] on immutable model values is a
+   pure function of their structure, so the digest is identical across
+   processes, [--domains] settings and plane choices -- none of which
+   affect what was explored -- while any change to the model, its
+   parameters, the exploration budget or the symmetry quotient changes
+   the interned structure and therefore the digest. *)
+let fingerprint a =
+  match Atomic.get a.fp with
+  | Some s -> s
+  | None ->
+    let buf = Buffer.create 8192 in
+    let add_int i = Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ',' in
+    Buffer.add_string buf "arena/1;";
+    add_int a.n;
+    add_int a.expanded;
+    Array.iter add_int a.step_off;
+    Array.iter add_int a.out_off;
+    Array.iter add_int a.tgt;
+    Array.iter
+      (fun q ->
+         Buffer.add_string buf (Proba.Rational.to_wire q);
+         Buffer.add_char buf ',')
+      a.prob_q;
+    Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0'))
+      a.tick;
+    Buffer.add_char buf ';';
+    Array.iter (fun act -> add_int (Stdlib.Hashtbl.hash act)) a.actions;
+    Buffer.add_char buf ';';
+    for i = 0 to a.n - 1 do
+      add_int (Stdlib.Hashtbl.hash (Explore.state a.expl i))
+    done;
+    let s = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+    if Atomic.compare_and_set a.fp None (Some s) then s
+    else begin
+      match Atomic.get a.fp with
+      | Some published -> published
+      | None -> s (* unreachable: the memo is write-once *)
     end
 
 let explored a = a.expl

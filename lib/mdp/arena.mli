@@ -46,6 +46,8 @@ type ('s, 'a) t = private {
       (** memoized dyadic plane; use {!dyadic_plane} *)
   interval : (float array * float array) option Atomic.t;
       (** memoized interval plane; use {!interval_plane} *)
+  fp : string option Atomic.t;
+      (** memoized structural fingerprint; use {!fingerprint} *)
 }
 
 (** [compile ?is_tick expl] flattens a fragment.  Without [is_tick] the
@@ -72,6 +74,18 @@ val dyadic_plane : ('s, 'a) t -> Proba.Dyadic.t array
     Computed from [prob_q] on first use and memoized like
     {!dyadic_plane} (domain-safe, write-once). *)
 val interval_plane : ('s, 'a) t -> float array * float array
+
+(** A deterministic structural digest of the compiled fragment (32 hex
+    characters), stamped into certificate leaves ([lib/cert]) so a
+    re-checker can tell {e which} explored system a model-checking
+    result talks about.  Digests the CSR skeleton, the exact
+    probability plane (canonical wire bytes), the tick mask and a
+    structural hash of every interned state and action in index order;
+    consequently it is identical across processes, [--domains] pool
+    sizes and [--plane] choices, and distinct whenever the model,
+    parameters, exploration budget or symmetry quotient differ.
+    Memoized (write-once [Atomic], domain-safe like the planes). *)
+val fingerprint : ('s, 'a) t -> string
 
 (** {1 Mirrored fragment accessors} *)
 

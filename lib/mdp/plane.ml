@@ -17,7 +17,28 @@ let to_string = function Exact -> "exact" | Interval -> "interval"
 
 let default = Atomic.make Interval
 let set_default m = Atomic.set default m
-let get_default () = Atomic.get default
+
+(* Per-domain ambient override, for callers that must scope a plane to
+   one request instead of mutating the process default ([prtb serve]
+   workers answering a [plane=...] wire field).  Domain-local so
+   concurrent requests with different planes cannot race each other's
+   choice; worker-pool domains spawned by an engine fall back to the
+   process default, which only costs them the oracle, never the
+   verdict. *)
+let ambient : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_ambient p f =
+  let cell = Domain.DLS.get ambient in
+  let saved = !cell in
+  cell := Some p;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let get_default () =
+  match !(Domain.DLS.get ambient) with
+  | Some p -> p
+  | None -> Atomic.get default
+
 let resolve = function Some m -> m | None -> get_default ()
 
 (* ------------------------------------------------------------------ *)
@@ -56,14 +77,25 @@ let stats () =
     exact_fallbacks = Atomic.get exact_fallbacks;
   }
 
+(* When no engine consulted the interval plane at all (support-only
+   runs such as [Qualitative] fixpoints, or --plane exact), printing
+   zero counters reads as "the interval oracle decided everything with
+   nothing left over"; report n/a instead so the two situations are
+   distinguishable from the --stats output alone. *)
 let pp_stats fmt s =
-  let total = s.point_states + s.residue_states in
-  let residue_pct =
-    if total = 0 then 0.0
-    else 100.0 *. float_of_int s.residue_states /. float_of_int total
-  in
-  Format.fprintf fmt
-    "plane: interval passes: %d, point states: %d, residue states: %d \
-     (%.2f%%), exact fallbacks: %d"
-    s.interval_passes s.point_states s.residue_states residue_pct
-    s.exact_fallbacks
+  if s.interval_passes = 0 && s.exact_fallbacks = 0 then
+    Format.fprintf fmt
+      "plane: interval passes: n/a (no engine consulted the interval \
+       plane in this run)"
+  else begin
+    let total = s.point_states + s.residue_states in
+    let residue_pct =
+      if total = 0 then 0.0
+      else 100.0 *. float_of_int s.residue_states /. float_of_int total
+    in
+    Format.fprintf fmt
+      "plane: interval passes: %d, point states: %d, residue states: %d \
+       (%.2f%%), exact fallbacks: %d"
+      s.interval_passes s.point_states s.residue_states residue_pct
+      s.exact_fallbacks
+  end

@@ -19,6 +19,17 @@ val set_default : t -> unit
 
 val get_default : unit -> t
 
+(** [with_ambient p f] runs [f ()] with [p] as the ambient plane for
+    the current domain: {!get_default} (and therefore {!resolve} on
+    [None]) answers [p] inside [f], and the previous ambient is
+    restored on exit, normal or exceptional.  Scopes a plane choice to
+    one request without mutating the process default -- the server
+    wires each query's [plane] field through this.  Worker-pool
+    domains spawned inside [f] see the process default instead (the
+    override is domain-local); that only affects which oracle those
+    sweeps consult, never the verdict. *)
+val with_ambient : t -> (unit -> 'a) -> 'a
+
 (** [resolve plane] is [plane] when given, the global default
     otherwise — the convention used by every [?plane] parameter. *)
 val resolve : t option -> t
@@ -44,4 +55,9 @@ val record_pass : points:int -> residue:int -> unit
 val record_fallback : unit -> unit
 val reset_stats : unit -> unit
 val stats : unit -> stats
+
+(** Renders the counters; when no engine consulted the interval plane
+    at all (support-only qualitative runs, or [--plane exact]) it
+    prints ["n/a"] instead of a row of zeros, so "the oracle was never
+    asked" cannot be misread as "the oracle decided everything". *)
 val pp_stats : Format.formatter -> stats -> unit

@@ -174,3 +174,41 @@ let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
 let pp fmt x = Rational.pp fmt (to_rational x)
+
+(* ------------------------------------------------------------------ *)
+(* Wire encoding: "<mantissa>" when the exponent is 0, else
+   "<mantissa>p<exponent>" (mantissa odd).  Like [Rational.of_wire],
+   the parser accepts exactly the strings the printer emits, so each
+   dyadic has a unique byte representation on the wire. *)
+
+let to_wire x =
+  let m = mantissa x and e = exponent x in
+  if e = 0 then Bigint.to_string m
+  else Bigint.to_string m ^ "p" ^ string_of_int e
+
+let of_wire s =
+  let malformed () = Error (Printf.sprintf "malformed dyadic %S" s) in
+  let plausible =
+    s <> ""
+    && String.for_all
+         (fun c -> (c >= '0' && c <= '9') || c = 'p' || c = '-')
+         s
+  in
+  if not plausible then malformed ()
+  else
+    let parsed =
+      match String.index_opt s 'p' with
+      | None -> (try Some (make (Bigint.of_string s) 0) with _ -> None)
+      | Some i ->
+        (try
+           let m = Bigint.of_string (String.sub s 0 i) in
+           let e =
+             int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+           in
+           Some (make m e)
+         with _ -> None)
+    in
+    match parsed with
+    | Some d when String.equal (to_wire d) s -> Ok d
+    | Some _ -> Error (Printf.sprintf "non-canonical dyadic %S" s)
+    | None -> malformed ()

@@ -46,3 +46,17 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Wire encoding}
+
+    Exact interchange form for certificate payloads that carry dyadic
+    weights: ["<mantissa>"] when the exponent is 0, otherwise
+    ["<mantissa>p<exponent>"] with the mantissa odd, both components as
+    decimal numerals (Bigint-tier safe). *)
+
+val to_wire : t -> string
+
+(** [of_wire s] parses exactly the strings {!to_wire} emits;
+    non-normalized spellings (even mantissas, ["3p0"] vs ["3"]) are
+    rejected so each value has a unique wire form. *)
+val of_wire : string -> (t, string) result

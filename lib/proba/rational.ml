@@ -385,3 +385,34 @@ let of_string s =
        make signed scale)
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+(* ------------------------------------------------------------------ *)
+(* Wire encoding.
+
+   The canonical rendering doubles as the wire form of certificate
+   weights: exact at any magnitude (the Bigint tier prints and parses
+   losslessly), and *unique* -- [of_wire] accepts exactly the strings
+   [to_wire] emits, so "2/4", "1/-2", "+1/2", "0.5" and other aliases
+   of an encoded value are rejected rather than silently normalized.
+   Uniqueness is what lets an independent verifier treat certificate
+   bytes as authoritative: re-rendering a parsed weight reproduces the
+   input bytes or the parse fails. *)
+
+let to_wire = to_string
+
+let of_wire s =
+  let plausible =
+    (* cheap shape gate so [of_string]'s decimal branch and exotic
+       accepted spellings never reach the expensive parse *)
+    s <> ""
+    && String.for_all
+         (fun c -> (c >= '0' && c <= '9') || c = '/' || c = '-')
+         s
+  in
+  if not plausible then
+    Error (Printf.sprintf "malformed rational %S" s)
+  else
+    match of_string s with
+    | q when String.equal (to_string q) s -> Ok q
+    | _ -> Error (Printf.sprintf "non-canonical rational %S" s)
+    | exception _ -> Error (Printf.sprintf "malformed rational %S" s)

@@ -102,3 +102,20 @@ val sum : t list -> t
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Wire encoding}
+
+    The exact interchange form used by proof certificates
+    ([lib/cert]): canonical ["num/den"] (or ["num"]), safe past the
+    native-int promotion boundary because both components travel as
+    decimal numerals through the {!Bigint} tier. *)
+
+(** [to_wire q] is the canonical encoding (same bytes as
+    {!to_string}). *)
+val to_wire : t -> string
+
+(** [of_wire s] parses exactly the strings {!to_wire} emits.
+    Non-canonical spellings of a value (["2/4"], ["+1/2"], ["1/-2"],
+    decimals) are rejected, so an encoded weight has one and only one
+    byte representation -- tampering cannot hide behind an alias. *)
+val of_wire : string -> (t, string) result

@@ -18,6 +18,7 @@ type check_query = {
   cap : int;
   max_states : int option;
   sym : string;
+  plane : string;
   deadline_ms : int option;
 }
 
@@ -40,6 +41,7 @@ type lint_query = {
 
 type query =
   | Check of check_query
+  | Cert of check_query
   | Simulate of simulate_query
   | Lint of lint_query
   | Stats
@@ -127,10 +129,21 @@ let sym_field fields =
     reject 400 "SRV103" "field \"sym\" must be auto, on or off (got %S)"
       other
 
+(* Like [sym], the plane is a canonical cache-key dimension: its
+   default is filled here so an explicit ["interval"] and an omitted
+   field land on the same cache entry. *)
+let plane_field fields =
+  match String.lowercase_ascii (str_field fields "plane" ~default:"interval")
+  with
+  | ("interval" | "exact") as p -> p
+  | other ->
+    reject 400 "SRV103" "field \"plane\" must be interval or exact (got %S)"
+      other
+
 (* ------------------------------------------------------------------ *)
 (* Endpoint dispatch. *)
 
-let parse_check fields =
+let check_fields fields =
   let model = model_field fields in
   let topology =
     String.lowercase_ascii (str_field fields "topology" ~default:"ring")
@@ -141,18 +154,20 @@ let parse_check fields =
    | _, "ring" -> ()
    | _, other ->
      reject 400 "SRV103" "topology %S applies to the lr model only" other);
-  Check
-    { model;
-      n = positive "n" (int_field fields "n" ~default:3);
-      g = positive "g" (int_field fields "g" ~default:1);
-      k = positive "k" (int_field fields "k" ~default:1);
-      topology;
-      bound = positive "bound" (int_field fields "bound" ~default:4);
-      cap = positive "cap" (int_field fields "cap" ~default:2);
-      max_states = Option.map (positive "max_states") (opt_int_field fields "max_states");
-      sym = sym_field fields;
-      deadline_ms = deadline_field fields
-    }
+  { model;
+    n = positive "n" (int_field fields "n" ~default:3);
+    g = positive "g" (int_field fields "g" ~default:1);
+    k = positive "k" (int_field fields "k" ~default:1);
+    topology;
+    bound = positive "bound" (int_field fields "bound" ~default:4);
+    cap = positive "cap" (int_field fields "cap" ~default:2);
+    max_states = Option.map (positive "max_states") (opt_int_field fields "max_states");
+    sym = sym_field fields;
+    plane = plane_field fields;
+    deadline_ms = deadline_field fields
+  }
+
+let parse_check fields = Check (check_fields fields)
 
 let parse_simulate fields =
   Simulate
@@ -185,6 +200,7 @@ let of_request (req : Http.request) =
     let fields = fields_of_request req in
     match req.Http.path with
     | "/check" -> Ok (parse_check fields)
+    | "/cert" -> Ok (Cert (check_fields fields))
     | "/simulate" -> Ok (parse_simulate fields)
     | "/lint" -> Ok (parse_lint fields)
     | "/stats" -> Ok Stats
@@ -213,14 +229,16 @@ let clamped ceiling client =
   | Some cap, None -> string_of_int cap
   | Some cap, Some c -> string_of_int (Stdlib.min cap c)
 
+let check_key ~endpoint ?max_states c =
+  Printf.sprintf
+    "%s?model=%s&n=%d&g=%d&k=%d&topology=%s&bound=%d&cap=%d\
+     &max_states=%s&sym=%s&plane=%s"
+    endpoint (model_name c.model) c.n c.g c.k c.topology c.bound c.cap
+    (clamped max_states c.max_states) c.sym c.plane
+
 let canonical_key ?max_states ?max_trials = function
-  | Check c ->
-    Some
-      (Printf.sprintf
-         "check?model=%s&n=%d&g=%d&k=%d&topology=%s&bound=%d&cap=%d\
-          &max_states=%s&sym=%s"
-         (model_name c.model) c.n c.g c.k c.topology c.bound c.cap
-         (clamped max_states c.max_states) c.sym)
+  | Check c -> Some (check_key ~endpoint:"check" ?max_states c)
+  | Cert c -> Some (check_key ~endpoint:"cert" ?max_states c)
   | Simulate s ->
     let trials =
       match max_trials with

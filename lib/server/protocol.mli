@@ -3,6 +3,9 @@
     Endpoints (all responses are JSON bodies):
 
     - [/check]    exact verification of a case study ({!check_query})
+    - [/cert]     the same computation reified as a proof certificate
+                  (same parameters as [/check]; body is bit-identical
+                  to [prtb check --emit-cert])
     - [/simulate] Monte Carlo estimation ({!simulate_query})
     - [/lint]     a registry lint target ({!lint_query})
     - [/stats]    registry + cache + server counters
@@ -39,6 +42,12 @@ type check_query = {
   cap : int;  (** consensus round cap *)
   max_states : int option;  (** client ceiling; the server clamps it *)
   sym : string;  (** ["auto"], ["on"] or ["off"] (default) *)
+  plane : string;
+      (** ["interval"] (default) or ["exact"]: which arithmetic plane
+          the engines consult.  A canonical cache-key dimension like
+          [sym] -- it never changes a verdict, but [/cert] bodies
+          record it in every leaf's configuration, so entries must not
+          be shared across planes. *)
   deadline_ms : int option;
       (** wall deadline for the whole request; on expiry the answer
           degrades (SRV122) instead of erroring.  Not a cache-key
@@ -65,6 +74,7 @@ type lint_query = {
 
 type query =
   | Check of check_query
+  | Cert of check_query  (** same parameters, certificate body *)
   | Simulate of simulate_query
   | Lint of lint_query
   | Stats

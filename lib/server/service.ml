@@ -102,6 +102,11 @@ let sym_mode s =
   Option.value (Analysis.Symmetry.mode_of_string s)
     ~default:Analysis.Symmetry.Off
 
+(* Validated by [Protocol.plane_field]. *)
+let plane_mode = function
+  | "exact" -> Mdp.Plane.Exact
+  | _ -> Mdp.Plane.Interval
+
 (* The state count a body reports: for a certified orbit quotient, the
    unreduced reachable count recovered from the certificate -- which is
    what makes [sym=on] and [sym=off] bodies identical. *)
@@ -361,12 +366,14 @@ let check_json ?(max_states = default_max_states) (c : Protocol.check_query) =
   in
   let compute () =
     try
-      match c.Protocol.model with
-      | `Lr when c.Protocol.topology = "ring" -> check_lr_ring ~max_states c
-      | `Lr -> check_lr_topo ~max_states c
-      | `Election -> check_election ~max_states c
-      | `Coin -> check_coin ~max_states c
-      | `Consensus -> check_consensus ~max_states c
+      Mdp.Plane.with_ambient (plane_mode c.Protocol.plane) (fun () ->
+          match c.Protocol.model with
+          | `Lr when c.Protocol.topology = "ring" ->
+            check_lr_ring ~max_states c
+          | `Lr -> check_lr_topo ~max_states c
+          | `Election -> check_election ~max_states c
+          | `Coin -> check_coin ~max_states c
+          | `Consensus -> check_consensus ~max_states c)
     with
     | Mdp.Explore.Too_many_states m ->
       check_header ~verdict:"exhausted" c
@@ -392,6 +399,142 @@ let check_json ?(max_states = default_max_states) (c : Protocol.check_query) =
      | json -> json
      | exception Core.Budget.Deadline_exceeded _ ->
        deadline_exceeded_json c ~deadline_ms:ms)
+
+(* ------------------------------------------------------------------ *)
+(* /cert.
+
+   The same computation as /check, reified: instead of summarizing the
+   composed claim as one line, the whole derivation is emitted as a
+   certificate DAG ([lib/cert]) whose leaves carry the arena
+   fingerprint and the full configuration that produced them.  [prtb
+   check --emit-cert] prints exactly [cert_json]'s value, which is what
+   makes served /cert bodies bit-identical to the CLI path. *)
+
+let cert_header ~verdict (c : Protocol.check_query) rest =
+  J.Obj
+    ([ ("schema", J.Str Cert.Node.wire_schema);
+       ("model", J.Str (Protocol.model_name c.Protocol.model));
+       ("params", check_params c);
+       ("verdict", J.Str verdict) ]
+     @ rest)
+
+let leaf_config ~max_states (c : Protocol.check_query) =
+  let s = string_of_int in
+  let params =
+    match c.Protocol.model with
+    | `Lr ->
+      [ ("g", s c.Protocol.g); ("k", s c.Protocol.k);
+        ("topology", c.Protocol.topology) ]
+    | `Election -> [ ("g", s c.Protocol.g); ("k", s c.Protocol.k) ]
+    | `Coin ->
+      [ ("bound", s c.Protocol.bound); ("g", s c.Protocol.g);
+        ("k", s c.Protocol.k) ]
+    | `Consensus ->
+      [ ("cap", s c.Protocol.cap); ("f", s ((c.Protocol.n - 1) / 2));
+        ("g", s c.Protocol.g); ("k", s c.Protocol.k) ]
+  in
+  { Cert.Node.model = Protocol.model_name c.Protocol.model;
+    n = c.Protocol.n;
+    plane = c.Protocol.plane;
+    sym = c.Protocol.sym;
+    faults = "none";
+    budget = Printf.sprintf "states:%d" max_states;
+    params }
+
+let cert_json ?(max_states = default_max_states) (c : Protocol.check_query) =
+  let max_states =
+    match c.Protocol.max_states with
+    | Some client -> Stdlib.min client max_states
+    | None -> max_states
+  in
+  let emit arena composed =
+    match composed with
+    | Error e ->
+      cert_header ~verdict:"uncertified" c
+        [ ("code", J.Str "SRV123"); ("message", J.Str e) ]
+    | Ok claim ->
+      Cert.Node.to_json
+        (Cert.Emit.emit
+           ~config:(leaf_config ~max_states c)
+           ~fingerprint:(Mdp.Arena.fingerprint arena) claim)
+  in
+  let compute () =
+    try
+      Mdp.Plane.with_ambient (plane_mode c.Protocol.plane) (fun () ->
+          let sym = sym_mode c.Protocol.sym in
+          match c.Protocol.model with
+          | `Lr when c.Protocol.topology = "ring" ->
+            let inst =
+              Models.lr ~max_states ~g:c.Protocol.g ~k:c.Protocol.k ~sym
+                ~n:c.Protocol.n ()
+            in
+            emit inst.LR.Proof.arena (LR.Proof.composed inst)
+          | `Lr ->
+            let topo =
+              match c.Protocol.topology with
+              | "line" -> LR.Topology.line c.Protocol.n
+              | _ -> LR.Topology.star c.Protocol.n
+            in
+            let inst =
+              Models.lr_topo ~max_states ~g:c.Protocol.g ~k:c.Protocol.k
+                ~sym ~topo ()
+            in
+            emit inst.LR.Proof.tarena (LR.Proof.composed_topo inst)
+          | `Election ->
+            let inst = Models.election ~max_states ~sym ~n:c.Protocol.n () in
+            emit inst.IR.Proof.arena (IR.Proof.composed inst)
+          | `Coin ->
+            let inst =
+              Models.coin ~max_states ~sym ~n:c.Protocol.n
+                ~bound:c.Protocol.bound ()
+            in
+            emit inst.SC.Proof.arena (SC.Proof.composed inst)
+          | `Consensus ->
+            let n = c.Protocol.n in
+            let f = (n - 1) / 2 in
+            let initial = Array.init n (fun i -> i = n - 1) in
+            let inst =
+              Models.consensus ~max_states ~sym ~n ~f ~cap:c.Protocol.cap
+                ~initial ()
+            in
+            emit inst.BO.Proof.arena
+              (BO.Proof.composed inst ~rounds:c.Protocol.cap))
+    with
+    | Mdp.Explore.Too_many_states m ->
+      cert_header ~verdict:"exhausted" c
+        [ ("states_interned", J.Int m);
+          ("code", J.Str "SRV120");
+          ( "message",
+            J.Str
+              (Printf.sprintf
+                 "exploration stopped after interning %d states (ceiling %d); \
+                  raise max_states or shrink the instance"
+                 m max_states) ) ]
+    | Analysis.Symmetry.Not_certified msg ->
+      cert_header ~verdict:"not-certified" c
+        [ ("code", J.Str "SRV121"); ("message", J.Str msg) ]
+  in
+  match c.Protocol.deadline_ms with
+  | None -> compute ()
+  | Some ms ->
+    let clock =
+      Core.Budget.start (Core.Budget.v ~wall:(float_of_int ms /. 1000.) ())
+    in
+    (match Core.Budget.with_deadline clock compute with
+     | json -> json
+     | exception Core.Budget.Deadline_exceeded _ ->
+       (* No Estimate rung here: a certificate is exact by nature, so
+          the degraded body only names the deadline (timing-free, hence
+          byte-stable), and [is_degraded] keeps it out of the cache. *)
+       cert_header ~verdict:"deadline-exceeded" c
+         [ ("code", J.Str "SRV122");
+           ("deadline_ms", J.Int ms);
+           ( "message",
+             J.Str
+               (Printf.sprintf
+                  "deadline of %d ms exceeded before the certificate was \
+                   emitted; raise deadline_ms"
+                  ms) ) ])
 
 (* ------------------------------------------------------------------ *)
 (* /simulate. *)
@@ -678,6 +821,15 @@ let handle t query =
       track t (fun () ->
           with_cache t query (fun () ->
               Ok (check_json ~max_states:t.config.max_states c)))
+    | Protocol.Cert c ->
+      let c =
+        { c with
+          Protocol.deadline_ms =
+            effective_deadline t c.Protocol.deadline_ms }
+      in
+      track t (fun () ->
+          with_cache t query (fun () ->
+              Ok (cert_json ~max_states:t.config.max_states c)))
     | Protocol.Simulate s ->
       let dl = effective_deadline t s.Protocol.sim_deadline_ms in
       track t (fun () ->

@@ -52,6 +52,17 @@ val create : config -> t
     timing-dependent fields), so it can be asserted byte for byte. *)
 val check_json : ?max_states:int -> Protocol.check_query -> Analysis.Json.t
 
+(** The certificate body for a query, as served on [/cert] and as
+    printed by [prtb check --emit-cert]: the composed claim's whole
+    derivation reified as a {!Cert.Node.t} DAG whose leaves carry the
+    {!Mdp.Arena.fingerprint} and full configuration.  Failure modes
+    mirror {!check_json} (["exhausted"]/SRV120,
+    ["not-certified"]/SRV121, ["deadline-exceeded"]/SRV122) plus
+    ["uncertified"]/SRV123 when the model's composed proof itself
+    fails; those bodies are headers, not certificates, and
+    [verify-cert] rejects them. *)
+val cert_json : ?max_states:int -> Protocol.check_query -> Analysis.Json.t
+
 type reply = {
   status : int;
   headers : (string * string) list;

@@ -167,6 +167,61 @@ let test_sym_cache_dimension () =
     (Some "hit")
     (Server.Http.resp_header clamped "x-prtb-cache")
 
+(* [plane] is a cache dimension with a canonical default, exactly like
+   [sym]: omitting it and spelling [plane=interval] share one entry,
+   [plane=exact] occupies another -- and the two /check entries hold
+   byte-identical bodies (the plane never changes a verdict). *)
+let test_plane_cache_dimension () =
+  let base = "/check?model=coin&n=2&bound=4" in
+  let plain = get base in
+  Alcotest.(check (option string)) "first query misses" (Some "miss")
+    (Server.Http.resp_header plain "x-prtb-cache");
+  let interval = get (base ^ "&plane=interval") in
+  Alcotest.(check (option string))
+    "explicit plane=interval hits the default" (Some "hit")
+    (Server.Http.resp_header interval "x-prtb-cache");
+  let exact = get (base ^ "&plane=exact") in
+  Alcotest.(check (option string)) "plane=exact is a distinct key"
+    (Some "miss")
+    (Server.Http.resp_header exact "x-prtb-cache");
+  Alcotest.(check string) "plane=exact body == plane=interval body"
+    interval.Server.Http.resp_body exact.Server.Http.resp_body;
+  (* and the CLI prints the same bytes for the same plane *)
+  let printed = cli "check --format json coin -n 2 --bound 4 --plane exact" in
+  Alcotest.(check string) "served == prtb check --plane exact" printed
+    (exact.Server.Http.resp_body ^ "\n")
+
+(* Acceptance: served /cert bodies are bit-identical to [prtb check
+   --emit-cert], the body is a well-formed certificate the independent
+   verifier accepts, repeats answer from the cache -- and the exact
+   plane is a distinct entry whose body differs (each leaf's recorded
+   configuration names its plane). *)
+let test_cert_matches_cli () =
+  let served = get "/cert?model=coin&n=2&bound=2" in
+  Alcotest.(check int) "200" 200 served.Server.Http.status;
+  let printed = cli "check --emit-cert coin -n 2 --bound 2" in
+  Alcotest.(check string) "/cert == prtb check --emit-cert" printed
+    (served.Server.Http.resp_body ^ "\n");
+  (match Cert.Node.of_string served.Server.Http.resp_body with
+   | Error e -> Alcotest.failf "served body is not a certificate: %s" e
+   | Ok cert ->
+     (match Cert.Verify.run cert with
+      | Ok s ->
+        Alcotest.(check bool) "fully verified" true
+          s.Cert.Verify.fully_verified
+      | Error e ->
+        Alcotest.failf "served certificate rejected: %s"
+          (Cert.Verify.error_to_string e)));
+  let repeat = get "/cert?model=coin&n=2&bound=2" in
+  Alcotest.(check (option string)) "repeat hits the cache" (Some "hit")
+    (Server.Http.resp_header repeat "x-prtb-cache");
+  let exact = get "/cert?model=coin&n=2&bound=2&plane=exact" in
+  Alcotest.(check (option string)) "exact plane is a distinct entry"
+    (Some "miss")
+    (Server.Http.resp_header exact "x-prtb-cache");
+  Alcotest.(check bool) "cert bodies differ across planes" false
+    (String.equal served.Server.Http.resp_body exact.Server.Http.resp_body)
+
 let test_simulate_deterministic () =
   let target = "/simulate?model=election&n=3&trials=200&seed=7" in
   let a = get target in
@@ -503,6 +558,10 @@ let () =
             test_post_and_get_share_cache;
           Alcotest.test_case "sym: distinct keys, identical bodies" `Quick
             test_sym_cache_dimension;
+          Alcotest.test_case "plane: distinct keys, identical bodies" `Quick
+            test_plane_cache_dimension;
+          Alcotest.test_case "served cert == CLI --emit-cert" `Quick
+            test_cert_matches_cli;
           Alcotest.test_case "simulate deterministic + cached" `Quick
             test_simulate_deterministic;
           Alcotest.test_case "lint served" `Quick test_lint_served;
