@@ -260,12 +260,14 @@ let bench_tests () =
     ]
   in
   (* The verification service, measured through a real socket: one
-     keep-alive round trip per run against an in-process daemon.  The
-     /check kernel is pre-warmed so it times a result-cache hit (HTTP +
-     dispatch + cache lookup), not re-verification.  Both kernels share
-     one connection: an idle-but-open keep-alive connection parks a
-     worker until its read timeout, so a second connection would see
-     timeout-sized latencies on a small pool. *)
+     full client cycle (connect + request + close) per run against an
+     in-process daemon.  The /check kernel is pre-warmed so it times a
+     result-cache hit (HTTP + dispatch + cache lookup), not
+     re-verification.  Every kernel opens its own connection and
+     closes it on completion: a shared keep-alive connection would
+     park a worker domain between kernels until its read timeout, so
+     whichever kernel ran second used to see timeout-sized latencies
+     on a small pool. *)
   let serve_tests =
     let d =
       Server.Daemon.start
@@ -276,26 +278,37 @@ let bench_tests () =
     at_exit (fun () ->
         Server.Daemon.stop d;
         Server.Daemon.wait d);
-    let conn =
-      Server.Load.Conn.create
-        { Server.Load.host = "127.0.0.1";
-          port = Server.Daemon.port d; target = "/" }
+    let url =
+      { Server.Load.host = "127.0.0.1";
+        port = Server.Daemon.port d; target = "/" }
+    in
+    let roundtrip ?meth ?body target =
+      let conn = Server.Load.Conn.create url in
+      Fun.protect
+        ~finally:(fun () -> Server.Load.Conn.close conn)
+        (fun () ->
+           match Server.Load.Conn.request conn ?meth ?body target with
+           | Ok r -> r.Server.Http.status
+           | Error e -> failwith ("serve bench: " ^ e))
     in
     (* Warm outside the measured region: daemon start + the one real
-       verification happen here, so the kernels time steady-state round
-       trips only. *)
-    (match Server.Load.Conn.request conn "/check?model=lr&n=3" with
-     | Ok _ -> ()
-     | Error e -> failwith ("serve bench warmup: " ^ e));
-    let roundtrip target =
-      match Server.Load.Conn.request conn target with
-      | Ok r -> r.Server.Http.status
-      | Error e -> failwith ("serve bench: " ^ e)
+       verification happen here, so the kernels time steady-state
+       client cycles only. *)
+    ignore (roundtrip "/check?model=lr&n=3");
+    let batch_body =
+      {|{"queries":[{"endpoint":"/check","model":"lr","n":"3"},{"endpoint":"/check","model":"lr","n":"3"}]}|}
     in
-    [ Test.make ~name:"serve:throughput (/health round trip)"
+    [ Test.make ~name:"serve:throughput (/health client cycle)"
         (Staged.stage (fun () -> roundtrip "/health"));
       Test.make ~name:"serve:cache-hit (/check lr n=3, warm)"
         (Staged.stage (fun () -> roundtrip "/check?model=lr&n=3"));
+      (* The /batch envelope on warm elements: parse the envelope,
+         dedup the two equal keys, answer both from the result cache
+         and raw-splice the bodies -- the per-element overhead the
+         batch surface adds on top of a cache hit. *)
+      Test.make ~name:"serve:batch (POST /batch, 2x lr n=3, warm)"
+        (Staged.stage (fun () ->
+             roundtrip ~meth:"POST" ~body:batch_body "/batch"));
       (* The degraded path end to end: an uncached query (the line
          topology is never warmed, and SRV122 bodies are never cached)
          whose 1 ms allowance expires mid-exploration, so every round
@@ -304,6 +317,23 @@ let bench_tests () =
       Test.make ~name:"serve:deadline (/check lr line, 1ms, degraded)"
         (Staged.stage (fun () ->
              roundtrip "/check?model=lr&n=3&topology=line&deadline_ms=1")) ]
+  in
+  (* The snapshot cold path [prtb serve --snapshot-dir] pays once per
+     file at startup: strict container decode (digest check included)
+     + fragment rebuild + arena assembly + fingerprint comparison.
+     Encoded once outside the measured region. *)
+  let snapshot_tests =
+    let config =
+      { Snapshot.Store.model = "lr"; n = 3; g = 1; k = 1;
+        topology = "ring"; bound = 0; cap = 0; f = 0; initial = [||];
+        sym = Analysis.Symmetry.Off }
+    in
+    let bytes = Snapshot.Store.encode config (Snapshot.Store.Lr lr3) in
+    [ Test.make ~name:"serve:snapshot-cold (decode + assemble lr n=3)"
+        (Staged.stage (fun () ->
+             match Snapshot.Store.of_string bytes with
+             | Ok _ -> ()
+             | Error e -> failwith ("snapshot bench: " ^ e))) ]
   in
   (* One mixed chaos round: garbage and a valid request from two
      concurrent domains, fresh connections each.  A dedicated daemon --
@@ -338,7 +368,8 @@ let bench_tests () =
        rational_engine; arena_compile; arena_sweep; bisim;
        interval_bisim; exact_bisim; interval_vi;
        sym_canon; explore_lr4_reduced; sim ]
-     @ substrate @ cert_tests @ serve_tests @ chaos_tests)
+     @ substrate @ cert_tests @ serve_tests @ snapshot_tests
+     @ chaos_tests)
 
 (* ----------------------------------------------------------------- *)
 
@@ -432,12 +463,14 @@ let baseline_rows path =
 (* The tier-1-covered kernels: the e1-e12 experiment pipelines plus
    the subsystem kernels whose fast paths the suite also exercises
    (symmetry canonicalization, the certified lr4 orbit quotient, the
-   served degraded path, the chaos round, bisimulation refinement and
-   the interval-plane kernels).  The substrate and sim micro-
-   benchmarks are too jittery for even a coarse CI gate. *)
+   served degraded path, the snapshot cold load, the chaos round, the
+   certificate emit/verify pipeline, bisimulation refinement and the
+   interval-plane kernels).  The substrate and sim micro-benchmarks
+   are too jittery for even a coarse CI gate. *)
 let guarded_prefixes =
   [ "prtb/sym:"; "prtb/explore:"; "prtb/serve:deadline";
-    "prtb/chaos:"; "prtb/engine:bisim"; "prtb/interval:" ]
+    "prtb/serve:snapshot-cold"; "prtb/chaos:"; "prtb/engine:bisim";
+    "prtb/interval:"; "prtb/cert:" ]
 
 let guarded name =
   let has_prefix p =

@@ -632,6 +632,109 @@ let verify_cert_cmd =
     Term.(term_result (const run $ file_arg))
 
 (* ----------------------------------------------------------------- *)
+(* compile *)
+
+(* [prtb compile] uses the same registry builders the server uses for
+   the same query, so the snapshotted arena (and its fingerprint) is
+   bit-identical to what [prtb serve] would compile on demand.  The
+   consensus conventions mirror lib/server/service.ml: f = (n-1)/2 and
+   a mixed start with exactly one process estimating 1. *)
+let compile_cmd =
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Snapshot file to write (conventionally $(b,.prtba)); \
+                   written atomically via a temp file + rename.")
+  in
+  let max_states =
+    Arg.(value & opt (some int) None
+         & info [ "max-states" ] ~docv:"N"
+             ~doc:"Exploration ceiling while compiling.  Part of the \
+                   registry key: give $(b,prtb serve --snapshot-dir) \
+                   workers the same --max-states or the preloaded entry \
+                   is keyed correctly anyway (the daemon's ceiling is \
+                   applied at preload time).")
+  in
+  let run domains stats system n g k topology bound cap sym max_states
+      output =
+    install_domains domains;
+    try
+      let topology = Option.value topology ~default:"ring" in
+      (match system, topology with
+       | `Lr, ("ring" | "line" | "star") -> ()
+       | `Lr, other -> failwith (Printf.sprintf "unknown topology %S" other)
+       | _, "ring" -> ()
+       | _, other ->
+         failwith
+           (Printf.sprintf "topology %S applies to the lr system only" other));
+      let base =
+        { Snapshot.Store.model = "lr"; n; g; k; topology; bound = 0;
+          cap = 0; f = 0; initial = [||]; sym }
+      in
+      let config, loaded =
+        match system with
+        | `Lr when topology = "ring" ->
+          (base, Snapshot.Store.Lr (Models.lr ?max_states ~g ~k ~sym ~n ()))
+        | `Lr ->
+          let topo =
+            if topology = "line" then LR.Topology.line n
+            else LR.Topology.star n
+          in
+          ( base,
+            Snapshot.Store.Lr_topo
+              (Models.lr_topo ?max_states ~g ~k ~sym ~topo ()) )
+        | `Election ->
+          ( { base with Snapshot.Store.model = "election" },
+            Snapshot.Store.Election
+              (Models.election ?max_states ~g ~k ~sym ~n ()) )
+        | `Coin ->
+          ( { base with Snapshot.Store.model = "coin"; bound },
+            Snapshot.Store.Coin
+              (Models.coin ?max_states ~g ~k ~sym ~n ~bound ()) )
+        | `Consensus ->
+          let f = (n - 1) / 2 in
+          let initial = Array.init n (fun i -> i = n - 1) in
+          ( { base with Snapshot.Store.model = "consensus"; cap; f; initial },
+            Snapshot.Store.Consensus
+              (Models.consensus ?max_states ~g ~k ~sym ~n ~f ~cap ~initial
+                 ()) )
+      in
+      Snapshot.Store.save ~path:output config loaded;
+      Printf.printf "wrote %s: %s\n" output
+        (Snapshot.Store.describe config loaded);
+      report_stats stats;
+      Ok ()
+    with
+    | Failure msg | Sys_error msg -> Error (`Msg msg)
+    | Analysis.Symmetry.Not_certified msg ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "--sym on: the declared symmetry group failed to certify:\n%s"
+              msg))
+    | Mdp.Explore.Too_many_states m ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "exploration stopped after interning %d states; raise \
+               --max-states"
+              m))
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Explore and compile a case-study instance, then serialize \
+             the compiled arena -- CSR transitions, interned states, \
+             tick mask, exact probability plane, structural fingerprint \
+             and the full configuration -- as a versioned $(b,.prtba) \
+             snapshot.  $(b,prtb serve --snapshot-dir) preloads such \
+             snapshots at startup and answers the first matching query \
+             with no exploration and no compile (see docs/SNAPSHOTS.md).")
+    Term.(term_result
+            (const run $ domains_arg $ stats_arg $ system_arg
+             $ n_arg ~default:3 $ g_arg $ k_arg $ topology_arg $ bound_arg
+             $ cap_arg $ sym_arg $ max_states $ output))
+
+(* ----------------------------------------------------------------- *)
 (* simulate *)
 
 let simulate domains system n scheduler trials seed within =
@@ -913,14 +1016,25 @@ let serve_cmd =
              ~doc:"Age of the oldest in-flight request beyond which \
                    /health reports \"degraded\" instead of \"ok\".")
   in
+  let snapshot_dir =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-dir" ] ~docv:"DIR"
+             ~doc:"Preload every $(b,*.prtba) arena snapshot in DIR \
+                   (written by $(b,prtb compile)) into the model \
+                   registry before accepting connections, so the first \
+                   query for a snapshotted instance is a registry hit \
+                   -- /stats reports explorations: 0, compiles: 0.  \
+                   Stale or tampered snapshots are refused with a \
+                   warning and the daemon still starts.")
+  in
   let run host port domains cache_mb accept_queue max_states deadline
-      degraded_after =
+      degraded_after snapshot_dir =
     if domains < 2 then
       Error (`Msg "serve needs --domains >= 2 (one accepts, the rest work)")
     else begin
       Server.Daemon.run
         { d with Server.Daemon.host; port; domains; cache_mb; accept_queue;
-          max_states; deadline_ms = deadline; degraded_after };
+          max_states; deadline_ms = deadline; degraded_after; snapshot_dir };
       Ok ()
     end
   in
@@ -940,7 +1054,161 @@ let serve_cmd =
                        deadline_ms can only tighten it; on expiry the \
                        request is answered with the degraded SRV122 \
                        body instead of running to completion."
-             $ degraded_after))
+             $ degraded_after $ snapshot_dir))
+
+(* ----------------------------------------------------------------- *)
+(* route *)
+
+(* A loopback TCP port the kernel just handed out.  Closing before the
+   child binds leaves a tiny race window, which is fine for the smoke
+   fleets this spawns; production fleets pass --backends. *)
+let free_port () =
+  let s = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+       match Unix.getsockname s with
+       | Unix.ADDR_INET (_, p) -> p
+       | Unix.ADDR_UNIX _ -> assert false)
+
+(* Poll a backend's /health until it answers 200 (snapshot preloading
+   happens before the daemon listens, so this also waits that out). *)
+let wait_ready ~timeout_s url =
+  match Server.Load.parse_url url with
+  | Error e -> failwith e
+  | Ok u ->
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let rec poll () =
+      let conn = Server.Load.Conn.create u in
+      let answer = Server.Load.Conn.request conn "/health" in
+      Server.Load.Conn.close conn;
+      match answer with
+      | Ok r when r.Server.Http.status = 200 -> ()
+      | Ok _ | Error _ ->
+        if Unix.gettimeofday () > deadline then
+          failwith
+            (Printf.sprintf "backend %s did not become healthy within %.0fs"
+               url timeout_s)
+        else begin
+          Unix.sleepf 0.1;
+          poll ()
+        end
+    in
+    poll ()
+
+let route_cmd =
+  let d = Server.Route.default_config in
+  let port =
+    Arg.(value & opt int d.Server.Route.port
+         & info [ "port" ] ~docv:"P"
+             ~doc:"TCP port the router listens on (0 picks a free one).")
+  in
+  let host =
+    Arg.(value & opt string d.Server.Route.host
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let domains =
+    Arg.(value & opt int d.Server.Route.domains
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Forwarding worker domains (minimum 2).")
+  in
+  let replicas =
+    Arg.(value & opt int d.Server.Route.replicas
+         & info [ "replicas" ] ~docv:"V"
+             ~doc:"Virtual nodes per backend on the hash ring.")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"K"
+             ~doc:"Without --backends: spawn K $(b,prtb serve) worker \
+                   daemons on free loopback ports and front them; they \
+                   are SIGTERMed and reaped when the router exits.")
+  in
+  let backends =
+    Arg.(value & opt (some string) None
+         & info [ "backends" ] ~docv:"URLS"
+             ~doc:"Comma-separated $(b,prtb serve) URLs to front \
+                   (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082) \
+                   instead of spawning workers.")
+  in
+  let snapshot_dir =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-dir" ] ~docv:"DIR"
+             ~doc:"Forwarded to every spawned worker's --snapshot-dir \
+                   (ignored with --backends).")
+  in
+  let run host port domains replicas workers backends snapshot_dir =
+    if domains < 2 then Error (`Msg "route needs --domains >= 2")
+    else if replicas < 1 then Error (`Msg "--replicas must be positive")
+    else
+      try
+        let spawned, backends =
+          match backends with
+          | Some csv ->
+            let urls =
+              List.filter (fun s -> s <> "")
+                (List.map String.trim (String.split_on_char ',' csv))
+            in
+            if urls = [] then failwith "--backends named no backend";
+            List.iter
+              (fun url ->
+                 match Server.Load.parse_url url with
+                 | Ok _ -> ()
+                 | Error e ->
+                   failwith (Printf.sprintf "backend %s: %s" url e))
+              urls;
+            ([], urls)
+          | None ->
+            if workers < 1 then failwith "--workers must be positive";
+            let spawn () =
+              let p = free_port () in
+              let args =
+                [ Sys.executable_name; "serve"; "--port"; string_of_int p ]
+                @ (match snapshot_dir with
+                   | None -> []
+                   | Some dir -> [ "--snapshot-dir"; dir ])
+              in
+              let pid =
+                Unix.create_process Sys.executable_name
+                  (Array.of_list args) Unix.stdin Unix.stdout Unix.stderr
+              in
+              (pid, Printf.sprintf "http://127.0.0.1:%d" p)
+            in
+            let children = List.init workers (fun _ -> spawn ()) in
+            (children, List.map snd children)
+        in
+        let reap () =
+          List.iter
+            (fun (pid, _) ->
+               (try Unix.kill pid Sys.sigterm
+                with Unix.Unix_error _ -> ());
+               try ignore (Unix.waitpid [] pid)
+               with Unix.Unix_error _ -> ())
+            spawned
+        in
+        Fun.protect ~finally:reap (fun () ->
+            List.iter (fun (_, url) -> wait_ready ~timeout_s:30.0 url)
+              spawned;
+            Server.Route.run
+              { d with Server.Route.host; port; backends; domains;
+                replicas });
+        Ok ()
+      with Failure msg -> Error (`Msg msg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Front a fleet of $(b,prtb serve) daemons with a \
+             consistent-hashing router: each request's canonical cache \
+             key is hashed onto a ring of virtual nodes, so equal \
+             queries always land on the same worker and every worker's \
+             caches stay hot for its shard of the keyspace.  Bytes are \
+             forwarded untouched -- routed bodies are bit-identical to \
+             direct ones.  Unreachable backends answer 503 SRV112 with \
+             Retry-After; router saturation answers the usual SRV111.")
+    Term.(term_result
+            (const run $ host $ port $ domains $ replicas $ workers
+             $ backends $ snapshot_dir))
 
 (* ----------------------------------------------------------------- *)
 (* loadtest *)
@@ -972,10 +1240,21 @@ let loadtest_cmd =
                    separately in the report; default 0 (a 503 counts \
                    as the final answer).")
   in
-  let run url clients requests retries deadline =
+  let batch =
+    Arg.(value & opt (some int) None
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Mixed workload: every other logical request becomes \
+                   a $(b,POST /batch) carrying N copies of the URL's \
+                   query (the URL's path is each element's endpoint \
+                   selector), exercising the batch envelope and the \
+                   single-query path in one run.")
+  in
+  let run url clients requests retries batch deadline =
     if clients < 1 then Error (`Msg "--clients must be positive")
     else if requests < 1 then Error (`Msg "--requests must be positive")
     else if retries < 0 then Error (`Msg "--retries must be nonnegative")
+    else if (match batch with Some b -> b < 1 | None -> false) then
+      Error (`Msg "--batch must be positive")
     else
       match Server.Load.parse_url url with
       | Error e -> Error (`Msg e)
@@ -992,7 +1271,9 @@ let loadtest_cmd =
                 Printf.sprintf "%s%sdeadline_ms=%d" u.Server.Load.target
                   sep ms }
         in
-        let r = Server.Load.run ~max_retries:retries u ~clients ~requests in
+        let r =
+          Server.Load.run ~max_retries:retries ?batch u ~clients ~requests
+        in
         Format.printf "%a@." Server.Load.pp r;
         if r.Server.Load.protocol_errors > 0 then
           Error
@@ -1008,7 +1289,7 @@ let loadtest_cmd =
              Exits nonzero on any protocol error (503 rejections are \
              reported but are not protocol errors).")
     Term.(term_result
-            (const run $ url $ clients $ requests $ retries
+            (const run $ url $ clients $ requests $ retries $ batch
              $ deadline_arg
                  ~doc:"Append deadline_ms=DUR to every request, \
                        exercising the server's degraded SRV122 path \
@@ -1113,5 +1394,6 @@ let () =
   in
   let info = Cmd.info "prtb" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ experiments_cmd; check_cmd; verify_cert_cmd; simulate_cmd;
-         export_dot_cmd; lint_cmd; serve_cmd; loadtest_cmd; chaos_cmd ]))
+       [ experiments_cmd; check_cmd; verify_cert_cmd; compile_cmd;
+         simulate_cmd; export_dot_cmd; lint_cmd; serve_cmd; route_cmd;
+         loadtest_cmd; chaos_cmd ]))

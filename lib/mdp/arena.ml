@@ -73,6 +73,38 @@ let compile ?is_tick expl =
 let of_pa ?max_states ?is_tick pa =
   compile ?is_tick (Explore.run ?max_states pa)
 
+(* Rehydration constructor for snapshot loading: adopts CSR arrays that
+   were produced by a previous [compile] instead of re-flattening the
+   fragment, so it does NOT bump [compiles_counter].  The float plane is
+   recomputed from the exact plane with the same [Q.to_float] as
+   [compile] (bit-identical: conversion is deterministic), so snapshots
+   never store derived planes.  Derived-plane memos start empty. *)
+let assemble ~step_off ~out_off ~tgt ~prob_q ~tick ~actions expl =
+  let n = Explore.num_states expl in
+  if Array.length step_off <> n + 1 then
+    invalid_arg "Arena.assemble: step_off length mismatch";
+  let num_steps = Array.length tick in
+  if Array.length out_off <> num_steps + 1
+     || Array.length actions <> num_steps
+     || step_off.(n) <> num_steps then
+    invalid_arg "Arena.assemble: step count mismatch";
+  let num_branches = Array.length tgt in
+  if Array.length prob_q <> num_branches || out_off.(num_steps) <> num_branches
+  then invalid_arg "Arena.assemble: branch count mismatch";
+  { expl;
+    n;
+    expanded = Explore.num_expanded expl;
+    step_off;
+    out_off;
+    tgt;
+    prob_q;
+    prob_f = Array.map Q.to_float prob_q;
+    tick;
+    actions;
+    dyadic = Atomic.make None;
+    interval = Atomic.make None;
+    fp = Atomic.make None }
+
 (* Derived planes are computed on demand and memoized with a CAS:
    worker domains sweeping one shared arena may race here, in which
    case both compute the (identical, immutable) plane and the loser

@@ -60,6 +60,24 @@ val of_pa :
   ?max_states:int -> ?is_tick:('a -> bool) -> ('s, 'a) Core.Pa.t ->
   ('s, 'a) t
 
+(** [assemble ~step_off ~out_off ~tgt ~prob_q ~tick ~actions expl]
+    rebuilds an arena from CSR arrays produced by a previous {!compile}
+    (an arena snapshot) without re-flattening the fragment; {!compiles}
+    is {e not} incremented.  The float plane is recomputed from
+    [prob_q] exactly as {!compile} does, so loaded arenas are
+    bit-identical to freshly compiled ones; derived-plane memos start
+    empty and fill on first use.  Raises [Invalid_argument] when the
+    array lengths are mutually inconsistent. *)
+val assemble :
+  step_off:int array ->
+  out_off:int array ->
+  tgt:int array ->
+  prob_q:Proba.Rational.t array ->
+  tick:bool array ->
+  actions:'a array ->
+  ('s, 'a) Explore.t ->
+  ('s, 'a) t
+
 (** The dyadic probability plane, converted from [prob_q] on first use
     and memoized.  Raises {!Proba.Dyadic.Not_dyadic} (caching nothing)
     when some probability is not a dyadic rational.  Domain-safe: the

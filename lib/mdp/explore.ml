@@ -127,6 +127,29 @@ let run ?(max_states = 5_000_000) ?canon m =
   let fragment, _ = bfs ~hard_max:max_states ?canon m in
   fragment
 
+(* Rehydration constructor for snapshot loading: rebuilds the intern
+   table from the state array instead of re-running the BFS, so it does
+   NOT bump [explorations_counter] -- that is the whole point of
+   snapshots, and the CI smoke asserts the counter stays at zero. *)
+let of_parts ?(canon = fun s -> s) ~pa ~states ~steps ~start_indices
+    ~expanded () =
+  let n = Array.length states in
+  if Array.length steps <> n then
+    invalid_arg "Explore.of_parts: steps/states length mismatch";
+  if expanded < 0 || expanded > n then
+    invalid_arg "Explore.of_parts: expanded out of range";
+  let table =
+    Funtbl.create ~equal:(Core.Pa.equal_state pa) ~hash:(Core.Pa.hash_state pa)
+      (max 16 (2 * n))
+  in
+  Array.iteri (fun i s -> Funtbl.add table s i) states;
+  List.iter
+    (fun i ->
+       if i < 0 || i >= n then
+         invalid_arg "Explore.of_parts: start index out of range")
+    start_indices;
+  { pa; states; table; steps; start_indices; expanded; canon }
+
 let run_budgeted ?(budget = Core.Budget.unlimited) ?clock ?canon m =
   let clock =
     match clock with Some c -> c | None -> Core.Budget.start budget

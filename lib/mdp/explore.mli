@@ -56,6 +56,25 @@ val run_budgeted :
   ?budget:Core.Budget.t -> ?clock:Core.Budget.clock -> ?canon:('s -> 's) ->
   ('s, 'a) Core.Pa.t -> ('s, 'a) partial
 
+(** [of_parts ~pa ~states ~steps ~start_indices ~expanded ()] rebuilds a
+    fragment from previously-explored parts (an arena snapshot) without
+    re-running the BFS: the intern table is reconstructed from [states]
+    in index order and {!explorations} is {e not} incremented.  [canon]
+    must be the same canonicalizer the original exploration used (or
+    omitted when it was the identity); as with {!run}, passing a
+    different one silently changes which states {!index} resolves.
+    Raises [Invalid_argument] when array lengths or index ranges are
+    inconsistent. *)
+val of_parts :
+  ?canon:('s -> 's) ->
+  pa:('s, 'a) Core.Pa.t ->
+  states:'s array ->
+  steps:'a step array array ->
+  start_indices:int list ->
+  expanded:int ->
+  unit ->
+  ('s, 'a) t
+
 (** The automaton that was explored. *)
 val automaton : ('s, 'a) t -> ('s, 'a) Core.Pa.t
 

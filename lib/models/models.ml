@@ -131,68 +131,142 @@ let memo (type v) (cache : (string, v) Hashtbl.t) ~key ~(cost : v -> int)
   in
   obtain ()
 
+(* Seed the cache with an instance built elsewhere (an arena snapshot
+   loaded at daemon startup).  No build happens here so [builds] stays
+   put -- the CI snapshot smoke asserts [explorations: 0, compiles: 0]
+   on the first served query, which only holds if preloaded entries are
+   indistinguishable from built ones on the lookup path.  A key that is
+   already cached or mid-build keeps the existing/raced instance;
+   preloading respects the LRU capacity like any insert. *)
+let preload_into (type v) (cache : (string, v) Hashtbl.t) ~key ~cost
+    (v : v) =
+  Mutex.lock mu;
+  if Hashtbl.mem cache key || Hashtbl.mem building key then begin
+    Mutex.unlock mu;
+    false
+  end
+  else begin
+    Hashtbl.replace cache key v;
+    Hashtbl.replace metas key
+      { cost;
+        last = next_tick ();
+        remove = (fun () -> Hashtbl.remove cache key) };
+    total_cost := !total_cost + cost;
+    evict_over_capacity ();
+    Mutex.unlock mu;
+    true
+  end
+
 let opt_int = function None -> "" | Some m -> string_of_int m
 let sym_str = Analysis.Symmetry.mode_to_string
 
 let lr_cache : (string, LR.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
+let lr_key ~max_states ~g ~k ~sym ~n =
+  Printf.sprintf "lr?n=%d&g=%d&k=%d&max_states=%s&sym=%s" n g k
+    (opt_int max_states) (sym_str sym)
+
+let lr_cost i = approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.arena)
+
 let lr ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off) ~n () =
   memo lr_cache
-    ~key:(Printf.sprintf "lr?n=%d&g=%d&k=%d&max_states=%s&sym=%s" n g k
-            (opt_int max_states) (sym_str sym))
-    ~cost:(fun i ->
-        approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.arena))
+    ~key:(lr_key ~max_states ~g ~k ~sym ~n)
+    ~cost:lr_cost
     (fun () -> LR.Proof.build ?max_states ~g ~k ~sym ~n ())
+
+let preload_lr ?max_states ~g ~k ~sym ~n inst =
+  preload_into lr_cache
+    ~key:(lr_key ~max_states ~g ~k ~sym ~n)
+    ~cost:(lr_cost inst) inst
 
 let lr_topo_cache : (string, LR.Proof.topo_instance) Hashtbl.t =
   Hashtbl.create 8
 
+let lr_topo_key ~max_states ~g ~k ~sym ~topo =
+  Printf.sprintf "lr-topo?topo=%s&g=%d&k=%d&max_states=%s&sym=%s"
+    (LR.Topology.name topo) g k (opt_int max_states) (sym_str sym)
+
+let lr_topo_cost i =
+  approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.tarena)
+
 let lr_topo ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off)
     ~topo () =
   memo lr_topo_cache
-    ~key:(Printf.sprintf "lr-topo?topo=%s&g=%d&k=%d&max_states=%s&sym=%s"
-            (LR.Topology.name topo) g k (opt_int max_states) (sym_str sym))
-    ~cost:(fun i ->
-        approx_cost ~states:(Mdp.Arena.num_states i.LR.Proof.tarena))
+    ~key:(lr_topo_key ~max_states ~g ~k ~sym ~topo)
+    ~cost:lr_topo_cost
     (fun () -> LR.Proof.build_topo ?max_states ~g ~k ~sym ~topo ())
 
+let preload_lr_topo ?max_states ~g ~k ~sym ~topo inst =
+  preload_into lr_topo_cache
+    ~key:(lr_topo_key ~max_states ~g ~k ~sym ~topo)
+    ~cost:(lr_topo_cost inst) inst
+
 let election_cache : (string, IR.Proof.instance) Hashtbl.t = Hashtbl.create 8
+
+let election_key ~max_states ~g ~k ~sym ~n =
+  Printf.sprintf "election?n=%d&g=%d&k=%d&max_states=%s&sym=%s" n g k
+    (opt_int max_states) (sym_str sym)
+
+let election_cost i =
+  approx_cost ~states:(Mdp.Arena.num_states i.IR.Proof.arena)
 
 let election ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off)
     ~n () =
   memo election_cache
-    ~key:(Printf.sprintf "election?n=%d&g=%d&k=%d&max_states=%s&sym=%s" n g k
-            (opt_int max_states) (sym_str sym))
-    ~cost:(fun i ->
-        approx_cost ~states:(Mdp.Arena.num_states i.IR.Proof.arena))
+    ~key:(election_key ~max_states ~g ~k ~sym ~n)
+    ~cost:election_cost
     (fun () -> IR.Proof.build ?max_states ~g ~k ~sym ~n ())
 
+let preload_election ?max_states ~g ~k ~sym ~n inst =
+  preload_into election_cache
+    ~key:(election_key ~max_states ~g ~k ~sym ~n)
+    ~cost:(election_cost inst) inst
+
 let coin_cache : (string, SC.Proof.instance) Hashtbl.t = Hashtbl.create 8
+
+let coin_key ~max_states ~g ~k ~sym ~n ~bound =
+  Printf.sprintf "coin?n=%d&bound=%d&g=%d&k=%d&max_states=%s&sym=%s" n bound
+    g k (opt_int max_states) (sym_str sym)
+
+let coin_cost i = approx_cost ~states:(Mdp.Arena.num_states i.SC.Proof.arena)
 
 let coin ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off) ~n
     ~bound () =
   memo coin_cache
-    ~key:(Printf.sprintf "coin?n=%d&bound=%d&g=%d&k=%d&max_states=%s&sym=%s"
-            n bound g k (opt_int max_states) (sym_str sym))
-    ~cost:(fun i ->
-        approx_cost ~states:(Mdp.Arena.num_states i.SC.Proof.arena))
+    ~key:(coin_key ~max_states ~g ~k ~sym ~n ~bound)
+    ~cost:coin_cost
     (fun () -> SC.Proof.build ?max_states ~g ~k ~sym ~n ~bound ())
+
+let preload_coin ?max_states ~g ~k ~sym ~n ~bound inst =
+  preload_into coin_cache
+    ~key:(coin_key ~max_states ~g ~k ~sym ~n ~bound)
+    ~cost:(coin_cost inst) inst
 
 let consensus_cache : (string, BO.Proof.instance) Hashtbl.t = Hashtbl.create 8
 
-let consensus ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off)
-    ~n ~f ~cap ~initial () =
+let consensus_key ~max_states ~g ~k ~sym ~n ~f ~cap ~initial =
   let bits =
     String.concat "" (List.map (fun b -> if b then "1" else "0")
                         (Array.to_list initial))
   in
+  Printf.sprintf
+    "consensus?n=%d&f=%d&cap=%d&initial=%s&g=%d&k=%d&max_states=%s\
+     &sym=%s" n f cap bits g k (opt_int max_states) (sym_str sym)
+
+let consensus_cost i =
+  approx_cost ~states:(Mdp.Arena.num_states i.BO.Proof.arena)
+
+let consensus ?max_states ?(g = 1) ?(k = 1) ?(sym = Analysis.Symmetry.Off)
+    ~n ~f ~cap ~initial () =
   memo consensus_cache
-    ~key:(Printf.sprintf
-            "consensus?n=%d&f=%d&cap=%d&initial=%s&g=%d&k=%d&max_states=%s\
-             &sym=%s" n f cap bits g k (opt_int max_states) (sym_str sym))
-    ~cost:(fun i ->
-        approx_cost ~states:(Mdp.Arena.num_states i.BO.Proof.arena))
+    ~key:(consensus_key ~max_states ~g ~k ~sym ~n ~f ~cap ~initial)
+    ~cost:consensus_cost
     (fun () -> BO.Proof.build ?max_states ~g ~k ~sym ~n ~f ~cap ~initial ())
+
+let preload_consensus ?max_states ~g ~k ~sym ~n ~f ~cap ~initial inst =
+  preload_into consensus_cache
+    ~key:(consensus_key ~max_states ~g ~k ~sym ~n ~f ~cap ~initial)
+    ~cost:(consensus_cost inst) inst
 
 type stats = {
   explorations : int;

@@ -54,6 +54,41 @@ val consensus :
   n:int -> f:int -> cap:int -> initial:bool array -> unit ->
   Ben_or.Proof.instance
 
+(** {1 Preloading}
+
+    [preload_* ... inst] seeds the registry with an instance built
+    elsewhere -- an arena snapshot loaded by [prtb serve
+    --snapshot-dir] -- under exactly the key the matching builder
+    would use, so the first served query for those parameters is a
+    cache hit with [explorations: 0, compiles: 0].  Returns [false]
+    (keeping the existing entry) when the key is already cached or
+    mid-build; preloaded entries respect {!set_capacity} like any
+    other insert.  The [sym] and [max_states] arguments are required:
+    a preload under the wrong key would silently never be hit, so
+    callers must state the full tuple. *)
+
+val preload_lr :
+  ?max_states:int -> g:int -> k:int -> sym:Analysis.Symmetry.mode ->
+  n:int -> Lehmann_rabin.Proof.instance -> bool
+
+val preload_lr_topo :
+  ?max_states:int -> g:int -> k:int -> sym:Analysis.Symmetry.mode ->
+  topo:Lehmann_rabin.Topology.t -> Lehmann_rabin.Proof.topo_instance ->
+  bool
+
+val preload_election :
+  ?max_states:int -> g:int -> k:int -> sym:Analysis.Symmetry.mode ->
+  n:int -> Itai_rodeh.Proof.instance -> bool
+
+val preload_coin :
+  ?max_states:int -> g:int -> k:int -> sym:Analysis.Symmetry.mode ->
+  n:int -> bound:int -> Shared_coin.Proof.instance -> bool
+
+val preload_consensus :
+  ?max_states:int -> g:int -> k:int -> sym:Analysis.Symmetry.mode ->
+  n:int -> f:int -> cap:int -> initial:bool array ->
+  Ben_or.Proof.instance -> bool
+
 (** {1 Cache bounds}
 
     [set_capacity (Some bytes)] bounds the memory retained by the memo

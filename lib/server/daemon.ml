@@ -11,6 +11,7 @@ type config = {
   max_requests_per_conn : int;
   deadline_ms : int option;
   degraded_after : float;
+  snapshot_dir : string option;
 }
 
 let default_config =
@@ -18,7 +19,7 @@ let default_config =
     cache_mb = 64; max_states = 2_000_000; read_timeout = 10.0;
     write_timeout = 10.0; conn_deadline = 60.0;
     max_requests_per_conn = 1000; deadline_ms = None;
-    degraded_after = 5.0 }
+    degraded_after = 5.0; snapshot_dir = None }
 
 type t = {
   service : Service.t;
@@ -167,9 +168,39 @@ let resolve host =
     with Not_found ->
       invalid_arg (Printf.sprintf "Daemon.start: unknown host %S" host))
 
+(* Load every [*.prtba] in [dir] into the registry before the socket
+   opens, so the first query for a snapshotted instance never explores
+   or compiles.  A refused snapshot (stale fingerprint, tamper, version
+   skew) is a warning, not a startup failure: the daemon still serves,
+   it just computes that instance on demand. *)
+let preload_snapshots ~max_states dir =
+  let entries =
+    match Sys.readdir dir with
+    | exception Sys_error e ->
+      Printf.eprintf "prtb serve: snapshot dir %s\n%!" e;
+      [||]
+    | names ->
+      Array.sort String.compare names;
+      names
+  in
+  Array.iter
+    (fun name ->
+       if Filename.check_suffix name ".prtba" then begin
+         let path = Filename.concat dir name in
+         match Snapshot.Store.preload ~max_states ~path () with
+         | Ok desc ->
+           Printf.printf "prtb serve: snapshot %s: %s\n%!" name desc
+         | Error e ->
+           Printf.eprintf "prtb serve: snapshot %s refused: %s\n%!" name e
+       end)
+    entries
+
 let start config =
   let bytes = config.cache_mb * 1024 * 1024 in
   Models.set_capacity (Some bytes);
+  (match config.snapshot_dir with
+   | None -> ()
+   | Some dir -> preload_snapshots ~max_states:config.max_states dir);
   let service =
     Service.create
       { Service.max_states = config.max_states;

@@ -44,11 +44,15 @@ type config = {
       (** server-wide default compute deadline per request (see
           {!Service.config.deadline_ms}) *)
   degraded_after : float;  (** /health degraded threshold, seconds *)
+  snapshot_dir : string option;
+      (** directory of [*.prtba] arena snapshots preloaded into the
+          registry at {!start}, before the socket opens; refused
+          snapshots warn on stderr and the daemon serves anyway *)
 }
 
 (** 127.0.0.1:8080, 2 domains, queue 16, 64 MiB, 2M states, 10 s reads
     and writes, 60 s per connection, 1000 requests/connection, no
-    default compute deadline, degraded after 5 s. *)
+    default compute deadline, degraded after 5 s, no snapshot dir. *)
 val default_config : config
 
 type t

@@ -173,11 +173,35 @@ let retry_after_s (r : Http.response_msg) =
   | None -> None
   | Some v -> Option.map float_of_int (int_of_string_opt (String.trim v))
 
-let run ?(max_retries = 0) url ~clients ~requests =
+(* The /batch body for the mixed workload: [b] copies of the single
+   query, each as an object carrying the target's path as its
+   ["endpoint"] and its query-string pairs as fields.  Built once per
+   run; the POST body is byte-identical across clients. *)
+let batch_body url b =
+  let module J = Analysis.Json in
+  let path, qs =
+    match String.index_opt url.target '?' with
+    | None -> (url.target, "")
+    | Some i ->
+      ( String.sub url.target 0 i,
+        String.sub url.target (i + 1) (String.length url.target - i - 1) )
+  in
+  let item =
+    J.Obj
+      (("endpoint", J.Str path)
+       :: List.map (fun (k, v) -> (k, J.Str v)) (Http.parse_query qs))
+  in
+  J.to_string (J.Obj [ ("queries", J.Arr (List.init b (fun _ -> item))) ])
+
+let run ?(max_retries = 0) ?batch url ~clients ~requests =
   if clients < 1 then invalid_arg "Load.run: clients must be positive";
   if requests < 1 then invalid_arg "Load.run: requests must be positive";
   if max_retries < 0 then
     invalid_arg "Load.run: max_retries must be nonnegative";
+  (match batch with
+   | Some b when b < 1 -> invalid_arg "Load.run: batch must be positive"
+   | Some _ | None -> ());
+  let batched = Option.map (batch_body url) batch in
   let share idx =
     (requests / clients) + if idx < requests mod clients then 1 else 0
   in
@@ -187,13 +211,20 @@ let run ?(max_retries = 0) url ~clients ~requests =
     let ok = ref 0 and rejected = ref 0 and retries = ref 0 in
     let http = ref 0 and proto = ref 0 in
     let lats = ref [] in
-    for _ = 1 to share idx do
+    for r = 1 to share idx do
       (* One logical request: its latency is the whole retry chain, so
          backpressure shows up in the percentiles rather than
-         disappearing into averaged-out quick 503s. *)
+         disappearing into averaged-out quick 503s.  In batch mode
+         every other logical request is a POST /batch of the same
+         query, exercising both paths in one run. *)
+      let meth, body, target =
+        match batched with
+        | Some body when r mod 2 = 0 -> ("POST", body, "/batch")
+        | Some _ | None -> ("GET", "", url.target)
+      in
       let t0 = Unix.gettimeofday () in
       let rec attempt k =
-        match Conn.request conn url.target with
+        match Conn.request conn ~meth ~body target with
         | Ok r when
             r.Http.status = 503 && k < max_retries ->
           incr retries;

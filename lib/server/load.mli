@@ -63,8 +63,14 @@ type result = {
     a 503 is retried up to that many times with jittered exponential
     backoff, honoring the server's [Retry-After] header when present;
     retry attempts are counted in [retries] and a request's latency
-    covers its whole retry chain.  Raises [Invalid_argument] when
-    either count is non-positive or [max_retries] is negative. *)
-val run : ?max_retries:int -> url -> clients:int -> requests:int -> result
+    covers its whole retry chain.  With [batch = Some b], every other
+    logical request is instead a [POST /batch] carrying [b] copies of
+    the URL's query (a mixed single/batch workload; the URL's path
+    becomes each element's ["endpoint"]).  Raises [Invalid_argument]
+    when either count is non-positive, [max_retries] is negative, or
+    [batch] is non-positive. *)
+val run :
+  ?max_retries:int -> ?batch:int -> url -> clients:int -> requests:int ->
+  result
 
 val pp : Format.formatter -> result -> unit

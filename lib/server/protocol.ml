@@ -46,6 +46,7 @@ type query =
   | Lint of lint_query
   | Stats
   | Health of { sleep_ms : int }
+  | Batch of query list
 
 type error = { status : int; code : string; message : string }
 
@@ -195,6 +196,47 @@ let parse_health fields =
     reject 400 "SRV103" "sleep_ms must be between 0 and 5000";
   Health { sleep_ms }
 
+(* One /batch element: a JSON object with an ["endpoint"] selector
+   (default [/check]) and that endpoint's usual fields.  Only compute
+   endpoints batch -- /stats, /health and /batch itself are not
+   batchable (the first two are probes, nesting is a loop). *)
+let parse_batch_element item =
+  let fields name = J.member name item in
+  match
+    String.lowercase_ascii (str_field fields "endpoint" ~default:"/check")
+  with
+  | "/check" | "check" -> parse_check fields
+  | "/cert" | "cert" -> Cert (check_fields fields)
+  | "/simulate" | "simulate" -> parse_simulate fields
+  | "/lint" | "lint" -> parse_lint fields
+  | other -> reject 400 "SRV103" "endpoint %S is not batchable" other
+
+let max_batch = 64
+
+let parse_batch (req : Http.request) fields =
+  (match req.Http.meth with
+   | Http.POST -> ()
+   | Http.GET | Http.Other _ ->
+     reject 405 "SRV101" "/batch requires POST");
+  match fields "queries" with
+  | None -> reject 400 "SRV103" "field \"queries\" is required"
+  | Some (J.Arr []) ->
+    reject 400 "SRV103" "field \"queries\" must not be empty"
+  | Some (J.Arr items) ->
+    if List.length items > max_batch then
+      reject 400 "SRV103" "at most %d queries per batch" max_batch;
+    Batch
+      (List.mapi
+         (fun i item ->
+            match item with
+            | J.Obj _ -> (
+                try parse_batch_element item
+                with Reject e ->
+                  reject e.status e.code "query %d: %s" i e.message)
+            | _ -> reject 400 "SRV103" "query %d: must be a JSON object" i)
+         items)
+  | Some _ -> reject 400 "SRV103" "field \"queries\" must be an array"
+
 let of_request (req : Http.request) =
   try
     let fields = fields_of_request req in
@@ -203,6 +245,7 @@ let of_request (req : Http.request) =
     | "/cert" -> Ok (Cert (check_fields fields))
     | "/simulate" -> Ok (parse_simulate fields)
     | "/lint" -> Ok (parse_lint fields)
+    | "/batch" -> Ok (parse_batch req fields)
     | "/stats" -> Ok Stats
     | "/health" | "/" -> Ok (parse_health fields)
     | other -> reject 404 "SRV100" "unknown endpoint %S" other
@@ -254,4 +297,7 @@ let canonical_key ?max_states ?max_trials = function
     Some
       (Printf.sprintf "lint?target=%s&max_states=%s&sym=%s" l.target
          (clamped max_states l.lint_max_states) l.lint_sym)
-  | Stats | Health _ -> None
+  (* A batch is a container, not a computation: its elements each have
+     a canonical key and cache individually inside the Service; the
+     envelope itself is never cached. *)
+  | Batch _ | Stats | Health _ -> None

@@ -8,6 +8,8 @@
                   to [prtb check --emit-cert])
     - [/simulate] Monte Carlo estimation ({!simulate_query})
     - [/lint]     a registry lint target ({!lint_query})
+    - [/batch]    many compute queries in one round trip (POST only;
+                  see the {!query} [Batch] constructor)
     - [/stats]    registry + cache + server counters
     - [/health]   liveness probe (accepts [?sleep_ms=N], a load-testing
                   aid that holds a worker for up to 5 s)
@@ -25,6 +27,7 @@
     - SRV102 malformed JSON body       - SRV103 malformed field
     - SRV104 unknown model/target      - SRV105 malformed budget
     - SRV110 HTTP protocol error       - SRV111 overloaded (503)
+    - SRV112 backend unavailable (503, [prtb route] only)
     - SRV120 budget exhausted          - SRV122 deadline exceeded
     - SRV300 internal error *)
 
@@ -79,6 +82,13 @@ type query =
   | Lint of lint_query
   | Stats
   | Health of { sleep_ms : int }
+  | Batch of query list
+      (** [/batch] (POST only): [{"queries": [{...}, ...]}], each
+          element an object with an ["endpoint"] selector (default
+          [/check]) plus that endpoint's usual fields.  Only the
+          compute endpoints ([/check], [/cert], [/simulate], [/lint])
+          are batchable; at most 64 elements.  Element bodies are
+          bit-identical to the single-query endpoints'. *)
 
 type error = { status : int; code : string; message : string }
 

@@ -1,0 +1,310 @@
+type config = {
+  host : string;
+  port : int;
+  backends : string list;
+  domains : int;
+  accept_queue : int;
+  read_timeout : float;
+  write_timeout : float;
+  conn_deadline : float;
+  max_requests_per_conn : int;
+  replicas : int;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 8080; backends = []; domains = 2;
+    accept_queue = 16; read_timeout = 10.0; write_timeout = 10.0;
+    conn_deadline = 60.0; max_requests_per_conn = 1000; replicas = 50 }
+
+(* ------------------------------------------------------------------ *)
+(* The hash ring.
+
+   [replicas] virtual nodes per backend, each at a deterministic point
+   derived from the backend URL -- so the assignment is a pure function
+   of (key, backend list), identical across router restarts and across
+   processes.  A key is served by the first node clockwise from its own
+   hash; removing a backend only reassigns the arcs its nodes owned. *)
+
+type ring = {
+  points : int array;  (** sorted node positions *)
+  owners : string array;  (** owners.(i) owns points.(i) *)
+}
+
+(* The first 8 digest bytes as a non-negative int.  MD5 here is a hash
+   ring placement, not a security boundary. *)
+let hash_of s =
+  let d = Digest.string s in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int
+
+let ring_of backends ~replicas =
+  let nodes =
+    List.concat_map
+      (fun url ->
+         List.init replicas (fun i ->
+             (hash_of (Printf.sprintf "%s#%d" url i), url)))
+      backends
+  in
+  let nodes =
+    List.sort (fun (a, ua) (b, ub) ->
+        match compare a b with 0 -> compare ua ub | c -> c)
+      nodes
+  in
+  { points = Array.of_list (List.map fst nodes);
+    owners = Array.of_list (List.map snd nodes) }
+
+let ring_lookup ring key =
+  let h = hash_of key in
+  let n = Array.length ring.points in
+  (* First node with position >= h, wrapping to 0. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ring.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  ring.owners.(if !lo = n then 0 else !lo)
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  config : config;
+  ring : ring;
+  by_url : (string, Load.url) Hashtbl.t;
+  rr : int Atomic.t;  (* round-robin cursor for keyless requests *)
+  pool : Parallel.Pool.t;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let port t = t.bound_port
+
+let backend_for t key = ring_lookup t.ring key
+
+(* Where a parsed query goes: its canonical key's ring owner, or the
+   next backend round-robin when the query has no key. *)
+let route_of t q =
+  match Protocol.canonical_key q with
+  | Some key -> ring_lookup t.ring key
+  | None ->
+    let i = Atomic.fetch_and_add t.rr 1 in
+    List.nth t.config.backends (i mod List.length t.config.backends)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  try
+    while !off < len do
+      let n = Unix.write_substring fd s !off (len - !off) in
+      if n = 0 then off := len else off := !off + n
+    done
+  with Unix.Unix_error _ -> ()
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let meth_string = function
+  | Http.GET -> "GET"
+  | Http.POST -> "POST"
+  | Http.Other m -> m
+
+(* Headers worth relaying from a backend reply: the cache/degradation
+   diagnostics and backpressure guidance.  Hop-by-hop headers
+   (Connection, Content-Length) are re-derived by [Http.response]. *)
+let relay_headers (r : Http.response_msg) =
+  List.filter
+    (fun (name, _) ->
+       let n = String.lowercase_ascii name in
+       n = "retry-after"
+       || (String.length n > 7 && String.sub n 0 7 = "x-prtb-"))
+    r.Http.resp_headers
+
+let backend_unavailable url reason =
+  ( 503,
+    [ ("Retry-After", "1") ],
+    Protocol.error_body
+      (Protocol.error ~status:503 ~code:"SRV112"
+         (Printf.sprintf "backend %s unavailable: %s" url reason)) )
+
+(* One forwarded round trip on a fresh connection.  Per-request
+   connections keep the router stateless about backend health: a dead
+   backend costs one failed connect, never a wedged cached socket. *)
+let forward t url (req : Http.request) =
+  match Hashtbl.find_opt t.by_url url with
+  | None -> backend_unavailable url "unknown backend"
+  | Some parsed ->
+    let conn = Load.Conn.create parsed in
+    let result =
+      Load.Conn.request conn ~meth:(meth_string req.Http.meth)
+        ~body:req.Http.body req.Http.target
+    in
+    Load.Conn.close conn;
+    (match result with
+     | Ok r -> (r.Http.status, relay_headers r, r.Http.resp_body)
+     | Error e -> backend_unavailable url e)
+
+let handle_conn t fd =
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.write_timeout
+   with Unix.Unix_error _ -> ());
+  let read buf off len =
+    try Unix.read fd buf off len with Unix.Unix_error _ -> 0
+  in
+  let r = Http.reader read in
+  let conn_start = Unix.gettimeofday () in
+  let arm_read_timeout () =
+    let left =
+      t.config.conn_deadline -. (Unix.gettimeofday () -. conn_start)
+    in
+    if left <= 0.0 then false
+    else begin
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+           (Stdlib.min t.config.read_timeout left)
+       with Unix.Unix_error _ -> ());
+      true
+    end
+  in
+  let rec serve remaining =
+    if remaining > 0 && arm_read_timeout () then
+      match Http.read_request r with
+      | `Eof -> ()
+      | `Error e ->
+        let body =
+          Protocol.error_body
+            (Protocol.error ~status:e.Http.status ~code:"SRV110"
+               e.Http.reason)
+        in
+        write_all fd
+          (Http.response ~keep_alive:false ~status:e.Http.status ~body ())
+      | `Request req ->
+        let keep = Http.keep_alive req && remaining > 1 in
+        let status, headers, body =
+          match Protocol.of_request req with
+          | Error e -> (e.Protocol.status, [], Protocol.error_body e)
+          | Ok q -> forward t (route_of t q) req
+        in
+        write_all fd
+          (Http.response ~headers ~keep_alive:keep ~status ~body ());
+        if keep then serve (remaining - 1)
+  in
+  (try serve t.config.max_requests_per_conn with _ -> ());
+  close_quietly fd
+
+let reject_overloaded fd =
+  let body =
+    Protocol.error_body
+      (Protocol.error ~status:503 ~code:"SRV111"
+         "router overloaded; retry later")
+  in
+  write_all fd
+    (Http.response
+       ~headers:[ ("Retry-After", "1") ]
+       ~keep_alive:false ~status:503 ~body ());
+  close_quietly fd
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.select [ t.lsock; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+      | ready, _, _ ->
+        if List.mem t.stop_r ready then ()
+        else begin
+          (match Unix.accept ~cloexec:true t.lsock with
+           | exception Unix.Unix_error _ -> ()
+           | fd, _ ->
+             if Parallel.Pool.pending t.pool > t.config.accept_queue then
+               reject_overloaded fd
+             else begin
+               let accepted =
+                 Parallel.Pool.submit t.pool (fun () -> handle_conn t fd)
+               in
+               if not accepted then close_quietly fd
+             end);
+          loop ()
+        end
+  in
+  loop ();
+  Atomic.set t.stopping true;
+  close_quietly t.lsock
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found ->
+      invalid_arg (Printf.sprintf "Route.start: unknown host %S" host))
+
+let start config =
+  if config.backends = [] then
+    invalid_arg "Route.start: at least one backend is required";
+  if config.replicas < 1 then
+    invalid_arg "Route.start: replicas must be positive";
+  let by_url = Hashtbl.create 8 in
+  List.iter
+    (fun url ->
+       match Load.parse_url url with
+       | Ok parsed -> Hashtbl.replace by_url url parsed
+       | Error e ->
+         invalid_arg (Printf.sprintf "Route.start: backend %s: %s" url e))
+    config.backends;
+  let ring = ring_of config.backends ~replicas:config.replicas in
+  let pool = Parallel.Pool.create ~domains:(Stdlib.max 2 config.domains) in
+  let lsock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+     Unix.bind lsock (Unix.ADDR_INET (resolve config.host, config.port));
+     Unix.listen lsock 128
+   with e ->
+     close_quietly lsock;
+     Parallel.Pool.shutdown pool;
+     raise e);
+  let bound_port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let stopping = Atomic.make false in
+  let t =
+    { config; ring; by_url; rr = Atomic.make 0; pool; lsock; bound_port;
+      stop_r; stop_w; stopping; accept_domain = None }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    try ignore (Unix.write_substring t.stop_w "." 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wait t =
+  (match t.accept_domain with
+   | Some d -> Domain.join d
+   | None -> ());
+  Parallel.Pool.shutdown t.pool;
+  close_quietly t.stop_r;
+  close_quietly t.stop_w
+
+let run config =
+  let t = start config in
+  let on_signal _ = stop t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf
+    "prtb route: listening on http://%s:%d/ (%d domains, %d backends)\n%!"
+    config.host (port t)
+    (Parallel.Pool.domains t.pool)
+    (List.length config.backends);
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf 0.1
+  done;
+  wait t;
+  print_endline "prtb route: drained, bye"

@@ -1,0 +1,68 @@
+(** [prtb route]: a consistent-hashing front for a fleet of [prtb
+    serve] daemons.
+
+    The router owns no models and runs no engines.  It parses just
+    enough of each request to recover the query's canonical cache key
+    ({!Protocol.canonical_key}), hashes that key onto a ring of
+    virtual nodes ([replicas] per backend), and forwards the request
+    bytes untouched -- same method, same target, same body -- to the
+    owning backend, relaying the status, body and [X-Prtb-*] headers
+    back verbatim.  Equal keys always land on the same backend, so
+    each daemon's result cache and model registry stay hot for its
+    shard of the keyspace; adding a backend remaps only the keys whose
+    ring arc it takes over.
+
+    Keyless requests ([/stats], [/health], [/batch] envelopes) have no
+    shard affinity and round-robin across the fleet.  Requests the
+    router itself cannot parse are answered at the router with the
+    same structured errors a daemon would produce.
+
+    Failure surfaces two ways, both 503 + [Retry-After: 1]: a backend
+    that cannot be reached or answers garbage is [SRV112] (named
+    distinctly from daemon overload so clients can tell the fleet is
+    sick rather than busy), and a saturated router (accept queue past
+    [accept_queue]) is the usual [SRV111].  A backend's own 503 is
+    relayed as-is, with its [Retry-After]. *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] picks a free port; read it back with {!port} *)
+  backends : string list;  (** daemon URLs, e.g. ["http://127.0.0.1:8081"] *)
+  domains : int;  (** forwarding workers; clamped to [>= 2] *)
+  accept_queue : int;  (** pending-connection bound before SRV111 *)
+  read_timeout : float;
+  write_timeout : float;
+  conn_deadline : float;
+  max_requests_per_conn : int;
+  replicas : int;  (** virtual nodes per backend on the hash ring *)
+}
+
+(** 127.0.0.1:8080, no backends (supply some), 2 domains, queue 16,
+    10 s reads and writes, 60 s per connection, 1000
+    requests/connection, 50 replicas. *)
+val default_config : config
+
+type t
+
+(** Bind, listen, spawn the accept loop.  Raises [Invalid_argument]
+    when [backends] is empty and [Unix.Unix_error] when the address is
+    unavailable. *)
+val start : config -> t
+
+val port : t -> int
+
+(** The backend URL a canonical key maps to (exposed for tests: the
+    assignment is a pure function of the key and the backend list). *)
+val backend_for : t -> string -> string
+
+(** Ask the router to stop; idempotent, async-signal-safe.  Pair with
+    {!wait}. *)
+val stop : t -> unit
+
+(** Join the accept loop and drain the workers.  Call once, after
+    {!stop}. *)
+val wait : t -> unit
+
+(** {!start} + [SIGTERM]/[SIGINT] handlers + banner + {!wait}, like
+    {!Daemon.run}. *)
+val run : config -> unit

@@ -804,11 +804,14 @@ let under_deadline deadline_ms degraded compute =
      | exception Core.Budget.Deadline_exceeded _ ->
        Ok (degraded ~deadline_ms:ms))
 
-let handle t query =
-  Atomic.incr t.requests;
-  try
-    match query with
-    | Protocol.Health { sleep_ms } ->
+(* One query to one reply, /batch elements included ([handle] adds the
+   per-request accounting and the last-resort catch).  Sub-replies of a
+   batch pass through [ok_reply]/[error_reply] like any other, so the
+   ok/client_errors counters see batch elements individually; only
+   [requests] counts the envelope once. *)
+let rec dispatch t query =
+  match query with
+  | Protocol.Health { sleep_ms } ->
       if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
       ok_reply t (J.to_string (health_json t))
     | Protocol.Stats -> ok_reply t (J.to_string (stats_json t))
@@ -848,6 +851,59 @@ let handle t query =
                 (degraded_json ~schema:"prtb-lint/1"
                    [ ("target", J.Str l.Protocol.target) ])
                 (fun () -> lint_json t l)))
+  | Protocol.Batch qs ->
+    track t (fun () ->
+        (* Elements sharing a canonical key are computed once and the
+           reply reused -- the arena sweep and the body serialization
+           both happen a single time per distinct key.  Distinct keys
+           on the same model still share one arena through the Models
+           registry, so a batch over one instance explores it at most
+           once. *)
+        let seen : (string, reply) Hashtbl.t = Hashtbl.create 16 in
+        let replies =
+          List.map
+            (fun q ->
+               match canonical_key t q with
+               | Some key when Hashtbl.mem seen key -> Hashtbl.find seen key
+               | key_opt ->
+                 let r = dispatch t q in
+                 (match key_opt with
+                  | Some key -> Hashtbl.replace seen key r
+                  | None -> ());
+                 r)
+            qs
+        in
+        (* The envelope splices each sub-reply's body bytes verbatim --
+           never reparsed, never reserialized -- which is what makes
+           batched bodies bit-identical to the single-query endpoints
+           (asserted in test/test_server.ml). *)
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf "{\"schema\":\"prtb-batch/1\",\"count\":";
+        Buffer.add_string buf (string_of_int (List.length replies));
+        Buffer.add_string buf ",\"results\":[";
+        List.iteri
+          (fun i r ->
+             if i > 0 then Buffer.add_char buf ',';
+             Buffer.add_string buf "{\"status\":";
+             Buffer.add_string buf (string_of_int r.status);
+             (match List.assoc_opt "X-Prtb-Cache" r.headers with
+              | Some c ->
+                Buffer.add_string buf ",\"cache\":\"";
+                Buffer.add_string buf c;
+                Buffer.add_char buf '"'
+              | None -> ());
+             Buffer.add_string buf ",\"body\":";
+             Buffer.add_string buf r.body;
+             Buffer.add_char buf '}')
+          replies;
+        Buffer.add_string buf "]}";
+        (* Sub-replies were counted by ok_reply/error_reply above; the
+           envelope itself stays out of the status counters. *)
+        { status = 200; headers = []; body = Buffer.contents buf })
+
+let handle t query =
+  Atomic.incr t.requests;
+  try dispatch t query
   with e ->
     error_reply t
       (Protocol.error ~status:500 ~code:"SRV300"

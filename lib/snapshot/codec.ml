@@ -1,0 +1,199 @@
+let magic = "prtba/1\n"
+
+(* "len:bytes" framing, as in lib/cert's node hashing: unambiguous for
+   arbitrary payloads (Marshal blobs included) and cheap to parse. *)
+let enc buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let encode sections =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf magic;
+  List.iter
+    (fun (name, payload) ->
+       enc buf name;
+       enc buf payload)
+    sections;
+  (* The seal covers every byte before it, magic included, so version
+     skew, a truncation and a one-byte tamper all surface as the same
+     named refusal. *)
+  let digest = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+  enc buf "digest";
+  enc buf digest;
+  Buffer.contents buf
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let check_magic bytes =
+  let m = String.length magic in
+  if String.length bytes >= m && String.sub bytes 0 m = magic then ()
+  else if String.length bytes >= 6 && String.sub bytes 0 6 = "prtba/" then
+    let version =
+      match String.index_opt bytes '\n' with
+      | Some i when i <= 32 -> String.sub bytes 0 i
+      | Some _ | None ->
+        String.sub bytes 0 (Stdlib.min 32 (String.length bytes))
+    in
+    corrupt "unsupported snapshot version %S (this reader understands %S)"
+      version (String.trim magic)
+  else corrupt "not a prtba snapshot (bad magic)"
+
+let decode bytes =
+  try
+    check_magic bytes;
+    let len = String.length bytes in
+    let pos = ref (String.length magic) in
+    let read_framed what =
+      let start = !pos in
+      let rec find_colon i =
+        if i >= len then
+          corrupt "truncated snapshot (%s: unterminated length prefix)" what
+        else if bytes.[i] = ':' then i
+        else if i - start > 12 then
+          corrupt "corrupt snapshot (%s: length prefix too long)" what
+        else find_colon (i + 1)
+      in
+      let colon = find_colon start in
+      let n =
+        match int_of_string_opt (String.sub bytes start (colon - start)) with
+        | Some n when n >= 0 -> n
+        | Some _ | None ->
+          corrupt "corrupt snapshot (%s: bad length prefix)" what
+      in
+      if colon + 1 + n > len then
+        corrupt "truncated snapshot (%s: %d payload bytes missing)" what
+          (colon + 1 + n - len);
+      pos := colon + 1 + n;
+      String.sub bytes (colon + 1) n
+    in
+    let sections = ref [] in
+    let sealed = ref false in
+    while not !sealed do
+      if !pos >= len then corrupt "truncated snapshot (no trailing digest)";
+      let before = !pos in
+      let name = read_framed "section name" in
+      let payload = read_framed (Printf.sprintf "section %S" name) in
+      if name = "digest" then begin
+        if !pos <> len then
+          corrupt "corrupt snapshot (%d trailing bytes after the digest)"
+            (len - !pos);
+        let computed =
+          Digest.to_hex (Digest.string (String.sub bytes 0 before))
+        in
+        if not (String.equal computed payload) then
+          corrupt
+            "snapshot digest mismatch (stored %s, computed %s): truncated \
+             or tampered"
+            payload computed;
+        sealed := true
+      end
+      else sections := (name, payload) :: !sections
+    done;
+    Ok (List.rev !sections)
+  with Corrupt msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Scalar-array payloads. *)
+
+let ints_to_string arr =
+  String.concat ","
+    (Array.to_list (Array.map string_of_int arr))
+
+let ints_of_string s =
+  if s = "" then Ok [||]
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest ->
+        (match int_of_string_opt p with
+         | Some i -> go (i :: acc) rest
+         | None -> Error (Printf.sprintf "bad integer %S" p))
+    in
+    go [] parts
+
+let bools_to_string arr =
+  String.init (Array.length arr) (fun i -> if arr.(i) then '1' else '0')
+
+let bools_of_string s =
+  let n = String.length s in
+  let arr = Array.make n false in
+  let rec go i =
+    if i >= n then Ok arr
+    else
+      match s.[i] with
+      | '1' ->
+        arr.(i) <- true;
+        go (i + 1)
+      | '0' -> go (i + 1)
+      | c -> Error (Printf.sprintf "bad boolean character %C" c)
+  in
+  go 0
+
+let strs_to_string lst =
+  let buf = Buffer.create 256 in
+  List.iter (fun s -> enc buf s) lst;
+  Buffer.contents buf
+
+let strs_of_string s =
+  try
+    let len = String.length s in
+    let pos = ref 0 in
+    let acc = ref [] in
+    while !pos < len do
+      let start = !pos in
+      let rec find_colon i =
+        if i >= len || i - start > 12 then
+          corrupt "string frame: bad length prefix"
+        else if s.[i] = ':' then i
+        else find_colon (i + 1)
+      in
+      let colon = find_colon start in
+      let n =
+        match int_of_string_opt (String.sub s start (colon - start)) with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> corrupt "string frame: bad length prefix"
+      in
+      if colon + 1 + n > len then corrupt "string frame: truncated";
+      acc := String.sub s (colon + 1) n :: !acc;
+      pos := colon + 1 + n
+    done;
+    Ok (List.rev !acc)
+  with Corrupt msg -> Error msg
+
+let rats_to_string arr =
+  let buf = Buffer.create 1024 in
+  Array.iter (fun q -> enc buf (Proba.Rational.to_wire q)) arr;
+  Buffer.contents buf
+
+let rats_of_string s =
+  try
+    let len = String.length s in
+    let pos = ref 0 in
+    let acc = ref [] in
+    while !pos < len do
+      let start = !pos in
+      let rec find_colon i =
+        if i >= len || i - start > 12 then
+          corrupt "rational frame: bad length prefix"
+        else if s.[i] = ':' then i
+        else find_colon (i + 1)
+      in
+      let colon = find_colon start in
+      let n =
+        match int_of_string_opt (String.sub s start (colon - start)) with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> corrupt "rational frame: bad length prefix"
+      in
+      if colon + 1 + n > len then corrupt "rational frame: truncated";
+      let wire = String.sub s (colon + 1) n in
+      (match Proba.Rational.of_wire wire with
+       | Ok q -> acc := q :: !acc
+       | Error e -> corrupt "bad rational %S: %s" wire e);
+      pos := colon + 1 + n
+    done;
+    Ok (Array.of_list (List.rev !acc))
+  with Corrupt msg -> Error msg

@@ -538,6 +538,109 @@ let test_parse_url () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty host should be rejected"
 
+(* ------------------------------------------------------------------ *)
+(* /batch *)
+
+(* Acceptance: element bodies inside the batch envelope are the
+   single-query endpoints' bytes, spliced verbatim -- never reparsed
+   or reserialized. *)
+let test_batch_byte_identity () =
+  let single = (get "/check?model=lr&n=3").Server.Http.resp_body in
+  let cert = (get "/cert?model=lr&n=3").Server.Http.resp_body in
+  let r =
+    get ~meth:"POST"
+      ~body:
+        "{\"queries\":[{\"endpoint\":\"/check\",\"model\":\"lr\",\"n\":3},\
+         {\"endpoint\":\"/cert\",\"model\":\"lr\",\"n\":3}]}"
+      "/batch"
+  in
+  Alcotest.(check int) "200" 200 r.Server.Http.status;
+  let body = r.Server.Http.resp_body in
+  let env = parse_body r in
+  Alcotest.(check string) "schema" "prtb-batch/1" (str_at [ "schema" ] env);
+  Alcotest.(check int) "count" 2 (int_at [ "count" ] env);
+  List.iter
+    (fun sub ->
+       Alcotest.(check bool) "single-query bytes spliced verbatim" true
+         (Astring.String.is_infix ~affix:("\"body\":" ^ sub ^ "}") body))
+    [ single; cert ]
+
+(* Equal canonical keys inside one batch are computed once (the second
+   element reuses the first's reply, cache flag included), the batch
+   seeds the same result-cache entries the single endpoints use, and a
+   repeated batch is answered entirely from cache with the registry
+   counters exactly put. *)
+let test_batch_dedup_and_cache () =
+  let body =
+    "{\"queries\":[{\"model\":\"coin\",\"n\":2,\"bound\":5},\
+     {\"model\":\"coin\",\"n\":2,\"bound\":5}]}"
+  in
+  let results env =
+    match member_exn [ "results" ] env with
+    | J.Arr items -> items
+    | other -> Alcotest.failf "results not an array: %s" (J.to_string other)
+  in
+  let first = results (parse_body (get ~meth:"POST" ~body "/batch")) in
+  Alcotest.(check (list string))
+    "one computation, reply reused for the duplicate key"
+    [ "miss"; "miss" ]
+    (List.map (str_at [ "cache" ]) first);
+  let stats1 = parse_body (get "/stats") in
+  let second = results (parse_body (get ~meth:"POST" ~body "/batch")) in
+  Alcotest.(check (list string))
+    "repeated batch is all cache hits" [ "hit"; "hit" ]
+    (List.map (str_at [ "cache" ]) second);
+  let stats2 = parse_body (get "/stats") in
+  List.iter
+    (fun counter ->
+       Alcotest.(check int)
+         (counter ^ " unchanged by the cached batch")
+         (int_at [ "registry"; counter ] stats1)
+         (int_at [ "registry"; counter ] stats2))
+    [ "explorations"; "compiles"; "builds" ];
+  (* The single-query endpoint now hits the batch-seeded entry, with
+     the same bytes the envelope spliced. *)
+  let single = get "/check?model=coin&n=2&bound=5" in
+  Alcotest.(check (option string)) "single GET hits the batch's entry"
+    (Some "hit")
+    (Server.Http.resp_header single "x-prtb-cache");
+  Alcotest.(check bool) "batch spliced the single GET's bytes" true
+    (List.for_all
+       (fun el ->
+          J.to_string (member_exn [ "body" ] el)
+          = J.to_string
+              (parse_body single))
+       second)
+
+let test_batch_errors () =
+  let code r = str_at [ "error"; "code" ] (parse_body r) in
+  let message r = str_at [ "error"; "message" ] (parse_body r) in
+  let posted body = get ~meth:"POST" ~body "/batch" in
+  let r = get "/batch" in
+  Alcotest.(check int) "GET /batch is 405" 405 r.Server.Http.status;
+  Alcotest.(check string) "GET /batch is SRV101" "SRV101" (code r);
+  let r = posted "{\"queries\":[]}" in
+  Alcotest.(check int) "empty batch is 400" 400 r.Server.Http.status;
+  Alcotest.(check string) "empty batch is SRV103" "SRV103" (code r);
+  let r = posted "{\"queries\":[{\"endpoint\":\"/stats\"}]}" in
+  Alcotest.(check int) "non-batchable endpoint is 400" 400
+    r.Server.Http.status;
+  Alcotest.(check bool) "element errors name their index" true
+    (Astring.String.is_prefix ~affix:"query 0:" (message r));
+  let r = posted "{\"queries\":[42]}" in
+  Alcotest.(check bool) "non-object element names its index" true
+    (Astring.String.is_prefix ~affix:"query 0:" (message r));
+  let oversize =
+    "{\"queries\":["
+    ^ String.concat ","
+        (List.init 65 (fun _ -> "{\"model\":\"lr\",\"n\":2}"))
+    ^ "]}"
+  in
+  let r = posted oversize in
+  Alcotest.(check int) "oversize batch is 400" 400 r.Server.Http.status;
+  Alcotest.(check bool) "oversize batch names the cap" true
+    (Astring.String.is_infix ~affix:"64" (message r))
+
 let shutdown_shared_daemon () =
   if Lazy.is_val daemon then begin
     let d = Lazy.force daemon in
@@ -570,7 +673,13 @@ let () =
           Alcotest.test_case "deadline: SRV122 deterministic" `Quick
             test_deadline_degraded_deterministic;
           Alcotest.test_case "deadline: cached body wins" `Quick
-            test_deadline_cached_body_wins ] );
+            test_deadline_cached_body_wins;
+          Alcotest.test_case "batch: byte-identical to singles" `Quick
+            test_batch_byte_identity;
+          Alcotest.test_case "batch: dedup + cache interaction" `Quick
+            test_batch_dedup_and_cache;
+          Alcotest.test_case "batch: structured errors" `Quick
+            test_batch_errors ] );
       ( "hostile input",
         [ Alcotest.test_case "structured errors" `Quick
             test_structured_errors;
